@@ -1,0 +1,72 @@
+// Ablation (follow-on work): OCJoin (Algorithm 2's partitioned sort-merge,
+// §4.3) vs IEJoin (the sort/permutation/bit-array algorithm the BigDansing
+// authors published next) on the inequality DC ϕ2 over TaxB. IEJoin never
+// enumerates pairs satisfying only the first condition, so its advantage
+// grows when that condition is unselective.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/rule_engine.h"
+#include "datagen/datagen.h"
+#include "rules/parser.h"
+
+namespace bigdansing {
+namespace {
+
+using bench::ResultTable;
+using bench::ScaledRows;
+using bench::Secs;
+using bench::TimeSeconds;
+
+constexpr const char* kRule =
+    "phi2: DC: t1.salary > t2.salary & t1.rate < t2.rate";
+
+void Run() {
+  ResultTable table(
+      "Ablation: OCJoin vs IEJoin on TaxB phi2, detection time in seconds "
+      "(16 workers)",
+      {"rows", "OCJoin (s)", "candidates", "IEJoin (s)", "violations match"});
+  for (size_t base : {20000u, 50000u, 100000u}) {
+    size_t rows = ScaledRows(base);
+    auto data = GenerateTaxB(rows, 0.1, /*seed=*/rows);
+    data.clean = Table();
+    ExecutionContext ctx(16);
+
+    RuleEngine oc_engine(&ctx);
+    size_t oc_violations = 0;
+    size_t candidates = 0;
+    double ocjoin = TimeSeconds([&] {
+      auto r = oc_engine.Detect(data.dirty, *ParseRule(kRule));
+      if (r.ok()) {
+        oc_violations = r->violations.size();
+        candidates = r->ocjoin_stats.candidate_pairs;
+      }
+    });
+
+    PlannerOptions ie_options;
+    ie_options.use_iejoin = true;
+    RuleEngine ie_engine(&ctx, ie_options);
+    size_t ie_violations = 0;
+    double iejoin = TimeSeconds([&] {
+      auto r = ie_engine.Detect(data.dirty, *ParseRule(kRule));
+      if (r.ok()) ie_violations = r->violations.size();
+    });
+
+    table.AddRow({bench::WithCommas(rows), Secs(ocjoin),
+                  bench::WithCommas(candidates), Secs(iejoin),
+                  oc_violations == ie_violations ? "yes" : "NO"});
+  }
+  table.Print();
+  std::printf(
+      "Expected shape: identical violations; IEJoin avoids OCJoin's "
+      "candidate enumeration (the 'candidates' column) and pulls ahead as "
+      "data grows.\n");
+}
+
+}  // namespace
+}  // namespace bigdansing
+
+int main() {
+  bigdansing::Run();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation (Appendix F): Block pushdown to storage. When the dataset is
+// stored logically partitioned on the rule's blocking attribute, rows that
+// share a blocking key are already co-located, so detection runs without
+// any shuffle. Compares the ordinary path against the pushdown path and
+// reports the shuffle volume each moved.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/rule_engine.h"
+#include "data/storage.h"
+#include "datagen/datagen.h"
+#include "rules/parser.h"
+
+namespace bigdansing {
+namespace {
+
+using bench::ResultTable;
+using bench::ScaledRows;
+using bench::Secs;
+using bench::TimeSeconds;
+
+void Run() {
+  ResultTable table(
+      "Ablation: Block pushdown to partitioned storage (TaxA phi1)",
+      {"rows", "ordinary (s)", "shuffled", "pushdown (s)", "shuffled ",
+       "violations match"});
+  for (size_t base : {100000u, 400000u}) {
+    size_t rows = ScaledRows(base);
+    auto data = GenerateTaxA(rows, 0.1, /*seed=*/rows);
+    auto rule_text = "phi1: FD: zipcode -> city";
+
+    ExecutionContext plain_ctx(16);
+    RuleEngine plain_engine(&plain_ctx);
+    size_t plain_violations = 0;
+    double plain = TimeSeconds([&] {
+      auto r = plain_engine.Detect(data.dirty, *ParseRule(rule_text));
+      plain_violations = r.ok() ? r->violations.size() : 0;
+    });
+
+    StorageManager storage;
+    storage.Store("taxa", data.dirty, "zipcode", 32);
+    ExecutionContext push_ctx(16);
+    RuleEngine push_engine(&push_ctx);
+    size_t push_violations = 0;
+    double pushed = TimeSeconds([&] {
+      auto r = push_engine.DetectWithStorage(storage, "taxa",
+                                             *ParseRule(rule_text));
+      push_violations = r.ok() ? r->violations.size() : 0;
+    });
+
+    table.AddRow({bench::WithCommas(rows), Secs(plain),
+                  bench::WithCommas(plain_ctx.metrics().shuffled_records()),
+                  Secs(pushed),
+                  bench::WithCommas(push_ctx.metrics().shuffled_records()),
+                  plain_violations == push_violations ? "yes" : "NO"});
+  }
+  table.Print();
+  std::printf(
+      "Expected shape: identical violations; the pushdown path moves zero "
+      "records across partitions (on a real cluster this is the network "
+      "saving Appendix F targets; wall-clock also improves here by "
+      "skipping the shuffle pass).\n");
+}
+
+}  // namespace
+}  // namespace bigdansing
+
+int main() {
+  bigdansing::Run();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Reproduces Fig 10(a): multi-node violation detection on TaxA with FD ϕ1.
+// Systems: BigDansing-Spark (in-memory backend), BigDansing-Hadoop
+// (disk-based backend emulation: per-stage materialization charge),
+// Spark SQL, and Shark (capped + extrapolated). The "cluster" is the
+// embedded dataflow engine with 16 workers; paper sizes 1M/2M/4M are scaled
+// to 100K/200K/400K.
+#include <cstdio>
+
+#include "baselines/sql_baseline.h"
+#include "bench_util.h"
+#include "core/rule_engine.h"
+#include "dataflow/mapreduce.h"
+#include "datagen/datagen.h"
+#include "rules/parser.h"
+
+namespace bigdansing {
+namespace {
+
+using bench::ResultTable;
+using bench::ScaledRows;
+using bench::Secs;
+using bench::TimeSeconds;
+
+constexpr size_t kQuadraticCap = 8000;
+constexpr const char* kRule = "phi1: FD: zipcode -> city";
+constexpr size_t kWorkers = 16;
+
+void Run() {
+  ResultTable table(
+      "Fig 10(a): TaxA phi1, multi-node (16 workers), detection time in "
+      "seconds",
+      {"rows", "BigDansing-Spark", "BigDansing-Hadoop", "SparkSQL", "Shark",
+       "violations"});
+  for (size_t base : {100000u, 200000u, 400000u}) {
+    size_t rows = ScaledRows(base);
+    auto data = GenerateTaxA(rows, 0.1, /*seed=*/rows);
+    data.clean = Table();  // Ground truth is unused here; free the memory.
+
+    size_t violations = 0;
+    ExecutionContext spark_ctx(kWorkers, Backend::kSpark);
+    double spark = TimeSeconds([&] {
+      RuleEngine engine(&spark_ctx);
+      auto r = engine.Detect(data.dirty, *ParseRule(kRule));
+      violations = r.ok() ? r->violations.size() : 0;
+    });
+
+    // BigDansing-Hadoop: the real MapReduce backend (Appendix G) — rows
+    // are serialized into spill blobs between phases and the shuffle is
+    // sort-based, which is where Hadoop pays.
+    ExecutionContext hadoop_ctx(kWorkers);
+    double hadoop = TimeSeconds(
+        [&] { MapReduceDetect(&hadoop_ctx, data.dirty, *ParseRule(kRule)); });
+
+    double sparksql = TimeSeconds([&] {
+      SqlBaselineDetect(&spark_ctx, data.dirty, *ParseRule(kRule),
+                        SqlEngine::kSparkSql);
+    });
+
+    size_t capped = std::min(rows, kQuadraticCap);
+    auto capped_data =
+        capped == rows ? data : GenerateTaxA(capped, 0.1, /*seed=*/capped);
+    double shark = TimeSeconds([&] {
+      SqlBaselineDetect(&spark_ctx, capped_data.dirty, *ParseRule(kRule),
+                        SqlEngine::kShark);
+    });
+    std::string shark_cell;
+    if (rows <= capped) {
+      shark_cell = Secs(shark);
+    } else {
+      double f = static_cast<double>(rows) / static_cast<double>(capped);
+      shark_cell = "~" + Secs(shark * f * f) + " (extrapolated)";
+    }
+
+    table.AddRow({bench::WithCommas(rows), Secs(spark), Secs(hadoop),
+                  Secs(sparksql), shark_cell, bench::WithCommas(violations)});
+  }
+  table.Print();
+  std::printf(
+      "Expected shape (paper): BigDansing-Spark slightly faster than Spark "
+      "SQL; BigDansing-Hadoop slower than both (disk-based stage "
+      "materialization) but still far ahead of Shark's quadratic plan.\n");
+}
+
+}  // namespace
+}  // namespace bigdansing
+
+int main() {
+  bigdansing::Run();
+  return 0;
+}

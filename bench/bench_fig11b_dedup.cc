@@ -1,0 +1,126 @@
+// Reproduces Fig 11(b): deduplication with a UDF rule (Levenshtein
+// similarity on name + phone) on NCVoter / customer1 / customer2.
+// BigDansing runs the UDF with blocking; "Shark" runs the same UDF as a
+// cross product with post-filter (Spark SQL is absent, as in the paper:
+// it cannot run UDFs directly). Paper sizes (9M/19M/32M) are scaled to
+// tens of thousands; quadratic Shark is capped + extrapolated.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/rule_engine.h"
+#include "datagen/datagen.h"
+#include "rules/similarity.h"
+#include "rules/udf_rule.h"
+
+namespace bigdansing {
+namespace {
+
+using bench::ResultTable;
+using bench::ScaledRows;
+using bench::Secs;
+using bench::TimeSeconds;
+
+constexpr size_t kQuadraticCap = 4000;
+
+/// Builds the dedup UDF rule of the paper's §6.5: two rows are duplicates
+/// when their names are Levenshtein-similar and their phones are similar.
+/// Blocking key: the first two characters of the name (the role the
+/// getCounty() mapping plays for φU).
+std::shared_ptr<UdfRule> MakeDedupRule(size_t name_col, size_t phone_col,
+                                       bool with_blocking) {
+  auto rule = std::make_shared<UdfRule>("dedup");
+  rule->set_symmetric(true).set_detect(
+      [name_col, phone_col](const Schema& schema, const Row& a, const Row& b,
+                            std::vector<Violation>* out) {
+        const std::string na = a.value(name_col).ToString();
+        const std::string nb = b.value(name_col).ToString();
+        if (!IsSimilar(na, nb, 0.8)) return;
+        const std::string pa = a.value(phone_col).ToString();
+        const std::string pb = b.value(phone_col).ToString();
+        if (!IsSimilar(pa, pb, 0.7)) return;
+        Violation v;
+        v.rule_name = "dedup";
+        v.cells.push_back(UdfRule::MakeUdfCell(a, name_col, schema));
+        v.cells.push_back(UdfRule::MakeUdfCell(b, name_col, schema));
+        out->push_back(std::move(v));
+      });
+  if (with_blocking) {
+    rule->set_block_key([name_col](const Schema&, const Row& row) {
+      std::string name = row.value(name_col).ToString();
+      if (name.size() < 2) return Value(name);
+      return Value(name.substr(0, 2));
+    });
+  }
+  return rule;
+}
+
+void RunOne(ResultTable* table, const char* label, const Table& data,
+            size_t name_col, size_t phone_col, size_t injected_pairs) {
+  size_t rows = data.num_rows();
+  ExecutionContext ctx(16);
+  RuleEngine engine(&ctx);
+  size_t found = 0;
+  double bigdansing = TimeSeconds([&] {
+    auto r = engine.Detect(data, MakeDedupRule(name_col, phone_col, true));
+    found = r.ok() ? r->violations.size() : 0;
+  });
+
+  // Shark: UDF over a cross product (no blocking, pair materialization).
+  size_t capped_rows = std::min(rows, kQuadraticCap);
+  Table capped(data.schema());
+  for (size_t i = 0; i < capped_rows; ++i) capped.AppendRowWithId(data.row(i));
+  PlannerOptions shark_options;
+  shark_options.enable_blocking = false;
+  shark_options.enable_ucross_product = false;
+  RuleEngine shark_engine(&ctx, shark_options);
+  double shark = TimeSeconds([&] {
+    shark_engine.Detect(capped, MakeDedupRule(name_col, phone_col, false));
+  });
+  std::string shark_cell;
+  if (rows <= capped_rows) {
+    shark_cell = Secs(shark);
+  } else {
+    double f = static_cast<double>(rows) / static_cast<double>(capped_rows);
+    shark_cell = "~" + Secs(shark * f * f) + " (extrapolated)";
+  }
+
+  table->AddRow({label, bench::WithCommas(rows), Secs(bigdansing), shark_cell,
+                 bench::WithCommas(found), bench::WithCommas(injected_pairs)});
+}
+
+void Run() {
+  ResultTable table(
+      "Fig 11(b): deduplication with a Levenshtein UDF, detection time in "
+      "seconds (16 workers)",
+      {"dataset", "rows", "BigDansing", "Shark", "pairs found",
+       "pairs injected"});
+
+  auto ncvoter = GenerateNcVoter(ScaledRows(10000), 0.02, 1);
+  RunOne(&table, "ncvoter", ncvoter.table, 1, 4,
+         ncvoter.fuzzy_pairs.size());
+
+  auto cust1 = GenerateCustomerDedup(ScaledRows(3000), /*exact_copies=*/2,
+                                     /*fuzzy_rate=*/0.02, 2);
+  RunOne(&table, "customer1 (3x)", cust1.table, 1, 3,
+         cust1.exact_pairs.size() + cust1.fuzzy_pairs.size());
+
+  auto cust2 = GenerateCustomerDedup(ScaledRows(3000), /*exact_copies=*/4,
+                                     /*fuzzy_rate=*/0.02, 3);
+  RunOne(&table, "customer2 (5x)", cust2.table, 1, 3,
+         cust2.exact_pairs.size() + cust2.fuzzy_pairs.size());
+
+  table.Print();
+  std::printf(
+      "Expected shape (paper): BigDansing beats Shark on every dataset, by "
+      "up to ~67x on the largest (customer2), thanks to UDF blocking. "
+      "'pairs found' exceeds 'pairs injected' when duplicate groups of size "
+      ">2 yield multiple pair matches.\n");
+}
+
+}  // namespace
+}  // namespace bigdansing
+
+int main() {
+  bigdansing::Run();
+  return 0;
+}

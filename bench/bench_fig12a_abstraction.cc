@@ -1,0 +1,96 @@
+// Reproduces Fig 12(a): the value of the full five-operator abstraction —
+// the same dedup UDF run (a) through the full API (Scope + Block + Iterate
+// hints) and (b) through Detect alone (the rule as a pure black box, no
+// data-flow hints), on the smallest TaxA dataset, single node.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/rule_engine.h"
+#include "datagen/datagen.h"
+#include "rules/similarity.h"
+#include "rules/udf_rule.h"
+
+namespace bigdansing {
+namespace {
+
+using bench::ResultTable;
+using bench::ScaledRows;
+using bench::Secs;
+using bench::TimeSeconds;
+
+/// Dedup UDF on the TaxA name attribute. `full_api` adds the Scope hint
+/// (name only) and the blocking key (name prefix); without it the rule is
+/// a bare Detect black box.
+std::shared_ptr<UdfRule> MakeRule(bool full_api) {
+  auto rule = std::make_shared<UdfRule>("taxa-dedup");
+  rule->set_symmetric(true).set_detect(
+      [](const Schema& schema, const Row& a, const Row& b,
+         std::vector<Violation>* out) {
+        // After Scope the name is column 0; without Scope it also is
+        // column 0 of the TaxA schema, so both variants read value(0).
+        if (!IsSimilar(a.value(0).ToString(), b.value(0).ToString(), 0.8)) {
+          return;
+        }
+        Violation v;
+        v.rule_name = "taxa-dedup";
+        v.cells.push_back(UdfRule::MakeUdfCell(a, 0, schema));
+        v.cells.push_back(UdfRule::MakeUdfCell(b, 0, schema));
+        out->push_back(std::move(v));
+      });
+  if (full_api) {
+    rule->set_relevant_attributes({"name"});
+    rule->set_block_key([](const Schema&, const Row& row) {
+      std::string name = row.value(0).ToString();
+      if (name.size() < 2) return Value(name);
+      return Value(name.substr(0, 2));
+    });
+  }
+  return rule;
+}
+
+void Run() {
+  ResultTable table(
+      "Fig 12(a): full logical-operator API vs Detect-only UDF (TaxA dedup, "
+      "single node)",
+      {"rows", "full API (s)", "Detect-only (s)", "factor", "detect calls "
+       "(full)", "detect calls (only)"});
+  const size_t rows = ScaledRows(3000);
+  auto data = GenerateTaxA(rows, 0.1, /*seed=*/5);
+  ExecutionContext ctx(8);
+  RuleEngine engine(&ctx);
+
+  uint64_t full_calls = 0;
+  double full = TimeSeconds([&] {
+    auto r = engine.Detect(data.dirty, MakeRule(true));
+    full_calls = r.ok() ? r->detect_calls : 0;
+  });
+
+  PlannerOptions bare;
+  bare.enable_scope = false;
+  bare.enable_blocking = false;
+  bare.enable_ucross_product = false;
+  RuleEngine bare_engine(&ctx, bare);
+  uint64_t only_calls = 0;
+  double only = TimeSeconds([&] {
+    auto r = bare_engine.Detect(data.dirty, MakeRule(false));
+    only_calls = r.ok() ? r->detect_calls : 0;
+  });
+
+  char factor[16];
+  std::snprintf(factor, sizeof(factor), "%.0fx", full > 0 ? only / full : 0.0);
+  table.AddRow({bench::WithCommas(rows), Secs(full), Secs(only), factor,
+                bench::WithCommas(full_calls), bench::WithCommas(only_calls)});
+  table.Print();
+  std::printf(
+      "Expected shape (paper): the full API is orders of magnitude faster "
+      "even on a single node, because Scope/Block shrink the candidate "
+      "space that reaches the black-box Detect.\n");
+}
+
+}  // namespace
+}  // namespace bigdansing
+
+int main() {
+  bigdansing::Run();
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Reproduces Fig 8(a): end-to-end data cleansing time (detection + repair)
+// for BigDansing vs NADEEF on rules ϕ1 (FD on TaxA), ϕ2 (DC on TaxB) and
+// ϕ3 (FD on TPCH). Paper sizes 100K/1M (200K for ϕ2) are scaled down 10x;
+// NADEEF is measured up to a quadratic cap and extrapolated ("~") beyond,
+// mirroring the paper's observation that NADEEF could not finish larger
+// inputs.
+#include <cstdio>
+
+#include "baselines/nadeef_baseline.h"
+#include "bench_util.h"
+#include "core/bigdansing.h"
+#include "repair/equivalence_class.h"
+#include "repair/hypergraph_repair.h"
+#include "datagen/datagen.h"
+#include "rules/parser.h"
+
+namespace bigdansing {
+namespace {
+
+using bench::ResultTable;
+using bench::ScaledRows;
+using bench::Secs;
+using bench::TimeSeconds;
+
+constexpr size_t kNadeefCap = 3000;
+
+struct Scenario {
+  const char* label;
+  const char* rule;
+  GeneratedData (*generate)(size_t, double, uint64_t);
+  RepairMode mode;
+  size_t sizes[2];
+};
+
+void Run() {
+  ResultTable table(
+      "Fig 8(a): end-to-end cleansing time (detect + repair) in seconds",
+      {"rule", "rows", "BigDansing", "NADEEF", "violations(iter1)"});
+
+  Scenario scenarios[] = {
+      {"phi1 (FD TaxA)", "phi1: FD: zipcode -> city", &GenerateTaxA,
+       RepairMode::kEquivalenceClass, {10000, 100000}},
+      {"phi2 (DC TaxB)", "phi2: DC: t1.salary > t2.salary & t1.rate < t2.rate",
+       &GenerateTaxB, RepairMode::kHypergraph, {2000, 20000}},
+      {"phi3 (FD TPCH)", "phi3: FD: o_custkey -> c_address", &GenerateTpch,
+       RepairMode::kEquivalenceClass, {10000, 100000}},
+  };
+
+  for (const auto& s : scenarios) {
+    for (size_t base : s.sizes) {
+      size_t rows = ScaledRows(base);
+      auto data = s.generate(rows, 0.1, /*seed=*/rows);
+
+      ExecutionContext ctx(8);
+      CleanOptions options;
+      options.repair_mode = s.mode;
+      BigDansing system(&ctx, options);
+      Table working = data.dirty;
+      size_t violations = 0;
+      double bigdansing = TimeSeconds([&] {
+        auto report = system.Clean(&working, {*ParseRule(s.rule)});
+        if (report.ok() && !report->iterations.empty()) {
+          violations = report->iterations[0].violations;
+        }
+      });
+
+      // NADEEF: centralized, pair-at-a-time, capped + extrapolated.
+      size_t capped = std::min(rows, kNadeefCap);
+      auto capped_data =
+          capped == rows ? data : s.generate(capped, 0.1, /*seed=*/capped);
+      Table nadeef_working = capped_data.dirty;
+      EquivalenceClassAlgorithm ec;
+      HypergraphRepairAlgorithm hg;
+      const RepairAlgorithm* algorithm =
+          s.mode == RepairMode::kHypergraph
+              ? static_cast<const RepairAlgorithm*>(&hg)
+              : static_cast<const RepairAlgorithm*>(&ec);
+      double nadeef = TimeSeconds([&] {
+        NadeefClean(&nadeef_working, *ParseRule(s.rule), 10, algorithm);
+      });
+      std::string nadeef_cell;
+      if (rows <= capped) {
+        nadeef_cell = Secs(nadeef);
+      } else {
+        double f = static_cast<double>(rows) / static_cast<double>(capped);
+        nadeef_cell = "~" + Secs(nadeef * f * f) + " (extrapolated)";
+      }
+
+      table.AddRow({s.label, bench::WithCommas(rows), Secs(bigdansing),
+                    nadeef_cell, bench::WithCommas(violations)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "Expected shape (paper): BigDansing beats NADEEF by 2-3 orders of "
+      "magnitude at the larger sizes; the gap is widest for the inequality "
+      "DC phi2.\n");
+}
+
+}  // namespace
+}  // namespace bigdansing
+
+int main() {
+  bigdansing::Run();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Reproduces Fig 9(b): single-node violation detection on TaxB with the
+// inequality DC ϕ2 (t1.salary > t2.salary & t1.rate < t2.rate). BigDansing
+// uses OCJoin; every baseline pays a cross product with post-selection.
+// Paper sizes 100K/200K/300K are scaled to 10K/20K/30K; quadratic baselines
+// are measured at a cap and extrapolated ("~"), the analogue of the paper's
+// 4-hour timeout for Spark SQL and Shark.
+#include <cstdio>
+
+#include "baselines/nadeef_baseline.h"
+#include "baselines/sql_baseline.h"
+#include "bench_util.h"
+#include "core/rule_engine.h"
+#include "datagen/datagen.h"
+#include "rules/parser.h"
+
+namespace bigdansing {
+namespace {
+
+using bench::ResultTable;
+using bench::ScaledRows;
+using bench::Secs;
+using bench::TimeSeconds;
+
+constexpr size_t kQuadraticCap = 6000;
+constexpr const char* kRule =
+    "phi2: DC: t1.salary > t2.salary & t1.rate < t2.rate";
+
+std::string Extrapolate(double capped_seconds, size_t rows, size_t cap) {
+  if (rows <= cap) return Secs(capped_seconds);
+  double f = static_cast<double>(rows) / static_cast<double>(cap);
+  return "~" + Secs(capped_seconds * f * f) + " (extrapolated)";
+}
+
+void Run() {
+  ResultTable table(
+      "Fig 9(b): TaxB phi2 (inequality DC), single node, detection time in "
+      "seconds",
+      {"rows", "BigDansing(OCJoin)", "SparkSQL", "PostgreSQL", "Shark",
+       "NADEEF", "violations"});
+  for (size_t base : {10000u, 20000u, 30000u}) {
+    size_t rows = ScaledRows(base);
+    auto data = GenerateTaxB(rows, 0.1, /*seed=*/rows);
+
+    ExecutionContext ctx(8);
+    RuleEngine engine(&ctx);
+    size_t violations = 0;
+    double bigdansing = TimeSeconds([&] {
+      auto r = engine.Detect(data.dirty, *ParseRule(kRule));
+      violations = r.ok() ? r->violations.size() : 0;
+    });
+
+    size_t capped = std::min(rows, kQuadraticCap);
+    auto capped_data =
+        capped == rows ? data : GenerateTaxB(capped, 0.1, /*seed=*/capped);
+    double sparksql = TimeSeconds([&] {
+      SqlBaselineDetect(&ctx, capped_data.dirty, *ParseRule(kRule),
+                        SqlEngine::kSparkSql);
+    });
+    ExecutionContext single(1);
+    double postgres = TimeSeconds([&] {
+      SqlBaselineDetect(&single, capped_data.dirty, *ParseRule(kRule),
+                        SqlEngine::kPostgres);
+    });
+    double shark = TimeSeconds([&] {
+      SqlBaselineDetect(&ctx, capped_data.dirty, *ParseRule(kRule),
+                        SqlEngine::kShark);
+    });
+    double nadeef =
+        TimeSeconds([&] { NadeefDetect(capped_data.dirty, *ParseRule(kRule)); });
+
+    table.AddRow({bench::WithCommas(rows), Secs(bigdansing),
+                  Extrapolate(sparksql, rows, capped),
+                  Extrapolate(postgres, rows, capped),
+                  Extrapolate(shark, rows, capped),
+                  Extrapolate(nadeef, rows, capped),
+                  bench::WithCommas(violations)});
+  }
+  table.Print();
+  std::printf(
+      "Expected shape (paper): BigDansing is 1-2+ orders of magnitude "
+      "faster than every baseline thanks to OCJoin; the gap grows with "
+      "size because the baselines are quadratic.\n");
+}
+
+}  // namespace
+}  // namespace bigdansing
+
+int main() {
+  bigdansing::Run();
+  return 0;
+}

@@ -1,0 +1,61 @@
+#ifndef BIGDANSING_BENCH_BENCH_UTIL_H_
+#define BIGDANSING_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace bigdansing {
+namespace bench {
+
+/// Times one invocation of `fn` in seconds (wall clock).
+inline double TimeSeconds(const std::function<void()>& fn) {
+  Stopwatch sw;
+  fn();
+  return sw.ElapsedSeconds();
+}
+
+/// Dataset scale multiplier from the BD_SCALE environment variable
+/// (default 1.0). Benches multiply their default row counts by this, so
+/// `BD_SCALE=10 ./bench_fig9a_taxa_fd` runs a 10x larger sweep.
+double EnvScale();
+
+/// Row-count helper applying EnvScale().
+size_t ScaledRows(size_t base);
+
+/// A column-aligned results table matching the figure's series, e.g.
+///
+///   == Fig 9(a): TaxA phi1, single node, detection time (s) ==
+///   rows     BigDansing  SparkSQL  PostgreSQL  NADEEF  Shark
+///   10000    0.12        0.15      0.08        4.31    9.20
+///
+/// Cells are free-form strings so "capped" / "n/a" entries are possible.
+class ResultTable {
+ public:
+  ResultTable(std::string title, std::vector<std::string> columns);
+
+  /// Adds one row; missing cells render empty.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders to stdout.
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "%.3f" seconds formatting.
+std::string Secs(double seconds);
+
+/// Integer with thousands groups ("1,234,567").
+std::string WithCommas(uint64_t value);
+
+}  // namespace bench
+}  // namespace bigdansing
+
+#endif  // BIGDANSING_BENCH_BENCH_UTIL_H_

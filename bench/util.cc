@@ -1,0 +1,66 @@
+#include "bench_util.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace bigdansing {
+namespace bench {
+
+double EnvScale() {
+  const char* env = std::getenv("BD_SCALE");
+  if (env == nullptr) return 1.0;
+  double scale = std::atof(env);
+  return scale > 0.0 ? scale : 1.0;
+}
+
+size_t ScaledRows(size_t base) {
+  return static_cast<size_t>(static_cast<double>(base) * EnvScale());
+}
+
+ResultTable::ResultTable(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void ResultTable::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void ResultTable::Print() const {
+  std::printf("\n== %s ==\n", title_.c_str());
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      std::printf("%-*s  ", static_cast<int>(widths[c]), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(columns_);
+  for (const auto& row : rows_) print_row(row);
+  std::fflush(stdout);
+}
+
+std::string Secs(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds);
+  return buf;
+}
+
+std::string WithCommas(uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  int lead = static_cast<int>(digits.size() % 3);
+  for (int i = 0; i < static_cast<int>(digits.size()); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+}  // namespace bench
+}  // namespace bigdansing

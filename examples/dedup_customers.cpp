@@ -1,0 +1,85 @@
+// Deduplication with a procedural (UDF) rule — the paper's §6.5 scenario.
+// Two customer rows are duplicates when their names and phones are
+// Levenshtein-similar; the UDF supplies a blocking key (name prefix) so
+// BigDansing only compares candidates inside blocks.
+//
+//   ./build/examples/dedup_customers [rows]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/rule_engine.h"
+#include "datagen/datagen.h"
+#include "rules/similarity.h"
+#include "rules/udf_rule.h"
+
+using namespace bigdansing;
+
+int main(int argc, char** argv) {
+  const size_t base_rows = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2000;
+
+  // Synthetic TPC-H-style customers: 2 exact copies per row plus 2% fuzzy
+  // duplicates with random edits on name and phone.
+  DedupData data = GenerateCustomerDedup(base_rows, /*exact_copies=*/2,
+                                         /*fuzzy_rate=*/0.02, /*seed=*/7);
+  std::printf("customers: %zu rows (%zu exact + %zu fuzzy duplicate pairs injected)\n",
+              data.table.num_rows(), data.exact_pairs.size(),
+              data.fuzzy_pairs.size());
+
+  // The dedup rule: everything about it is user code. The engine only sees
+  // Detect/GenFix plus the blocking hint.
+  auto rule = std::make_shared<UdfRule>("dedup-customers");
+  rule->set_symmetric(true)
+      .set_relevant_attributes({"custkey", "name", "phone"})
+      .set_block_key([](const Schema& schema, const Row& row) {
+        // Blocking key: first two characters of the (scoped) name.
+        size_t name = *schema.IndexOf("name");
+        std::string value = row.value(name).ToString();
+        return value.size() < 2 ? Value(value) : Value(value.substr(0, 2));
+      })
+      .set_detect([](const Schema& schema, const Row& a, const Row& b,
+                     std::vector<Violation>* out) {
+        size_t name = *schema.IndexOf("name");
+        size_t phone = *schema.IndexOf("phone");
+        if (!IsSimilar(a.value(name).ToString(), b.value(name).ToString(), 0.8) ||
+            !IsSimilar(a.value(phone).ToString(), b.value(phone).ToString(), 0.7)) {
+          return;
+        }
+        Violation v;
+        v.rule_name = "dedup-customers";
+        v.cells.push_back(UdfRule::MakeUdfCell(a, name, schema));
+        v.cells.push_back(UdfRule::MakeUdfCell(b, name, schema));
+        out->push_back(std::move(v));
+      })
+      .set_gen_fix([](const Schema&, const Violation& v, std::vector<Fix>* out) {
+        // Propose equating the names so set semantics collapses the pair.
+        Fix fix;
+        fix.left = v.cells[0];
+        fix.op = FixOp::kEq;
+        fix.right = FixTerm::MakeCell(v.cells[1]);
+        out->push_back(std::move(fix));
+      });
+
+  ExecutionContext ctx(8);
+  RuleEngine engine(&ctx);
+  auto detection = engine.Detect(data.table, rule);
+  if (!detection.ok()) {
+    std::fprintf(stderr, "%s\n", detection.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", detection->plan_description.c_str());
+  std::printf("duplicate pairs found: %zu (Detect probed %llu candidate "
+              "pairs instead of %zu)\n",
+              detection->violations.size(),
+              static_cast<unsigned long long>(detection->detect_calls),
+              data.table.num_rows() * (data.table.num_rows() - 1) / 2);
+
+  // Show a few matches.
+  size_t shown = 0;
+  for (const auto& vf : detection->violations) {
+    if (++shown > 5) break;
+    const auto& cells = vf.violation.cells;
+    std::printf("  '%s' ~ '%s'\n", cells[0].value.ToString().c_str(),
+                cells[1].value.ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Multi-rule cleansing with shared scans and repair-quality measurement:
+// the paper's HAI hospital workload with three FDs running concurrently
+// (ϕ6: zipcode -> state, ϕ7: phone -> zipcode, ϕ8: provider_id -> city,
+// phone). The engine consolidates the rules' plans (Algorithm 1) so the
+// dataset is scanned once, and the iterative detect/repair loop converges
+// in the same number of iterations the paper reports for NADEEF.
+//
+//   ./build/examples/multi_rule_hai [rows]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/bigdansing.h"
+#include "core/logical_plan.h"
+#include "datagen/datagen.h"
+#include "repair/quality.h"
+#include "rules/parser.h"
+
+using namespace bigdansing;
+
+int main(int argc, char** argv) {
+  const size_t rows = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20000;
+  GeneratedData data = GenerateHai(rows, /*error_rate=*/0.1, /*seed=*/11,
+                                   /*corrupt_columns=*/{2, 3, 4, 6});
+  std::printf("hospital records: %zu rows, 10%% with an FD-covered error\n",
+              data.dirty.num_rows());
+
+  std::vector<RulePtr> rules = {
+      *ParseRule("phi6: FD: zipcode -> state"),
+      *ParseRule("phi7: FD: phone -> zipcode"),
+      *ParseRule("phi8: FD: provider_id -> city, phone"),
+  };
+
+  // Show the consolidated logical plan for the three rules.
+  std::vector<LogicalPlan> plans;
+  for (const auto& rule : rules) {
+    auto plan = BuildLogicalPlan(rule, data.dirty.schema(), "HAI");
+    if (plan.ok()) plans.push_back(*plan);
+  }
+  LogicalPlan consolidated = ConsolidatePlan(MergePlans(plans));
+  std::printf("\nconsolidated logical plan (%zu operators):\n%s\n",
+              consolidated.ops.size(), consolidated.ToString().c_str());
+
+  ExecutionContext ctx(8);
+  BigDansing system(&ctx);
+  Table repaired = data.dirty;
+  auto report = system.Clean(&repaired, rules);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", report->ToString().c_str());
+
+  auto quality = EvaluateRepair(data.dirty, repaired, data.clean);
+  if (quality.ok()) {
+    std::printf("\nrepair quality vs ground truth: %s\n",
+                quality->ToString().c_str());
+  }
+  return 0;
+}

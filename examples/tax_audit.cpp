@@ -1,0 +1,69 @@
+// Inequality denial constraints at scale: audits a synthetic tax dataset
+// with the paper's φD — nobody with a lower salary may pay a higher rate —
+// and repairs it with the hypergraph algorithm. Shows the OCJoin enhancer
+// (§4.3) doing the heavy lifting: compare its candidate count with the
+// n² a cross product would probe.
+//
+//   ./build/examples/tax_audit [rows]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/bigdansing.h"
+#include "datagen/datagen.h"
+#include "repair/quality.h"
+#include "rules/parser.h"
+
+using namespace bigdansing;
+
+int main(int argc, char** argv) {
+  const size_t rows = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20000;
+  GeneratedData data = GenerateTaxB(rows, /*error_rate=*/0.05, /*seed=*/3);
+  std::printf("tax records: %zu rows, 5%% of rates perturbed downward\n",
+              data.dirty.num_rows());
+
+  auto rule = ParseRule("phiD: DC: t1.salary > t2.salary & t1.rate < t2.rate");
+  if (!rule.ok()) {
+    std::fprintf(stderr, "%s\n", rule.status().ToString().c_str());
+    return 1;
+  }
+
+  ExecutionContext ctx(8);
+
+  // Detection: OCJoin range-partitions on salary, sorts, prunes partition
+  // pairs via min/max ranges, and sort-merge joins the survivors.
+  RuleEngine engine(&ctx);
+  auto detection = engine.Detect(data.dirty, *rule);
+  if (!detection.ok()) {
+    std::fprintf(stderr, "%s\n", detection.status().ToString().c_str());
+    return 1;
+  }
+  const OCJoinStats& stats = detection->ocjoin_stats;
+  std::printf("%s\n", detection->plan_description.c_str());
+  std::printf(
+      "violations: %zu\nOCJoin: %zu partitions; pruning kept %zu of %zu "
+      "partition pairs; %zu candidate pairs probed (cross product would "
+      "probe %zu)\n",
+      detection->violations.size(), stats.num_partitions,
+      stats.partition_pairs_after_pruning, stats.partition_pairs_total,
+      stats.candidate_pairs, rows * (rows - 1));
+
+  // Repair with the hypergraph algorithm (inequality fixes), then measure
+  // how close the repaired rates are to the ground truth.
+  CleanOptions options;
+  options.repair_mode = RepairMode::kHypergraph;
+  BigDansing system(&ctx, options);
+  Table repaired = data.dirty;
+  auto report = system.Clean(&repaired, {*rule});
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n%s\n", report->ToString().c_str());
+
+  auto distance = EvaluateRepairDistance(data.dirty, repaired, data.clean, "rate");
+  if (distance.ok()) {
+    std::printf("\nrate distance to ground truth: %s\n",
+                distance->ToString().c_str());
+  }
+  return 0;
+}

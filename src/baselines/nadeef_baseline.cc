@@ -1,0 +1,69 @@
+#include "baselines/nadeef_baseline.h"
+
+#include "core/bigdansing.h"
+#include "repair/equivalence_class.h"
+
+namespace bigdansing {
+
+Result<NadeefResult> NadeefDetect(const Table& table, const RulePtr& rule) {
+  BIGDANSING_RETURN_NOT_OK(rule->Bind(table.schema()));
+  NadeefResult result;
+  const auto& rows = table.rows();
+  auto probe = [&](const Row& a, const Row& b) {
+    ++result.detect_calls;
+    std::vector<Violation> found;
+    rule->Detect(a, b, &found);
+    for (auto& v : found) {
+      ViolationWithFixes vf;
+      vf.violation = std::move(v);
+      rule->GenFix(vf.violation, &vf.fixes);
+      result.violations.push_back(std::move(vf));
+    }
+  };
+  if (rule->arity() == 1) {
+    for (const Row& row : rows) {
+      ++result.detect_calls;
+      std::vector<Violation> found;
+      rule->DetectSingle(row, &found);
+      for (auto& v : found) {
+        ViolationWithFixes vf;
+        vf.violation = std::move(v);
+        rule->GenFix(vf.violation, &vf.fixes);
+        result.violations.push_back(std::move(vf));
+      }
+    }
+    return result;
+  }
+  // Pair-at-a-time over the full cross product. Symmetric rules are probed
+  // once per unordered pair (NADEEF's tuple iterator does the same); other
+  // rules need both orientations.
+  const bool symmetric = rule->IsSymmetric();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (size_t j = i + 1; j < rows.size(); ++j) {
+      probe(rows[i], rows[j]);
+      if (!symmetric) probe(rows[j], rows[i]);
+    }
+  }
+  return result;
+}
+
+Result<size_t> NadeefClean(Table* table, const RulePtr& rule,
+                           size_t max_iterations,
+                           const RepairAlgorithm* algorithm) {
+  EquivalenceClassAlgorithm ec;
+  if (algorithm == nullptr) algorithm = &ec;
+  size_t iterations = 0;
+  for (; iterations < max_iterations; ++iterations) {
+    auto detection = NadeefDetect(*table, rule);
+    if (!detection.ok()) return detection.status();
+    if (detection->violations.empty()) break;
+    std::vector<const ViolationWithFixes*> all;
+    all.reserve(detection->violations.size());
+    for (const auto& vf : detection->violations) all.push_back(&vf);
+    std::vector<CellAssignment> assignments = algorithm->RepairComponent(all);
+    if (ApplyAssignments(table, assignments, nullptr) == 0) break;
+  }
+  return iterations;
+}
+
+}  // namespace bigdansing

@@ -1,0 +1,39 @@
+#ifndef BIGDANSING_BASELINES_NADEEF_BASELINE_H_
+#define BIGDANSING_BASELINES_NADEEF_BASELINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "data/table.h"
+#include "repair/repair_algorithm.h"
+#include "rules/rule.h"
+#include "rules/violation.h"
+
+namespace bigdansing {
+
+/// Emulation of NADEEF's execution model (the paper's main usability
+/// baseline, §6.2): a single-node engine that treats rules as black-box
+/// Detect/GenFix UDFs and feeds them every candidate tuple (pair) — no
+/// Scope, no Block, no join enhancers, no parallelism. This reproduces the
+/// cost structure that makes NADEEF orders of magnitude slower: O(n²)
+/// pair-at-a-time dispatch regardless of the rule.
+struct NadeefResult {
+  std::vector<ViolationWithFixes> violations;
+  uint64_t detect_calls = 0;
+};
+
+/// Runs single-threaded exhaustive detection of `rule` over `table`.
+Result<NadeefResult> NadeefDetect(const Table& table, const RulePtr& rule);
+
+/// Full NADEEF-style cleansing: exhaustive detection plus a centralized
+/// repair (`algorithm`, defaulting to the equivalence-class algorithm when
+/// null), iterated up to `max_iterations`. Repairs `table` in place and
+/// returns the number of iterations used.
+Result<size_t> NadeefClean(Table* table, const RulePtr& rule,
+                           size_t max_iterations,
+                           const RepairAlgorithm* algorithm = nullptr);
+
+}  // namespace bigdansing
+
+#endif  // BIGDANSING_BASELINES_NADEEF_BASELINE_H_

@@ -1,0 +1,204 @@
+#include "baselines/sql_baseline.h"
+
+#include <atomic>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "rules/dc_rule.h"
+#include "rules/fd_rule.h"
+
+namespace bigdansing {
+
+namespace {
+
+/// Probes Detect on the ordered pair and returns the violation count.
+size_t ProbePair(const Rule& rule, const Row& a, const Row& b) {
+  std::vector<Violation> found;
+  rule.Detect(a, b, &found);
+  return found.size();
+}
+
+/// Hash self-join on the FD's LHS. SQL self-joins read the relation twice
+/// — both sides are physically copied, as the paper notes for Spark SQL
+/// ("it copies the input data twice") — and the join result rows are
+/// materialized before the caller counts them.
+SqlBaselineResult HashSelfJoin(ExecutionContext* ctx, const Table& table,
+                               const Rule& rule,
+                               const std::vector<size_t>& key_columns,
+                               bool parallel) {
+  auto key_of = [&key_columns](const Row& row, uint64_t* h) {
+    *h = 0x42D;
+    for (size_t c : key_columns) {
+      if (row.value(c).is_null()) return false;
+      *h = StableHashUint64(*h ^ row.value(c).Hash());
+    }
+    return true;
+  };
+  // Scan 1: build side (copies rows, as an engine's exec batch would).
+  std::unordered_map<uint64_t, std::vector<Row>> build;
+  for (const Row& row : table.rows()) {
+    uint64_t h = 0;
+    if (key_of(row, &h)) build[h].push_back(row);
+  }
+  ctx->metrics().AddRecordsRead(table.num_rows());
+  // Scan 2: probe side — the self-join re-reads (re-copies) the input.
+  std::vector<Row> probe_side;
+  probe_side.reserve(table.num_rows());
+  std::vector<uint64_t> probe_keys;
+  probe_keys.reserve(table.num_rows());
+  for (const Row& row : table.rows()) {
+    uint64_t h = 0;
+    if (key_of(row, &h)) {
+      probe_side.push_back(row);
+      probe_keys.push_back(h);
+    }
+  }
+  ctx->metrics().AddRecordsRead(table.num_rows());
+
+  std::atomic<size_t> violations{0};
+  std::atomic<uint64_t> probed{0};
+  const size_t num_chunks = parallel ? ctx->num_workers() * 2 : 1;
+  const size_t chunk = (probe_side.size() + num_chunks - 1) / num_chunks;
+  auto process_chunk = [&](size_t c) {
+    size_t begin = c * chunk;
+    size_t end = std::min(probe_side.size(), begin + chunk);
+    size_t local_viol = 0;
+    uint64_t local_probe = 0;
+    std::vector<Violation> result_set;  // Materialized join output.
+    for (size_t i = begin; i < end; ++i) {
+      auto it = build.find(probe_keys[i]);
+      if (it == build.end()) continue;
+      for (const Row& other : it->second) {
+        if (other.id() == probe_side[i].id()) continue;  // a.ctid <> b.ctid
+        ++local_probe;
+        rule.Detect(other, probe_side[i], &result_set);
+      }
+    }
+    local_viol = result_set.size();
+    violations += local_viol;
+    probed += local_probe;
+  };
+  if (parallel && chunk > 0) {
+    ctx->pool().ParallelFor(num_chunks, process_chunk);
+  } else {
+    for (size_t c = 0; c < num_chunks; ++c) process_chunk(c);
+  }
+  return SqlBaselineResult{violations.load(), probed.load()};
+}
+
+/// Cross product with post-selection — the plan SQL engines use for
+/// inequality joins. Optionally materializes the pair list first (Shark).
+SqlBaselineResult CrossProductFilter(ExecutionContext* ctx, const Table& table,
+                                     const Rule& rule, bool parallel,
+                                     bool materialize_pairs) {
+  const auto& rows = table.rows();
+  ctx->metrics().AddRecordsRead(2 * table.num_rows());
+  std::atomic<size_t> violations{0};
+  std::atomic<uint64_t> probed{0};
+
+  if (materialize_pairs) {
+    // Shark: build the full pair list, then filter it.
+    std::vector<std::pair<const Row*, const Row*>> pairs;
+    pairs.reserve(rows.size() * rows.size());
+    for (const Row& a : rows) {
+      for (const Row& b : rows) {
+        if (a.id() == b.id()) continue;
+        pairs.emplace_back(&a, &b);
+      }
+    }
+    ctx->metrics().AddPairsEnumerated(pairs.size());
+    auto filter = [&](size_t i) {
+      probed.fetch_add(1, std::memory_order_relaxed);
+      if (ProbePair(rule, *pairs[i].first, *pairs[i].second) > 0) {
+        violations.fetch_add(1, std::memory_order_relaxed);
+      }
+    };
+    if (parallel) {
+      ctx->pool().ParallelFor(pairs.size(), filter);
+    } else {
+      for (size_t i = 0; i < pairs.size(); ++i) filter(i);
+    }
+    return SqlBaselineResult{violations.load(), probed.load()};
+  }
+
+  // Streaming nested loop.
+  auto process_row = [&](size_t i) {
+    size_t local_viol = 0;
+    uint64_t local_probe = 0;
+    for (size_t j = 0; j < rows.size(); ++j) {
+      if (i == j) continue;
+      ++local_probe;
+      local_viol += ProbePair(rule, rows[i], rows[j]);
+    }
+    violations += local_viol;
+    probed += local_probe;
+  };
+  if (parallel) {
+    ctx->pool().ParallelFor(rows.size(), process_row);
+  } else {
+    for (size_t i = 0; i < rows.size(); ++i) process_row(i);
+  }
+  ctx->metrics().AddPairsEnumerated(probed.load());
+  return SqlBaselineResult{violations.load(), probed.load()};
+}
+
+}  // namespace
+
+const char* SqlEngineName(SqlEngine engine) {
+  switch (engine) {
+    case SqlEngine::kPostgres:
+      return "postgres";
+    case SqlEngine::kSparkSql:
+      return "sparksql";
+    case SqlEngine::kShark:
+      return "shark";
+  }
+  return "?";
+}
+
+Result<SqlBaselineResult> SqlBaselineDetect(ExecutionContext* ctx,
+                                            const Table& table,
+                                            const RulePtr& rule,
+                                            SqlEngine engine) {
+  BIGDANSING_RETURN_NOT_OK(rule->Bind(table.schema()));
+  const bool parallel = engine != SqlEngine::kPostgres;
+  const bool materialize = engine == SqlEngine::kShark;
+
+  if (auto* fd = dynamic_cast<FdRule*>(rule.get())) {
+    // Equality join on the LHS. Shark skips the hash join (coarse plan).
+    if (engine == SqlEngine::kShark) {
+      return CrossProductFilter(ctx, table, *rule, parallel, materialize);
+    }
+    std::vector<size_t> key_columns;
+    for (const auto& a : fd->lhs()) {
+      auto idx = table.schema().IndexOf(a);
+      if (!idx.ok()) return idx.status();
+      key_columns.push_back(*idx);
+    }
+    return HashSelfJoin(ctx, table, *rule, key_columns, parallel);
+  }
+
+  if (auto* dc = dynamic_cast<DcRule*>(rule.get())) {
+    // Equality predicates t1.A = t2.A become the hash-join key; with none,
+    // the plan degenerates to a cross product with post-selection.
+    std::vector<size_t> key_columns;
+    if (engine != SqlEngine::kShark) {
+      for (const auto& a : dc->BlockingAttributes()) {
+        auto idx = table.schema().IndexOf(a);
+        if (!idx.ok()) return idx.status();
+        key_columns.push_back(*idx);
+      }
+    }
+    if (!key_columns.empty()) {
+      return HashSelfJoin(ctx, table, *rule, key_columns, parallel);
+    }
+    return CrossProductFilter(ctx, table, *rule, parallel, materialize);
+  }
+
+  return Status::Unimplemented(
+      "SQL baselines support declarative FD/DC rules only (UDFs cannot be "
+      "expressed in SQL)");
+}
+
+}  // namespace bigdansing

@@ -1,0 +1,48 @@
+#ifndef BIGDANSING_BASELINES_SQL_BASELINE_H_
+#define BIGDANSING_BASELINES_SQL_BASELINE_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "data/table.h"
+#include "dataflow/context.h"
+#include "rules/rule.h"
+
+namespace bigdansing {
+
+/// The SQL engines the paper compares against (§6.1). What we reproduce is
+/// each engine's *plan shape* for violation detection, not the engine:
+///  - kPostgres: single-threaded; equality rules run as a hash self-join,
+///    inequality rules as a nested-loop cross product with a post-filter.
+///  - kSparkSql: the same plans parallelized over the worker pool, with the
+///    input scanned twice (self-join reads both sides).
+///  - kShark: parallel, but the join materializes all candidate pairs
+///    before filtering (the paper: "Shark does not process joins
+///    efficiently"), and no hash join is used — even equality rules pay a
+///    cross product within a coarse repartition.
+enum class SqlEngine { kPostgres, kSparkSql, kShark };
+
+/// Returns "postgres", "sparksql" or "shark".
+const char* SqlEngineName(SqlEngine engine);
+
+/// Outcome of a baseline detection run.
+struct SqlBaselineResult {
+  /// Violating pairs found — symmetric rules yield duplicates, exactly as
+  /// the SQL self-join formulation does (a.rhs <> b.rhs matches twice).
+  size_t violations = 0;
+  /// Join probes / filter evaluations performed.
+  uint64_t pairs_probed = 0;
+};
+
+/// Runs violation detection for `rule` the way `engine`'s SQL plan would.
+/// Supports FD and DC rules (the declarative forms that translate to SQL;
+/// UDF rules cannot run on SQL engines — the paper makes the same point for
+/// Spark SQL in §6.5).
+Result<SqlBaselineResult> SqlBaselineDetect(ExecutionContext* ctx,
+                                            const Table& table,
+                                            const RulePtr& rule,
+                                            SqlEngine engine);
+
+}  // namespace bigdansing
+
+#endif  // BIGDANSING_BASELINES_SQL_BASELINE_H_

@@ -1,0 +1,35 @@
+#ifndef BIGDANSING_COMMON_HASH_H_
+#define BIGDANSING_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+namespace bigdansing {
+
+/// Mixes `value` into `seed` (boost::hash_combine-style, 64-bit constants).
+inline void HashCombine(size_t* seed, size_t value) {
+  *seed ^= value + 0x9E3779B97F4A7C15ULL + (*seed << 12) + (*seed >> 4);
+}
+
+/// FNV-1a over bytes; stable across platforms (unlike std::hash<string>).
+inline uint64_t StableHashBytes(std::string_view bytes) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Stable mix for 64-bit integers (splitmix64 finalizer).
+inline uint64_t StableHashUint64(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace bigdansing
+
+#endif  // BIGDANSING_COMMON_HASH_H_

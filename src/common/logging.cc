@@ -1,0 +1,36 @@
+#include "common/logging.h"
+
+namespace bigdansing {
+
+namespace {
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Logger& Logger::Instance() {
+  static Logger* logger = new Logger();
+  return *logger;
+}
+
+void Logger::Log(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(min_level_)) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::cerr << "[" << LevelName(level) << "] " << message << "\n";
+}
+
+}  // namespace bigdansing

@@ -1,0 +1,68 @@
+#ifndef BIGDANSING_COMMON_LOGGING_H_
+#define BIGDANSING_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace bigdansing {
+
+/// Severity levels for the library logger. kFatal aborts the process after
+/// emitting the message (used for programming errors, not data errors —
+/// data errors flow through Status).
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Process-wide logger configuration. Thread-safe.
+class Logger {
+ public:
+  static Logger& Instance();
+
+  void set_min_level(LogLevel level) { min_level_ = level; }
+  LogLevel min_level() const { return min_level_; }
+
+  /// Emits one line `[LEVEL] message` to stderr if `level >= min_level`.
+  void Log(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel min_level_ = LogLevel::kInfo;
+  std::mutex mutex_;
+};
+
+namespace internal_logging {
+
+/// Stream-style log statement builder; flushes on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level) : level_(level) {}  // NOLINT(runtime/explicit)
+  ~LogMessage() {
+    Logger::Instance().Log(level_, stream_.str());
+    if (level_ == LogLevel::kFatal) std::abort();
+  }
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+}  // namespace bigdansing
+
+#define BD_LOG(level) \
+  ::bigdansing::internal_logging::LogMessage(::bigdansing::LogLevel::k##level)
+
+/// Invariant check that survives NDEBUG builds; logs and aborts on failure.
+#define BD_CHECK(condition)                                        \
+  if (!(condition))                                                \
+  BD_LOG(Fatal) << "Check failed: " #condition " at " << __FILE__ \
+                << ":" << __LINE__ << " "
+
+#endif  // BIGDANSING_COMMON_LOGGING_H_

@@ -1,0 +1,55 @@
+#ifndef BIGDANSING_COMMON_RANDOM_H_
+#define BIGDANSING_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace bigdansing {
+
+/// Deterministic pseudo-random generator (splitmix64 core). All dataset
+/// generators and error injectors draw from this so experiments and tests
+/// are reproducible byte-for-byte across runs and platforms.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : state_(seed ^ 0x9E3779B97F4A7C15ULL) {}
+
+  /// Next raw 64-bit value.
+  uint64_t NextUint64() {
+    state_ += 0x9E3779B97F4A7C15ULL;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound) { return NextUint64() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBounded(
+                    static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability `p`.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Random lowercase ASCII string of length `len`.
+  std::string NextString(int len) {
+    std::string s(static_cast<size_t>(len), 'a');
+    for (auto& c : s) c = static_cast<char>('a' + NextBounded(26));
+    return s;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace bigdansing
+
+#endif  // BIGDANSING_COMMON_RANDOM_H_

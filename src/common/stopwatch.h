@@ -1,0 +1,56 @@
+#ifndef BIGDANSING_COMMON_STOPWATCH_H_
+#define BIGDANSING_COMMON_STOPWATCH_H_
+
+#include <ctime>
+
+#include <chrono>
+
+namespace bigdansing {
+
+/// Wall-clock stopwatch for timing experiment stages.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Stopwatch over the calling thread's CPU time. Used for per-task cost
+/// accounting in the dataflow engine: unlike wall time it is not inflated
+/// by preemption when more worker threads run than the host has cores, so
+/// simulated-cluster times stay meaningful on small machines.
+class ThreadCpuStopwatch {
+ public:
+  ThreadCpuStopwatch() : start_(Now()) {}
+
+  void Reset() { start_ = Now(); }
+
+  /// CPU seconds this thread has consumed since construction/Reset().
+  double ElapsedSeconds() const { return Now() - start_; }
+
+ private:
+  static double Now() {
+    timespec ts;
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+  double start_;
+};
+
+}  // namespace bigdansing
+
+#endif  // BIGDANSING_COMMON_STOPWATCH_H_

@@ -1,0 +1,33 @@
+#ifndef BIGDANSING_COMMON_STRING_UTIL_H_
+#define BIGDANSING_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bigdansing {
+
+/// Splits `input` on `delim`; keeps empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view input, char delim);
+
+/// Joins `parts` with `delim` between them.
+std::string Join(const std::vector<std::string>& parts, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if `s` (after trimming) parses fully as a signed integer.
+bool LooksLikeInt(std::string_view s);
+
+/// True if `s` (after trimming) parses fully as a floating point number.
+bool LooksLikeDouble(std::string_view s);
+
+}  // namespace bigdansing
+
+#endif  // BIGDANSING_COMMON_STRING_UTIL_H_

@@ -1,0 +1,100 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace bigdansing {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(size_t count,
+                             const std::function<void(size_t)>& body) {
+  if (count == 0) return;
+  // The calling thread always participates, so ParallelFor is safe to nest
+  // inside pool tasks (a blocked-waiting caller could deadlock a small
+  // pool). Pool workers join as helpers when idle. Indices are claimed in
+  // chunks from a shared counter; the shared state is heap-held so helpers
+  // that wake after the caller returned only touch valid memory (they then
+  // see an exhausted counter and exit without dereferencing `body`).
+  struct State {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> completed{0};
+    size_t count = 0;
+    size_t chunk = 1;
+    const std::function<void(size_t)>* body = nullptr;
+  };
+  auto state = std::make_shared<State>();
+  state->count = count;
+  state->chunk = std::max<size_t>(1, count / (threads_.size() * 8 + 1));
+  state->body = &body;
+  auto work = [state] {
+    while (true) {
+      size_t begin = state->next.fetch_add(state->chunk);
+      if (begin >= state->count) return;
+      size_t end = std::min(state->count, begin + state->chunk);
+      for (size_t i = begin; i < end; ++i) (*state->body)(i);
+      state->completed.fetch_add(end - begin);
+    }
+  };
+  size_t helpers = threads_.size() < count ? threads_.size() : count;
+  for (size_t h = 0; h + 1 < helpers; ++h) Submit(work);
+  work();
+  // All indices are claimed once `work` returns; spin briefly for helpers
+  // still finishing their last chunk.
+  while (state->completed.load(std::memory_order_acquire) != count) {
+    std::this_thread::yield();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_available_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace bigdansing

@@ -1,0 +1,54 @@
+#ifndef BIGDANSING_COMMON_THREAD_POOL_H_
+#define BIGDANSING_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bigdansing {
+
+/// Fixed-size worker pool used by the dataflow engine to execute per-partition
+/// tasks. Tasks are void() closures; ParallelFor blocks until every index has
+/// been processed. A pool of size 1 still runs tasks on its worker thread so
+/// behaviour is uniform regardless of hardware parallelism.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all previously submitted tasks have finished.
+  void WaitIdle();
+
+  /// Runs body(i) for i in [0, count) across the pool and waits.
+  /// `body` must be safe to invoke concurrently for distinct indices.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace bigdansing
+
+#endif  // BIGDANSING_COMMON_THREAD_POOL_H_

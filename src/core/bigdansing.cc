@@ -1,0 +1,164 @@
+#include "core/bigdansing.h"
+
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "repair/equivalence_class.h"
+#include "repair/hypergraph_repair.h"
+
+namespace bigdansing {
+
+std::string CleanReport::ToString() const {
+  std::string out = "CleanReport: iterations=" +
+                    std::to_string(iterations.size()) +
+                    (converged ? " (converged)" : " (iteration cap)");
+  for (size_t i = 0; i < iterations.size(); ++i) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "\n  iter %zu: violations=%zu fixes=%zu detect=%.3fs "
+                  "repair=%.3fs",
+                  i + 1, iterations[i].violations, iterations[i].applied_fixes,
+                  iterations[i].detect_seconds, iterations[i].repair_seconds);
+    out += buf;
+  }
+  return out;
+}
+
+size_t ApplyAssignments(
+    Table* table, const std::vector<CellAssignment>& assignments,
+    const std::unordered_set<CellRef, CellRefHash>* frozen) {
+  size_t changed = 0;
+  for (const auto& a : assignments) {
+    if (frozen != nullptr && frozen->count(a.cell) > 0) continue;
+    Row* row = table->FindMutableRowById(a.cell.row_id);
+    if (row == nullptr || a.cell.column >= row->size()) continue;
+    if (row->value(a.cell.column) != a.value) {
+      row->set_value(a.cell.column, a.value);
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+BigDansing::BigDansing(ExecutionContext* ctx, CleanOptions options)
+    : ctx_(ctx), options_(std::move(options)) {}
+
+Result<CleanReport> BigDansing::Clean(Table* table,
+                                      const std::vector<RulePtr>& rules) const {
+  CleanReport report;
+  RuleEngine engine(ctx_, options_.planner);
+  EquivalenceClassAlgorithm ec;
+  HypergraphRepairAlgorithm hg;
+
+  // Cells updated often enough get frozen so oscillating repairs terminate
+  // (§2.2: "the algorithm puts a special variable on such units after a
+  // fixed number of iterations").
+  std::unordered_map<CellRef, size_t, CellRefHash> update_counts;
+  std::unordered_set<CellRef, CellRefHash> frozen;
+
+  std::unordered_set<RowId> last_changed_rows;
+  for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    IterationReport it;
+
+    Stopwatch detect_timer;
+    const bool incremental = options_.incremental_redetection && iter > 0;
+    Result<std::vector<DetectionResult>> detections =
+        std::vector<DetectionResult>{};
+    if (incremental) {
+      std::vector<DetectionResult> partial;
+      partial.reserve(rules.size());
+      bool failed = false;
+      for (const auto& rule : rules) {
+        auto d = engine.DetectIncremental(*table, rule, last_changed_rows);
+        if (!d.ok()) {
+          detections = d.status();
+          failed = true;
+          break;
+        }
+        partial.push_back(std::move(*d));
+      }
+      if (!failed) {
+        size_t found = 0;
+        for (const auto& d : partial) found += d.violations.size();
+        if (found == 0) {
+          // Incremental pass is clean: verify with one full detection so
+          // the converged result is identical to the non-incremental mode.
+          detections = engine.DetectAll(*table, rules);
+        } else {
+          detections = std::move(partial);
+        }
+      }
+    } else {
+      detections = engine.DetectAll(*table, rules);
+    }
+    if (!detections.ok()) return detections.status();
+    it.detect_seconds = detect_timer.ElapsedSeconds();
+    report.total_detect_seconds += it.detect_seconds;
+
+    // Pool all rules' violations; drop violations whose fixes only touch
+    // frozen cells ("violations with no possible fixes" terminate the
+    // loop, §2.1).
+    std::vector<ViolationWithFixes> violations;
+    for (auto& d : *detections) {
+      for (auto& vf : d.violations) {
+        bool repairable = false;
+        for (const auto& f : vf.fixes) {
+          if (frozen.count(f.left.ref) == 0) {
+            repairable = true;
+            break;
+          }
+        }
+        if (repairable && !vf.fixes.empty()) {
+          violations.push_back(std::move(vf));
+        }
+      }
+    }
+    it.violations = violations.size();
+
+    if (violations.empty()) {
+      report.iterations.push_back(it);
+      report.converged = true;
+      break;
+    }
+
+    Stopwatch repair_timer;
+    std::vector<CellAssignment> assignments;
+    switch (options_.repair_mode) {
+      case RepairMode::kEquivalenceClass:
+        assignments =
+            BlackBoxRepair(ctx_, violations, ec, options_.repair).applied;
+        break;
+      case RepairMode::kHypergraph:
+        assignments =
+            BlackBoxRepair(ctx_, violations, hg, options_.repair).applied;
+        break;
+      case RepairMode::kDistributedEquivalenceClass:
+        assignments = DistributedEquivalenceClassRepair(ctx_, violations);
+        break;
+    }
+    it.applied_fixes = ApplyAssignments(table, assignments, &frozen);
+    it.repair_seconds = repair_timer.ElapsedSeconds();
+    report.total_repair_seconds += it.repair_seconds;
+    report.iterations.push_back(it);
+
+    if (it.applied_fixes == 0) {
+      // Nothing applicable: remaining violations have no possible fixes.
+      report.converged = true;
+      break;
+    }
+
+    last_changed_rows.clear();
+    for (const auto& a : assignments) {
+      last_changed_rows.insert(a.cell.row_id);
+      if (++update_counts[a.cell] >= options_.freeze_after_updates) {
+        frozen.insert(a.cell);
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace bigdansing

@@ -1,0 +1,396 @@
+#include "core/job.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "dataflow/dataset.h"
+
+namespace bigdansing {
+
+namespace {
+
+/// A resolved detection chain: the flows and operators feeding one Detect.
+struct ResolvedChain {
+  const Table* left_table = nullptr;
+  const Table* right_table = nullptr;  // Null for single-flow chains.
+  Job::ScopeFn left_scope;
+  Job::ScopeFn right_scope;
+  Job::BlockFn left_block;
+  Job::BlockFn right_block;
+  Job::IterateFn iterate1;
+  Job::Iterate2Fn iterate2;
+  Job::DetectFn detect;
+  Job::GenFixFn gen_fix;
+  std::string rule_name;
+};
+
+/// Applies a Scope UDF (identity when unset).
+Dataset<Row> ApplyJobScope(const Dataset<Row>& data, const Job::ScopeFn& fn) {
+  if (!fn) return data;
+  return data.FlatMap([&fn](const Row& row) { return fn(row); });
+}
+
+/// Keys a flow by its Block UDF; without one, everything lands in a single
+/// global block (key 0).
+Dataset<std::pair<uint64_t, Row>> KeyFlow(const Dataset<Row>& data,
+                                          const Job::BlockFn& fn) {
+  return data.MapPartitions<std::pair<uint64_t, Row>>(
+      [&fn](const std::vector<Row>& part) {
+        std::vector<std::pair<uint64_t, Row>> out;
+        out.reserve(part.size());
+        for (const Row& row : part) {
+          if (fn) {
+            Value key = fn(row);
+            if (key.is_null()) continue;
+            out.emplace_back(key.Hash(), row);
+          } else {
+            out.emplace_back(0, row);
+          }
+        }
+        return out;
+      });
+}
+
+/// Default single-flow pairing: all unordered pairs of a block.
+std::vector<RowPair> DefaultIterate1(const std::vector<Row>& block) {
+  std::vector<RowPair> pairs;
+  pairs.reserve(block.size() * (block.size() - 1) / 2);
+  for (size_t i = 0; i < block.size(); ++i) {
+    for (size_t j = i + 1; j < block.size(); ++j) {
+      pairs.push_back(RowPair{block[i], block[j]});
+    }
+  }
+  return pairs;
+}
+
+/// Default two-flow pairing: the cross product of the two bags.
+std::vector<RowPair> DefaultIterate2(const std::vector<Row>& left,
+                                     const std::vector<Row>& right) {
+  std::vector<RowPair> pairs;
+  pairs.reserve(left.size() * right.size());
+  for (const Row& a : left) {
+    for (const Row& b : right) pairs.push_back(RowPair{a, b});
+  }
+  return pairs;
+}
+
+/// Runs Detect + GenFix over the candidate pairs of one chain and merges
+/// per-partition outputs into `result`.
+template <typename Entry>
+void DetectOverPairs(ExecutionContext* ctx, const ResolvedChain& chain,
+                     const Dataset<Entry>& blocks,
+                     const std::function<std::vector<RowPair>(const Entry&)>& expand,
+                     DetectionResult* result) {
+  const auto& parts = blocks.partitions();
+  struct TaskOut {
+    std::vector<ViolationWithFixes> violations;
+    uint64_t detect_calls = 0;
+  };
+  std::vector<TaskOut> tasks(parts.size());
+  blocks.RunStage([&](size_t p) {
+    for (const auto& entry : parts[p]) {
+      for (const RowPair& pair : expand(entry)) {
+        ++tasks[p].detect_calls;
+        std::vector<Violation> found;
+        chain.detect(pair, &found);
+        for (auto& v : found) {
+          if (v.rule_name.empty()) v.rule_name = chain.rule_name;
+          ViolationWithFixes vf;
+          vf.violation = std::move(v);
+          if (chain.gen_fix) chain.gen_fix(vf.violation, &vf.fixes);
+          tasks[p].violations.push_back(std::move(vf));
+        }
+      }
+    }
+    ctx->metrics().AddPairsEnumerated(tasks[p].detect_calls);
+  });
+  for (auto& t : tasks) {
+    result->detect_calls += t.detect_calls;
+    for (auto& v : t.violations) result->violations.push_back(std::move(v));
+  }
+}
+
+}  // namespace
+
+Job& Job::AddInput(const std::string& label, const Table* table) {
+  inputs_.emplace_back(label, table);
+  return *this;
+}
+
+Job& Job::AddScope(ScopeFn fn, const std::string& label) {
+  scopes_.push_back(ScopeOp{std::move(fn), label});
+  return *this;
+}
+
+Job& Job::AddBlock(BlockFn fn, const std::string& label) {
+  blocks_.push_back(BlockOp{std::move(fn), label});
+  return *this;
+}
+
+Job& Job::AddIterate(const std::string& output_label,
+                     std::vector<std::string> input_labels) {
+  iterates_.push_back(IterateOp{output_label, std::move(input_labels),
+                                nullptr, nullptr});
+  return *this;
+}
+
+Job& Job::AddIterate(const std::string& output_label,
+                     std::vector<std::string> input_labels, IterateFn fn) {
+  iterates_.push_back(IterateOp{output_label, std::move(input_labels),
+                                std::move(fn), nullptr});
+  return *this;
+}
+
+Job& Job::AddIterate(const std::string& output_label,
+                     std::vector<std::string> input_labels, Iterate2Fn fn2) {
+  iterates_.push_back(IterateOp{output_label, std::move(input_labels),
+                                nullptr, std::move(fn2)});
+  return *this;
+}
+
+Job& Job::AddDetect(DetectFn fn, const std::string& label,
+                    const std::string& rule_name) {
+  detects_.push_back(DetectOp{std::move(fn), label,
+                              rule_name.empty() ? name_ : rule_name});
+  return *this;
+}
+
+Job& Job::AddGenFix(GenFixFn fn, const std::string& label) {
+  genfixes_.push_back(GenFixOp{std::move(fn), label});
+  return *this;
+}
+
+const Job::ScopeOp* Job::FindScope(const std::string& label) const {
+  for (const auto& op : scopes_) {
+    if (op.label == label) return &op;
+  }
+  return nullptr;
+}
+
+const Job::BlockOp* Job::FindBlock(const std::string& label) const {
+  for (const auto& op : blocks_) {
+    if (op.label == label) return &op;
+  }
+  return nullptr;
+}
+
+const Job::IterateOp* Job::FindIterate(const std::string& output_label) const {
+  for (const auto& op : iterates_) {
+    if (op.output_label == output_label) return &op;
+  }
+  return nullptr;
+}
+
+Status Job::Validate() const {
+  // §3.2: the job is correct when all referenced operators/flows are
+  // defined and at least one Detect is specified.
+  if (detects_.empty()) {
+    return Status::InvalidArgument("job '" + name_ +
+                                   "' must specify at least one Detect");
+  }
+  std::unordered_set<std::string> input_labels;
+  for (const auto& [label, table] : inputs_) {
+    if (table == nullptr) {
+      return Status::InvalidArgument("input '" + label + "' is null");
+    }
+    if (!input_labels.insert(label).second) {
+      return Status::InvalidArgument("duplicate input label '" + label + "'");
+    }
+  }
+  auto is_unit_flow = [&](const std::string& label) {
+    return input_labels.count(label) > 0;
+  };
+  for (const auto& op : scopes_) {
+    if (!is_unit_flow(op.label)) {
+      return Status::InvalidArgument("Scope references unknown flow '" +
+                                     op.label + "'");
+    }
+    if (!op.fn) {
+      return Status::InvalidArgument("Scope on '" + op.label + "' has no UDF");
+    }
+  }
+  for (const auto& op : blocks_) {
+    if (!is_unit_flow(op.label)) {
+      return Status::InvalidArgument("Block references unknown flow '" +
+                                     op.label + "'");
+    }
+    if (!op.fn) {
+      return Status::InvalidArgument("Block on '" + op.label + "' has no UDF");
+    }
+  }
+  std::unordered_set<std::string> iterate_outputs;
+  for (const auto& op : iterates_) {
+    if (op.input_labels.empty() || op.input_labels.size() > 2) {
+      return Status::InvalidArgument(
+          "Iterate '" + op.output_label + "' must have 1 or 2 input flows");
+    }
+    for (const auto& in : op.input_labels) {
+      if (!is_unit_flow(in)) {
+        return Status::InvalidArgument(
+            "Iterate '" + op.output_label + "' references unknown flow '" +
+            in + "' (iterate-over-iterate is not supported)");
+      }
+    }
+    if (!iterate_outputs.insert(op.output_label).second) {
+      return Status::InvalidArgument("duplicate Iterate output '" +
+                                     op.output_label + "'");
+    }
+    if (op.input_labels.size() == 1 && op.fn2) {
+      return Status::InvalidArgument("Iterate '" + op.output_label +
+                                     "' has a two-flow UDF but one input");
+    }
+    if (op.input_labels.size() == 2 && op.fn) {
+      return Status::InvalidArgument("Iterate '" + op.output_label +
+                                     "' has a one-flow UDF but two inputs");
+    }
+  }
+  for (const auto& op : detects_) {
+    if (!op.fn) {
+      return Status::InvalidArgument("Detect on '" + op.label + "' has no UDF");
+    }
+    // A Detect label must be an Iterate output or a unit flow (the planner
+    // then generates the Iterate).
+    if (iterate_outputs.count(op.label) == 0 && !is_unit_flow(op.label)) {
+      return Status::InvalidArgument("Detect references unknown flow '" +
+                                     op.label + "'");
+    }
+  }
+  for (const auto& op : genfixes_) {
+    bool matched = false;
+    for (const auto& d : detects_) matched = matched || d.label == op.label;
+    if (!matched) {
+      return Status::InvalidArgument("GenFix on '" + op.label +
+                                     "' has no matching Detect");
+    }
+  }
+  return Status::OK();
+}
+
+Result<LogicalPlan> Job::Plan() const {
+  BIGDANSING_RETURN_NOT_OK(Validate());
+  LogicalPlan plan;
+  auto add = [&plan](LogicalOpKind kind, const std::string& in,
+                     const std::string& out, const std::string& params) {
+    LogicalOperatorDesc desc;
+    desc.kind = kind;
+    desc.input_label = in;
+    desc.output_labels = {out};
+    desc.params = params;
+    plan.ops.push_back(std::move(desc));
+  };
+  // Walk each Detect's chain in dataflow order (the §3.2 resolution walks
+  // it in reverse; emitting forward reads better).
+  for (const auto& detect : detects_) {
+    const IterateOp* iterate = FindIterate(detect.label);
+    std::vector<std::string> unit_flows =
+        iterate != nullptr ? iterate->input_labels
+                           : std::vector<std::string>{detect.label};
+    for (const auto& flow : unit_flows) {
+      if (const ScopeOp* s = FindScope(flow)) {
+        add(LogicalOpKind::kScope, flow, flow, "udf");
+        (void)s;
+      }
+      if (const BlockOp* b = FindBlock(flow)) {
+        add(LogicalOpKind::kBlock, flow, flow, "udf");
+        (void)b;
+      }
+    }
+    std::string iterate_params =
+        iterate == nullptr ? "generated" : (iterate->fn || iterate->fn2 ? "udf" : "default");
+    add(LogicalOpKind::kIterate,
+        unit_flows.size() == 2 ? unit_flows[0] + "+" + unit_flows[1]
+                               : unit_flows[0],
+        detect.label, iterate_params);
+    add(LogicalOpKind::kDetect, detect.label, detect.label + ".violations",
+        "rule=" + detect.rule_name);
+    for (const auto& gf : genfixes_) {
+      if (gf.label == detect.label) {
+        add(LogicalOpKind::kGenFix, detect.label + ".violations",
+            detect.label + ".fixes", "rule=" + detect.rule_name);
+      }
+    }
+  }
+  return plan;
+}
+
+Result<DetectionResult> Job::Run(ExecutionContext* ctx) const {
+  BIGDANSING_RETURN_NOT_OK(Validate());
+  DetectionResult result;
+  auto plan = Plan();
+  if (plan.ok()) result.plan_description = "Job[" + name_ + "]:\n" + plan->ToString();
+
+  std::unordered_map<std::string, const Table*> input_map;
+  for (const auto& [label, table] : inputs_) input_map[label] = table;
+
+  for (const auto& detect : detects_) {
+    // Resolve the chain feeding this Detect (§3.2, Figure 3: find the
+    // matching Iterate, then Blocks, then Scopes by label).
+    ResolvedChain chain;
+    chain.detect = detect.fn;
+    chain.rule_name = detect.rule_name;
+    for (const auto& gf : genfixes_) {
+      if (gf.label == detect.label) chain.gen_fix = gf.fn;
+    }
+    const IterateOp* iterate = FindIterate(detect.label);
+    std::vector<std::string> unit_flows =
+        iterate != nullptr ? iterate->input_labels
+                           : std::vector<std::string>{detect.label};
+    auto left_table = input_map.find(unit_flows[0]);
+    if (left_table == input_map.end()) {
+      return Status::InvalidArgument("flow '" + unit_flows[0] +
+                                     "' has no input dataset");
+    }
+    chain.left_table = left_table->second;
+    if (const ScopeOp* s = FindScope(unit_flows[0])) chain.left_scope = s->fn;
+    if (const BlockOp* b = FindBlock(unit_flows[0])) chain.left_block = b->fn;
+    if (iterate != nullptr) {
+      chain.iterate1 = iterate->fn;
+      chain.iterate2 = iterate->fn2;
+    }
+    if (unit_flows.size() == 2) {
+      auto right_table = input_map.find(unit_flows[1]);
+      if (right_table == input_map.end()) {
+        return Status::InvalidArgument("flow '" + unit_flows[1] +
+                                       "' has no input dataset");
+      }
+      chain.right_table = right_table->second;
+      if (const ScopeOp* s = FindScope(unit_flows[1])) chain.right_scope = s->fn;
+      if (const BlockOp* b = FindBlock(unit_flows[1])) chain.right_block = b->fn;
+    }
+
+    // Execute: load -> scope -> block -> iterate -> detect -> genfix.
+    auto left =
+        ApplyJobScope(Dataset<Row>::FromVector(ctx, chain.left_table->rows()),
+                      chain.left_scope);
+    if (chain.right_table == nullptr) {
+      auto blocks = GroupByKey(KeyFlow(left, chain.left_block));
+      const Job::IterateFn pairing =
+          chain.iterate1 ? chain.iterate1 : Job::IterateFn(DefaultIterate1);
+      DetectOverPairs<std::pair<uint64_t, std::vector<Row>>>(
+          ctx, chain, blocks,
+          [&pairing](const std::pair<uint64_t, std::vector<Row>>& block) {
+            return pairing(block.second);
+          },
+          &result);
+    } else {
+      auto right = ApplyJobScope(
+          Dataset<Row>::FromVector(ctx, chain.right_table->rows()),
+          chain.right_scope);
+      auto coblocks = CoGroup(KeyFlow(left, chain.left_block),
+                              KeyFlow(right, chain.right_block));
+      const Job::Iterate2Fn pairing =
+          chain.iterate2 ? chain.iterate2 : Job::Iterate2Fn(DefaultIterate2);
+      using CoEntry =
+          std::pair<uint64_t, std::pair<std::vector<Row>, std::vector<Row>>>;
+      DetectOverPairs<CoEntry>(
+          ctx, chain, coblocks,
+          [&pairing](const CoEntry& entry) {
+            return pairing(entry.second.first, entry.second.second);
+          },
+          &result);
+    }
+  }
+  return result;
+}
+
+}  // namespace bigdansing

@@ -1,0 +1,207 @@
+#include "core/logical_plan.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace bigdansing {
+
+const char* LogicalOpKindName(LogicalOpKind kind) {
+  switch (kind) {
+    case LogicalOpKind::kScope:
+      return "Scope";
+    case LogicalOpKind::kBlock:
+      return "Block";
+    case LogicalOpKind::kIterate:
+      return "Iterate";
+    case LogicalOpKind::kDetect:
+      return "Detect";
+    case LogicalOpKind::kGenFix:
+      return "GenFix";
+  }
+  return "?";
+}
+
+std::string LogicalOperatorDesc::ToString() const {
+  std::string out = LogicalOpKindName(kind);
+  out += "(" + input_label + " -> " + Join(output_labels, ',');
+  if (!params.empty()) out += "; " + params;
+  out += ")";
+  return out;
+}
+
+std::string LogicalPlan::ToString() const {
+  std::string out;
+  for (const auto& op : ops) {
+    out += op.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+size_t LogicalPlan::CountOps(LogicalOpKind kind) const {
+  size_t n = 0;
+  for (const auto& op : ops) n += op.kind == kind ? 1 : 0;
+  return n;
+}
+
+Result<LogicalPlan> BuildLogicalPlan(const RulePtr& rule, const Schema& schema,
+                                     const std::string& input_label) {
+  if (rule == nullptr) return Status::InvalidArgument("rule is null");
+  LogicalPlan plan;
+  std::string label = input_label;
+  const std::string rule_tag = rule->name();
+
+  // Scope: only when the rule narrows to known attributes.
+  std::vector<std::string> relevant = rule->RelevantAttributes();
+  if (!relevant.empty()) {
+    for (const auto& a : relevant) {
+      if (!schema.Contains(a)) {
+        return Status::InvalidArgument("rule '" + rule_tag +
+                                       "' references unknown attribute '" + a +
+                                       "' of schema " + schema.ToString());
+      }
+    }
+    LogicalOperatorDesc scope;
+    scope.kind = LogicalOpKind::kScope;
+    scope.input_label = label;
+    scope.output_labels = {rule_tag + ".scoped"};
+    scope.params = "cols=" + Join(relevant, ',');
+    scope.rule = rule;
+    label = scope.output_labels[0];
+    plan.ops.push_back(std::move(scope));
+  }
+
+  // Block: when a blocking key exists (attribute-based or procedural).
+  std::vector<std::string> blocking = rule->BlockingAttributes();
+  bool has_udf_key = false;
+  if (auto* udf = dynamic_cast<UdfRule*>(rule.get())) {
+    has_udf_key = static_cast<bool>(udf->block_key());
+  }
+  if (!blocking.empty() || has_udf_key) {
+    LogicalOperatorDesc block;
+    block.kind = LogicalOpKind::kBlock;
+    block.input_label = label;
+    block.output_labels = {rule_tag + ".blocked"};
+    block.params = has_udf_key ? "key=udf:" + rule_tag
+                               : "key=" + Join(blocking, ',');
+    block.rule = rule;
+    label = block.output_labels[0];
+    plan.ops.push_back(std::move(block));
+  }
+
+  // Iterate: generated automatically from the rule's hints (§3.2: "If
+  // Iterate is not specified, BigDansing generates one according to the
+  // input required by the Detect operator").
+  if (rule->arity() == 2) {
+    LogicalOperatorDesc iterate;
+    iterate.kind = LogicalOpKind::kIterate;
+    iterate.input_label = label;
+    iterate.output_labels = {rule_tag + ".pairs"};
+    if (!rule->OrderingConditions().empty()) {
+      iterate.params = "strategy=ocjoin";
+    } else if (rule->IsSymmetric()) {
+      iterate.params = "strategy=ucross";
+    } else {
+      iterate.params = "strategy=cross";
+    }
+    iterate.rule = rule;
+    label = iterate.output_labels[0];
+    plan.ops.push_back(std::move(iterate));
+  }
+
+  LogicalOperatorDesc detect;
+  detect.kind = LogicalOpKind::kDetect;
+  detect.input_label = label;
+  detect.output_labels = {rule_tag + ".violations"};
+  detect.params = "rule=" + rule_tag;
+  detect.rule = rule;
+  label = detect.output_labels[0];
+  plan.ops.push_back(std::move(detect));
+
+  LogicalOperatorDesc genfix;
+  genfix.kind = LogicalOpKind::kGenFix;
+  genfix.input_label = label;
+  genfix.output_labels = {rule_tag + ".fixes"};
+  genfix.params = "rule=" + rule_tag;
+  genfix.rule = rule;
+  plan.ops.push_back(std::move(genfix));
+
+  return plan;
+}
+
+Status ValidateLogicalPlan(const LogicalPlan& plan) {
+  if (plan.CountOps(LogicalOpKind::kDetect) == 0) {
+    return Status::InvalidArgument(
+        "logical plan must contain at least one Detect operator");
+  }
+  // Every non-terminal output label must be consumed downstream.
+  for (size_t i = 0; i < plan.ops.size(); ++i) {
+    const auto& op = plan.ops[i];
+    if (op.kind == LogicalOpKind::kGenFix) continue;  // Terminal.
+    if (op.kind == LogicalOpKind::kDetect) {
+      // §3.2: a Detect without GenFix is legal (violations go to disk).
+      continue;
+    }
+    for (const auto& label : op.output_labels) {
+      bool consumed = false;
+      for (size_t j = 0; j < plan.ops.size(); ++j) {
+        if (j != i && plan.ops[j].input_label == label) consumed = true;
+      }
+      if (!consumed) {
+        return Status::InvalidArgument("operator output '" + label +
+                                       "' of " + op.ToString() +
+                                       " is never consumed");
+      }
+    }
+  }
+  // At most one GenFix per Detect output.
+  std::unordered_set<std::string> genfix_inputs;
+  for (const auto& op : plan.ops) {
+    if (op.kind != LogicalOpKind::kGenFix) continue;
+    if (!genfix_inputs.insert(op.input_label).second) {
+      return Status::InvalidArgument("multiple GenFix operators consume '" +
+                                     op.input_label + "'");
+    }
+  }
+  return Status::OK();
+}
+
+LogicalPlan ConsolidatePlan(const LogicalPlan& plan) {
+  LogicalPlan out;
+  std::vector<bool> merged(plan.ops.size(), false);
+  for (size_t i = 0; i < plan.ops.size(); ++i) {
+    if (merged[i]) continue;
+    LogicalOperatorDesc op = plan.ops[i];
+    // Detect/GenFix operators invoke rule-specific UDFs; only the data
+    // preparation operators are consolidated (the paper merges Scope and
+    // Block over the same input, Figure 5).
+    if (op.kind == LogicalOpKind::kScope || op.kind == LogicalOpKind::kBlock ||
+        op.kind == LogicalOpKind::kIterate) {
+      for (size_t j = i + 1; j < plan.ops.size(); ++j) {
+        if (merged[j]) continue;
+        const auto& other = plan.ops[j];
+        if (other.kind == op.kind && other.input_label == op.input_label &&
+            other.params == op.params) {
+          op.output_labels.insert(op.output_labels.end(),
+                                  other.output_labels.begin(),
+                                  other.output_labels.end());
+          merged[j] = true;
+        }
+      }
+    }
+    out.ops.push_back(std::move(op));
+  }
+  return out;
+}
+
+LogicalPlan MergePlans(const std::vector<LogicalPlan>& plans) {
+  LogicalPlan out;
+  for (const auto& p : plans) {
+    out.ops.insert(out.ops.end(), p.ops.begin(), p.ops.end());
+  }
+  return out;
+}
+
+}  // namespace bigdansing

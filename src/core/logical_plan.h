@@ -1,0 +1,75 @@
+#ifndef BIGDANSING_CORE_LOGICAL_PLAN_H_
+#define BIGDANSING_CORE_LOGICAL_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/schema.h"
+#include "rules/rule.h"
+#include "rules/udf_rule.h"
+
+namespace bigdansing {
+
+/// The five logical operators of BigDansing's abstraction (§3.1).
+enum class LogicalOpKind { kScope, kBlock, kIterate, kDetect, kGenFix };
+
+/// Returns "Scope", "Block", "Iterate", "Detect" or "GenFix".
+const char* LogicalOpKindName(LogicalOpKind kind);
+
+/// One node of a logical plan. `params` is a canonical string describing the
+/// operator's UDF/configuration (e.g. scope column list); two operators with
+/// equal kind, input and params compute the same function, which is what
+/// plan consolidation (Algorithm 1) exploits. `output_labels` carries one
+/// label per original operator folded into this node.
+struct LogicalOperatorDesc {
+  LogicalOpKind kind = LogicalOpKind::kDetect;
+  std::string input_label;
+  std::vector<std::string> output_labels;
+  std::string params;
+  RulePtr rule;
+
+  /// "Scope(D1 -> T1,T2; cols=zipcode,city)" rendering.
+  std::string ToString() const;
+};
+
+/// A logical plan: the operator sequence the planner derived from a job or
+/// a declarative rule (§3.2). Operators appear in dataflow order.
+struct LogicalPlan {
+  std::vector<LogicalOperatorDesc> ops;
+
+  /// Multi-line rendering for debugging and plan tests.
+  std::string ToString() const;
+
+  /// Number of operators of `kind`.
+  size_t CountOps(LogicalOpKind kind) const;
+};
+
+/// Generates the logical plan for one declarative or UDF rule against the
+/// dataset labeled `input_label` with schema `schema` (the automatic
+/// translation of §3.2): optional Scope (when the rule declares relevant
+/// attributes), optional Block (when it declares a blocking key), an
+/// Iterate chosen from the rule's symmetry/ordering hints, one Detect and
+/// one GenFix.
+Result<LogicalPlan> BuildLogicalPlan(const RulePtr& rule, const Schema& schema,
+                                     const std::string& input_label);
+
+/// Validates the §3.2 well-formedness conditions: at least one Detect, every
+/// non-Detect operator's output reachable by some downstream operator, and
+/// at most one GenFix per Detect. Returns the first problem found.
+Status ValidateLogicalPlan(const LogicalPlan& plan);
+
+/// Plan consolidation (Algorithm 1): folds operators with the same kind,
+/// the same input dataset and the same params into a single operator
+/// carrying all output labels, enabling shared scans. Operators that cannot
+/// be merged are kept unchanged and order is preserved.
+LogicalPlan ConsolidatePlan(const LogicalPlan& plan);
+
+/// Concatenates per-rule plans over the same input dataset (the multi-rule
+/// case of §3.2 / Appendix E bushy plans) so ConsolidatePlan can share work
+/// across rules.
+LogicalPlan MergePlans(const std::vector<LogicalPlan>& plans);
+
+}  // namespace bigdansing
+
+#endif  // BIGDANSING_CORE_LOGICAL_PLAN_H_

@@ -1,0 +1,569 @@
+#include "core/rule_engine.h"
+
+#include <atomic>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "dataflow/dataset.h"
+
+namespace bigdansing {
+
+namespace {
+
+/// Block key type: a stable hash of the blocking-key values. Collisions only
+/// merge blocks (Detect re-checks the actual predicates), never lose pairs
+/// that belong together, so correctness is preserved.
+using BlockKey = uint64_t;
+
+/// Rows of `table` as a distributed dataset.
+Dataset<Row> LoadTable(ExecutionContext* ctx, const Table& table) {
+  return Dataset<Row>::FromVector(ctx, table.rows());
+}
+
+/// Applies PScope: projects each row to `scope_columns`, recording source
+/// columns so cells map back to the base table. Empty columns = identity.
+Dataset<Row> ApplyScope(const Dataset<Row>& data,
+                        const std::vector<size_t>& scope_columns) {
+  if (scope_columns.empty()) return data;
+  return data.Map([&scope_columns](const Row& row) {
+    std::vector<Value> values;
+    values.reserve(scope_columns.size());
+    std::vector<size_t> sources;
+    sources.reserve(scope_columns.size());
+    for (size_t c : scope_columns) {
+      values.push_back(row.value(row.source_column(c)));
+      sources.push_back(row.source_column(c));
+    }
+    Row out(row.id(), std::move(values));
+    out.set_source_columns(std::move(sources));
+    return out;
+  });
+}
+
+/// Computes the blocking key of `row` under `plan`; returns false when the
+/// row belongs to no block (null key component / null UDF key).
+bool ComputeBlockKey(const PhysicalRulePlan& plan, const Row& row,
+                     BlockKey* key) {
+  if (plan.block_key_fn) {
+    Value v = plan.block_key_fn(plan.detect_schema, row);
+    if (v.is_null()) return false;
+    *key = v.Hash();
+    return true;
+  }
+  uint64_t h = 0x42D;
+  for (size_t c : plan.blocking_columns) {
+    const Value& v = row.value(c);
+    if (v.is_null()) return false;
+    h = StableHashUint64(h ^ v.Hash());
+  }
+  *key = h;
+  return true;
+}
+
+/// Per-task accumulation of detection output.
+struct TaskOutput {
+  std::vector<ViolationWithFixes> violations;
+  uint64_t detect_calls = 0;
+};
+
+/// Runs Detect (and GenFix) on the ordered pair (a, b), appending to `out`.
+void Probe(const Rule& rule, const Row& a, const Row& b, TaskOutput* out) {
+  ++out->detect_calls;
+  std::vector<Violation> found;
+  rule.Detect(a, b, &found);
+  for (auto& v : found) {
+    ViolationWithFixes vf;
+    vf.violation = std::move(v);
+    rule.GenFix(vf.violation, &vf.fixes);
+    out->violations.push_back(std::move(vf));
+  }
+}
+
+/// Enumerates candidate pairs inside one block according to the Iterate
+/// strategy and probes Detect on each.
+void IterateBlock(const PhysicalRulePlan& plan, const std::vector<Row>& block,
+                  TaskOutput* out) {
+  const Rule& rule = *plan.rule;
+  if (plan.strategy == IterateStrategy::kUCrossProduct) {
+    // Unordered pairs (the UCrossProduct enhancer): n(n-1)/2 enumerations.
+    // Symmetric rules need one probe per pair; asymmetric ones need both
+    // orientations but still skip the reversed-pair materialization.
+    const bool symmetric = rule.IsSymmetric();
+    for (size_t i = 0; i < block.size(); ++i) {
+      for (size_t j = i + 1; j < block.size(); ++j) {
+        Probe(rule, block[i], block[j], out);
+        if (!symmetric) Probe(rule, block[j], block[i], out);
+      }
+    }
+    return;
+  }
+  // CrossProduct wrapper (also the within-block fallback for OCJoin-style
+  // rules that block on equality predicates — blocks are small, so the
+  // quadratic pass stays local): all ordered pairs, n² - n probes. As a
+  // wrapper it materializes the Iterate output before Detect runs, which
+  // is exactly the overhead the enhancers avoid.
+  std::vector<std::pair<const Row*, const Row*>> pairs;
+  pairs.reserve(block.size() * block.size());
+  for (size_t i = 0; i < block.size(); ++i) {
+    for (size_t j = 0; j < block.size(); ++j) {
+      if (i != j) pairs.emplace_back(&block[i], &block[j]);
+    }
+  }
+  for (const auto& [a, b] : pairs) Probe(rule, *a, *b, out);
+}
+
+/// Merges per-task outputs into a DetectionResult.
+void MergeOutputs(std::vector<TaskOutput>* tasks, DetectionResult* result) {
+  size_t total = 0;
+  for (const auto& t : *tasks) total += t.violations.size();
+  result->violations.reserve(result->violations.size() + total);
+  for (auto& t : *tasks) {
+    result->detect_calls += t.detect_calls;
+    for (auto& v : t.violations) {
+      result->violations.push_back(std::move(v));
+    }
+  }
+}
+
+/// Executes the blocked pipeline: Iterate within blocks -> Detect -> GenFix.
+void RunBlocked(ExecutionContext* ctx, const PhysicalRulePlan& plan,
+                const Dataset<std::pair<BlockKey, std::vector<Row>>>& blocks,
+                DetectionResult* result) {
+  const auto& parts = blocks.partitions();
+  std::vector<TaskOutput> tasks(parts.size());
+  blocks.RunStage([&](size_t p) {
+    for (const auto& block : parts[p]) {
+      IterateBlock(plan, block.second, &tasks[p]);
+    }
+    ctx->metrics().AddPairsEnumerated(tasks[p].detect_calls);
+  });
+  MergeOutputs(&tasks, result);
+}
+
+/// Executes the whole-dataset pair enumeration (no blocking key): rows are
+/// chunked and chunk pairs are processed as parallel tasks.
+void RunUnblocked(ExecutionContext* ctx, const PhysicalRulePlan& plan,
+                  const std::vector<Row>& rows, DetectionResult* result) {
+  const bool unordered = plan.strategy == IterateStrategy::kUCrossProduct &&
+                         plan.rule->IsSymmetric();
+  size_t num_chunks = std::max<size_t>(1, ctx->num_workers() * 2);
+  if (num_chunks > rows.size()) num_chunks = std::max<size_t>(1, rows.size());
+  size_t chunk = (rows.size() + num_chunks - 1) / num_chunks;
+  // Task list: chunk pairs (i <= j). For unordered enumeration each chunk
+  // pair is visited once; for ordered enumeration both orientations are
+  // probed inside the task.
+  struct ChunkPair {
+    size_t i;
+    size_t j;
+  };
+  std::vector<ChunkPair> chunk_pairs;
+  for (size_t i = 0; i < num_chunks; ++i) {
+    for (size_t j = i; j < num_chunks; ++j) chunk_pairs.push_back({i, j});
+  }
+  const bool materialize = plan.strategy == IterateStrategy::kCrossProduct;
+  std::vector<TaskOutput> tasks(chunk_pairs.size());
+  ctx->metrics().AddStage();
+  ctx->metrics().AddTasks(chunk_pairs.size());
+  const size_t workers = ctx->num_workers();
+  ctx->pool().ParallelFor(chunk_pairs.size(), [&](size_t t) {
+    ThreadCpuStopwatch task_timer;
+    auto [ci, cj] = chunk_pairs[t];
+    size_t ibegin = ci * chunk;
+    size_t iend = std::min(rows.size(), ibegin + chunk);
+    size_t jbegin = cj * chunk;
+    size_t jend = std::min(rows.size(), jbegin + chunk);
+    TaskOutput* out = &tasks[t];
+    const Rule& rule = *plan.rule;
+    if (materialize) {
+      // Wrapper semantics: PIterate materializes the candidate pair list,
+      // then PDetect consumes it.
+      std::vector<std::pair<const Row*, const Row*>> pairs;
+      for (size_t i = ibegin; i < iend; ++i) {
+        size_t jstart = (ci == cj) ? i + 1 : jbegin;
+        for (size_t j = jstart; j < jend; ++j) {
+          pairs.emplace_back(&rows[i], &rows[j]);
+          pairs.emplace_back(&rows[j], &rows[i]);
+        }
+      }
+      for (const auto& [a, b] : pairs) Probe(rule, *a, *b, out);
+    } else {
+      for (size_t i = ibegin; i < iend; ++i) {
+        size_t jstart = (ci == cj) ? i + 1 : jbegin;
+        for (size_t j = jstart; j < jend; ++j) {
+          Probe(rule, rows[i], rows[j], out);
+          if (!unordered) Probe(rule, rows[j], rows[i], out);
+        }
+      }
+    }
+    ctx->metrics().AddPairsEnumerated(out->detect_calls);
+    ctx->metrics().RecordTaskTime(t % workers, task_timer.ElapsedSeconds());
+  });
+  MergeOutputs(&tasks, result);
+}
+
+}  // namespace
+
+RuleEngine::RuleEngine(ExecutionContext* ctx, PlannerOptions options)
+    : ctx_(ctx), options_(options) {}
+
+Result<DetectionResult> RuleEngine::Detect(const Table& table,
+                                           const RulePtr& rule) const {
+  auto results = DetectAll(table, {rule});
+  if (!results.ok()) return results.status();
+  return std::move((*results)[0]);
+}
+
+Result<std::vector<DetectionResult>> RuleEngine::DetectAll(
+    const Table& table, const std::vector<RulePtr>& rules) const {
+  std::vector<DetectionResult> results(rules.size());
+
+  // Build physical plans first so binding errors surface before any work.
+  std::vector<PhysicalRulePlan> plans;
+  plans.reserve(rules.size());
+  for (const auto& rule : rules) {
+    auto plan = BuildPhysicalPlan(rule, table.schema(), options_);
+    if (!plan.ok()) return plan.status();
+    plans.push_back(std::move(*plan));
+  }
+
+  // Shared scan: the base dataset is materialized once for all rules
+  // (plan consolidation, §4.2). Scoped/blocked intermediates are cached by
+  // their parameter signature so rules with equal Scope/Block params reuse
+  // one pass.
+  Dataset<Row> base = LoadTable(ctx_, table);
+  std::unordered_map<std::string, Dataset<Row>> scoped_cache;
+  std::unordered_map<std::string,
+                     Dataset<std::pair<BlockKey, std::vector<Row>>>>
+      block_cache;
+
+  for (size_t r = 0; r < rules.size(); ++r) {
+    const PhysicalRulePlan& plan = plans[r];
+    DetectionResult& result = results[r];
+    result.plan_description = plan.ToString();
+
+    // PScope (cached across rules with identical column sets).
+    std::string scope_sig;
+    for (size_t c : plan.scope_columns) {
+      scope_sig += std::to_string(c) + ",";
+    }
+    auto scoped_it = scoped_cache.find(scope_sig);
+    if (scoped_it == scoped_cache.end()) {
+      scoped_it =
+          scoped_cache.emplace(scope_sig, ApplyScope(base, plan.scope_columns))
+              .first;
+    }
+    const Dataset<Row>& scoped = scoped_it->second;
+
+    // Arity-1 rules: units flow straight to Detect.
+    if (plan.strategy == IterateStrategy::kSingle) {
+      const auto& parts = scoped.partitions();
+      std::vector<TaskOutput> tasks(parts.size());
+      scoped.RunStage([&](size_t p) {
+        for (const Row& row : parts[p]) {
+          ++tasks[p].detect_calls;
+          std::vector<Violation> found;
+          plan.rule->DetectSingle(row, &found);
+          for (auto& v : found) {
+            ViolationWithFixes vf;
+            vf.violation = std::move(v);
+            plan.rule->GenFix(vf.violation, &vf.fixes);
+            tasks[p].violations.push_back(std::move(vf));
+          }
+        }
+      });
+      MergeOutputs(&tasks, &result);
+      continue;
+    }
+
+    // OCJoin enhancer: global inequality self-join (no blocking key).
+    const bool has_blocking =
+        !plan.blocking_columns.empty() || static_cast<bool>(plan.block_key_fn);
+    if (plan.strategy == IterateStrategy::kOCJoin && !has_blocking) {
+      std::vector<Row> rows = scoped.Collect();
+      std::vector<RowPair> pairs;
+      if (options_.use_iejoin && IEJoinApplicable(plan.ocjoin_conditions)) {
+        pairs = IEJoin(ctx_, rows, plan.ocjoin_conditions,
+                       &result.iejoin_stats);
+      } else {
+        OCJoinOptions oc_options;
+        oc_options.order_conditions_by_selectivity =
+            options_.ocjoin_selectivity_ordering;
+        pairs = OCJoin(ctx_, rows, plan.ocjoin_conditions, oc_options,
+                       &result.ocjoin_stats);
+      }
+      Dataset<RowPair> pair_ds = Dataset<RowPair>::FromVector(ctx_, std::move(pairs));
+      const auto& parts = pair_ds.partitions();
+      std::vector<TaskOutput> tasks(parts.size());
+      pair_ds.RunStage([&](size_t p) {
+        for (const RowPair& pr : parts[p]) {
+          Probe(*plan.rule, pr.left, pr.right, &tasks[p]);
+        }
+      });
+      MergeOutputs(&tasks, &result);
+      continue;
+    }
+
+    if (has_blocking) {
+      // PBlock (cached): key rows, drop keyless rows, group.
+      std::string block_sig = scope_sig + "|";
+      if (plan.block_key_fn) {
+        block_sig += "udf:" + plan.rule->name();
+      } else {
+        for (size_t c : plan.blocking_columns) {
+          block_sig += std::to_string(c) + ",";
+        }
+      }
+      auto block_it = block_cache.find(block_sig);
+      if (block_it == block_cache.end()) {
+        auto keyed = scoped.MapPartitions<std::pair<BlockKey, Row>>(
+            [&plan](const std::vector<Row>& part) {
+              std::vector<std::pair<BlockKey, Row>> out;
+              out.reserve(part.size());
+              BlockKey key = 0;
+              for (const Row& row : part) {
+                if (ComputeBlockKey(plan, row, &key)) {
+                  out.emplace_back(key, row);
+                }
+              }
+              return out;
+            });
+        block_it = block_cache.emplace(block_sig, GroupByKey(keyed)).first;
+      }
+      RunBlocked(ctx_, plan, block_it->second, &result);
+      continue;
+    }
+
+    // No blocking key: whole-dataset enumeration.
+    std::vector<Row> rows = scoped.Collect();
+    RunUnblocked(ctx_, plan, rows, &result);
+  }
+  return results;
+}
+
+Result<DetectionResult> RuleEngine::DetectIncremental(
+    const Table& table, const RulePtr& rule,
+    const std::unordered_set<RowId>& changed_rows) const {
+  auto plan = BuildPhysicalPlan(rule, table.schema(), options_);
+  if (!plan.ok()) return plan.status();
+  DetectionResult result;
+  result.plan_description = plan->ToString() + " [incremental: " +
+                            std::to_string(changed_rows.size()) +
+                            " changed rows]";
+  if (changed_rows.empty()) return result;
+
+  Dataset<Row> base = LoadTable(ctx_, table);
+  Dataset<Row> scoped = ApplyScope(base, plan->scope_columns);
+
+  // Arity-1: only the changed units can have new violations.
+  if (plan->strategy == IterateStrategy::kSingle) {
+    const auto& parts = scoped.partitions();
+    std::vector<TaskOutput> tasks(parts.size());
+    scoped.RunStage([&](size_t p) {
+      for (const Row& row : parts[p]) {
+        if (changed_rows.count(row.id()) == 0) continue;
+        ++tasks[p].detect_calls;
+        std::vector<Violation> found;
+        plan->rule->DetectSingle(row, &found);
+        for (auto& v : found) {
+          ViolationWithFixes vf;
+          vf.violation = std::move(v);
+          plan->rule->GenFix(vf.violation, &vf.fixes);
+          tasks[p].violations.push_back(std::move(vf));
+        }
+      }
+    });
+    MergeOutputs(&tasks, &result);
+    return result;
+  }
+
+  const bool has_blocking =
+      !plan->blocking_columns.empty() || static_cast<bool>(plan->block_key_fn);
+  if (has_blocking) {
+    // Only blocks containing a changed row can gain or lose violations.
+    // First pass: the changed rows' block keys (a small driver-side set);
+    // second pass: key and group only the rows landing in those blocks, so
+    // the shuffle moves a fraction of the data.
+    std::vector<std::vector<BlockKey>> per_part_keys(
+        scoped.num_partitions());
+    scoped.RunStage([&](size_t p) {
+      BlockKey key = 0;
+      for (const Row& row : scoped.partitions()[p]) {
+        if (changed_rows.count(row.id()) > 0 &&
+            ComputeBlockKey(*plan, row, &key)) {
+          per_part_keys[p].push_back(key);
+        }
+      }
+    });
+    std::unordered_set<BlockKey> dirty_keys;
+    for (const auto& keys : per_part_keys) {
+      dirty_keys.insert(keys.begin(), keys.end());
+    }
+    auto keyed = scoped.MapPartitions<std::pair<BlockKey, Row>>(
+        [&plan = *plan, &dirty_keys](const std::vector<Row>& part) {
+          std::vector<std::pair<BlockKey, Row>> out;
+          BlockKey key = 0;
+          for (const Row& row : part) {
+            if (ComputeBlockKey(plan, row, &key) &&
+                dirty_keys.count(key) > 0) {
+              out.emplace_back(key, row);
+            }
+          }
+          return out;
+        });
+    RunBlocked(ctx_, *plan, GroupByKey(keyed), &result);
+    return result;
+  }
+
+  // Unblocked (incl. OCJoin rules): pair every changed row against the
+  // whole dataset in both orientations — O(|changed| * n) probes, which is
+  // the win when few rows changed.
+  std::vector<Row> rows = scoped.Collect();
+  std::vector<Row> changed;
+  for (const Row& row : rows) {
+    if (changed_rows.count(row.id()) > 0) changed.push_back(row);
+  }
+  Dataset<Row> changed_ds = Dataset<Row>::FromVector(ctx_, std::move(changed));
+  const auto& parts = changed_ds.partitions();
+  std::vector<TaskOutput> tasks(parts.size());
+  changed_ds.RunStage([&](size_t p) {
+    for (const Row& c : parts[p]) {
+      for (const Row& r : rows) {
+        if (r.id() == c.id()) continue;
+        // Each unordered pair {c, r} is owned by exactly one loop
+        // iteration: by c when r is unchanged, else by the smaller id —
+        // so both-changed pairs are not probed twice.
+        if (changed_rows.count(r.id()) > 0 && r.id() < c.id()) continue;
+        Probe(*plan->rule, c, r, &tasks[p]);
+        Probe(*plan->rule, r, c, &tasks[p]);
+      }
+    }
+    ctx_->metrics().AddPairsEnumerated(tasks[p].detect_calls);
+  });
+  MergeOutputs(&tasks, &result);
+  return result;
+}
+
+Result<DetectionResult> RuleEngine::DetectWithStorage(
+    const StorageManager& storage, const std::string& name,
+    const RulePtr& rule) const {
+  auto schema = storage.GetSchema(name);
+  if (!schema.ok()) return schema.status();
+  auto plan = BuildPhysicalPlan(rule, *schema, options_);
+  if (!plan.ok()) return plan.status();
+
+  // Pushdown applies when the rule blocks on exactly one attribute and a
+  // replica partitioned on that attribute exists.
+  std::vector<std::string> blocking = rule->BlockingAttributes();
+  const PartitionedReplica* replica = nullptr;
+  if (blocking.size() == 1 && !plan->block_key_fn) {
+    auto found = storage.FindReplica(name, blocking[0]);
+    if (found.ok()) replica = *found;
+  }
+  if (replica == nullptr) {
+    // No matching replica: ordinary path over the reassembled table.
+    auto table = storage.Load(name);
+    if (!table.ok()) return table.status();
+    return Detect(*table, rule);
+  }
+
+  DetectionResult result;
+  result.plan_description =
+      plan->ToString() + " [block pushed down to storage replica '" +
+      replica->attribute + "']";
+  // Rows sharing a blocking key are co-located in one storage partition,
+  // so grouping is local to each partition — no shuffle.
+  Dataset<Row> data(ctx_, replica->partitions);
+  ctx_->metrics().AddRecordsRead(data.Count());
+  auto scoped = ApplyScope(data, plan->scope_columns);
+  auto blocks = scoped.MapPartitions<std::pair<BlockKey, std::vector<Row>>>(
+      [&plan = *plan](const std::vector<Row>& part) {
+        std::unordered_map<BlockKey, std::vector<Row>> groups;
+        BlockKey key = 0;
+        for (const Row& row : part) {
+          if (ComputeBlockKey(plan, row, &key)) groups[key].push_back(row);
+        }
+        std::vector<std::pair<BlockKey, std::vector<Row>>> out;
+        out.reserve(groups.size());
+        for (auto& g : groups) out.emplace_back(g.first, std::move(g.second));
+        return out;
+      });
+  RunBlocked(ctx_, *plan, blocks, &result);
+  return result;
+}
+
+Result<DetectionResult> RuleEngine::DetectAcross(
+    const Table& left, const Table& right,
+    const std::shared_ptr<DcRule>& rule) const {
+  DetectionResult result;
+  BIGDANSING_RETURN_NOT_OK(rule->BindAcross(left.schema(), right.schema()));
+  auto blocking = rule->BlockingAttributePairs();
+  result.plan_description =
+      "PhysicalPlan[" + rule->name() + "]: coblock(" +
+      std::to_string(blocking.size()) + " key pairs) -> iterate -> detect -> genfix";
+
+  Dataset<Row> left_ds = LoadTable(ctx_, left);
+  Dataset<Row> right_ds = LoadTable(ctx_, right);
+
+  if (blocking.empty()) {
+    // No equality link: cross product of the two datasets.
+    auto pairs = left_ds.Cartesian(right_ds);
+    const auto& parts = pairs.partitions();
+    std::vector<TaskOutput> tasks(parts.size());
+    pairs.RunStage([&](size_t p) {
+      for (const auto& pr : parts[p]) {
+        Probe(*rule, pr.first, pr.second, &tasks[p]);
+      }
+    });
+    MergeOutputs(&tasks, &result);
+    return result;
+  }
+
+  // CoBlock enhancer: key both sides on their half of the equality
+  // predicates and cogroup, so Iterate only pairs units within co-blocks
+  // (Figure 6).
+  std::vector<size_t> left_cols;
+  std::vector<size_t> right_cols;
+  for (const auto& [la, ra] : blocking) {
+    auto lc = left.schema().IndexOf(la);
+    if (!lc.ok()) return lc.status();
+    left_cols.push_back(*lc);
+    auto rc = right.schema().IndexOf(ra);
+    if (!rc.ok()) return rc.status();
+    right_cols.push_back(*rc);
+  }
+  auto key_rows = [](const Dataset<Row>& ds, const std::vector<size_t>& cols) {
+    return ds.FlatMap([&cols](const Row& row) {
+      std::vector<std::pair<BlockKey, Row>> out;
+      uint64_t h = 0x42D;
+      for (size_t c : cols) {
+        const Value& v = row.value(c);
+        if (v.is_null()) return out;
+        h = StableHashUint64(h ^ v.Hash());
+      }
+      out.emplace_back(h, row);
+      return out;
+    });
+  };
+  auto coblocks = CoGroup(key_rows(left_ds, left_cols),
+                          key_rows(right_ds, right_cols));
+  const auto& parts = coblocks.partitions();
+  std::vector<TaskOutput> tasks(parts.size());
+  coblocks.RunStage([&](size_t p) {
+    for (const auto& kv : parts[p]) {
+      const auto& [lbag, rbag] = kv.second;
+      for (const Row& a : lbag) {
+        for (const Row& b : rbag) {
+          Probe(*rule, a, b, &tasks[p]);
+        }
+      }
+    }
+    ctx_->metrics().AddPairsEnumerated(tasks[p].detect_calls);
+  });
+  MergeOutputs(&tasks, &result);
+  return result;
+}
+
+}  // namespace bigdansing

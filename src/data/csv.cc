@@ -1,0 +1,155 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace bigdansing {
+
+namespace {
+
+/// Splits one CSV record honoring double-quote quoting. Returns false on a
+/// malformed record (unterminated quote).
+bool SplitCsvRecord(const std::string& line, char delim,
+                    std::vector<std::string>* fields) {
+  fields->clear();
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"' && current.empty()) {
+      in_quotes = true;
+    } else if (c == delim) {
+      fields->push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (in_quotes) return false;
+  fields->push_back(std::move(current));
+  return true;
+}
+
+bool NeedsQuoting(const std::string& field, char delim) {
+  for (char c : field) {
+    if (c == delim || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+std::string QuoteField(const std::string& field) {
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+Result<Table> ReadCsvString(const std::string& text,
+                            const CsvOptions& options) {
+  std::istringstream in(text);
+  std::string line;
+  std::vector<std::string> fields;
+  bool first = true;
+  Schema schema;
+  Table table;
+  size_t line_no = 0;
+  size_t width = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() && in.eof()) break;
+    if (!SplitCsvRecord(line, options.delimiter, &fields)) {
+      return Status::ParseError("unterminated quote at line " +
+                                std::to_string(line_no));
+    }
+    if (first) {
+      first = false;
+      if (options.has_header) {
+        schema = Schema(fields);
+        width = fields.size();
+        table = Table(schema);
+        continue;
+      }
+      std::vector<std::string> names;
+      names.reserve(fields.size());
+      for (size_t i = 0; i < fields.size(); ++i) {
+        names.push_back("c" + std::to_string(i));
+      }
+      schema = Schema(std::move(names));
+      width = fields.size();
+      table = Table(schema);
+    }
+    if (fields.size() != width) {
+      return Status::ParseError("line " + std::to_string(line_no) + " has " +
+                                std::to_string(fields.size()) +
+                                " fields, expected " + std::to_string(width));
+    }
+    std::vector<Value> values;
+    values.reserve(fields.size());
+    for (auto& f : fields) {
+      values.push_back(options.infer_types
+                           ? Value::Parse(f)
+                           : (f.empty() ? Value::Null() : Value(f)));
+    }
+    table.AppendRow(std::move(values));
+  }
+  return table;
+}
+
+Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ReadCsvString(buffer.str(), options);
+}
+
+std::string WriteCsvString(const Table& table, const CsvOptions& options) {
+  std::string out;
+  const Schema& schema = table.schema();
+  if (options.has_header) {
+    for (size_t i = 0; i < schema.num_attributes(); ++i) {
+      if (i > 0) out.push_back(options.delimiter);
+      out += schema.attribute(i);
+    }
+    out.push_back('\n');
+  }
+  for (const Row& row : table.rows()) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(options.delimiter);
+      std::string field = row.value(i).ToString();
+      out += NeedsQuoting(field, options.delimiter) ? QuoteField(field) : field;
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << WriteCsvString(table, options);
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace bigdansing

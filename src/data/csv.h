@@ -1,0 +1,39 @@
+#ifndef BIGDANSING_DATA_CSV_H_
+#define BIGDANSING_DATA_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace bigdansing {
+
+/// CSV parsing options. The dialect is deliberately simple (BigDansing's
+/// parsers produce data units from flat files): comma-separated, optional
+/// double-quote quoting with "" escapes, first line optionally a header.
+struct CsvOptions {
+  bool has_header = true;
+  char delimiter = ',';
+  /// When true, fields are type-sniffed into int/double/string; when false
+  /// every non-empty field stays a string.
+  bool infer_types = true;
+};
+
+/// Parses CSV text into a Table. With `has_header` false, columns are named
+/// c0, c1, ....
+Result<Table> ReadCsvString(const std::string& text, const CsvOptions& options);
+
+/// Reads a CSV file from disk.
+Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options);
+
+/// Serializes `table` to CSV text (header included), quoting fields that
+/// contain the delimiter, quotes, or newlines.
+std::string WriteCsvString(const Table& table, const CsvOptions& options);
+
+/// Writes `table` to a CSV file.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options);
+
+}  // namespace bigdansing
+
+#endif  // BIGDANSING_DATA_CSV_H_

@@ -1,0 +1,37 @@
+#include "data/rdf.h"
+
+namespace bigdansing {
+
+std::vector<Triple> TripleStore::WithPredicate(
+    const std::string& predicate) const {
+  std::vector<Triple> out;
+  for (const auto& t : triples_) {
+    if (t.predicate == predicate) out.push_back(t);
+  }
+  return out;
+}
+
+Table TripleStore::ToTable() const {
+  Table table(Schema({"subject", "predicate", "object"}));
+  for (const auto& t : triples_) {
+    table.AppendRow({Value(t.subject), Value(t.predicate), Value(t.object)});
+  }
+  return table;
+}
+
+Result<TripleStore> TripleStore::FromTable(const Table& table) {
+  const Schema& s = table.schema();
+  if (s.num_attributes() != 3 || !s.Contains("subject") ||
+      !s.Contains("predicate") || !s.Contains("object")) {
+    return Status::InvalidArgument(
+        "expected schema (subject, predicate, object), got " + s.ToString());
+  }
+  TripleStore store;
+  for (const Row& row : table.rows()) {
+    store.Add(Triple{row.value(0).ToString(), row.value(1).ToString(),
+                     row.value(2).ToString()});
+  }
+  return store;
+}
+
+}  // namespace bigdansing

@@ -1,0 +1,50 @@
+#ifndef BIGDANSING_DATA_RDF_H_
+#define BIGDANSING_DATA_RDF_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace bigdansing {
+
+/// An RDF triple. BigDansing's data model is not tied to relations: triples
+/// are data units whose elements are subject / predicate / object
+/// (paper §2.1 and Appendix C).
+struct Triple {
+  std::string subject;
+  std::string predicate;
+  std::string object;
+
+  bool operator==(const Triple& other) const = default;
+};
+
+/// A set of triples with conversion to/from the tabular data-unit form used
+/// by the rule engine (columns: subject, predicate, object).
+class TripleStore {
+ public:
+  TripleStore() = default;
+  explicit TripleStore(std::vector<Triple> triples)
+      : triples_(std::move(triples)) {}
+
+  void Add(Triple t) { triples_.push_back(std::move(t)); }
+  size_t size() const { return triples_.size(); }
+  const std::vector<Triple>& triples() const { return triples_; }
+
+  /// Triples whose predicate equals `predicate`.
+  std::vector<Triple> WithPredicate(const std::string& predicate) const;
+
+  /// Tabular view: one row per triple, schema (subject, predicate, object).
+  Table ToTable() const;
+
+  /// Rebuilds a store from a tabular view produced by ToTable().
+  static Result<TripleStore> FromTable(const Table& table);
+
+ private:
+  std::vector<Triple> triples_;
+};
+
+}  // namespace bigdansing
+
+#endif  // BIGDANSING_DATA_RDF_H_

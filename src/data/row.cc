@@ -1,0 +1,15 @@
+#include "data/row.h"
+
+namespace bigdansing {
+
+std::string Row::ToString() const {
+  std::string out = "#" + std::to_string(id_) + "[";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += "|";
+    out += values_[i].ToString();
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace bigdansing

@@ -1,0 +1,54 @@
+#include "data/schema.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace bigdansing {
+
+Schema::Schema(std::vector<std::string> attributes)
+    : attributes_(std::move(attributes)) {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    index_.emplace(attributes_[i], i);
+  }
+}
+
+Schema Schema::FromCsvHeader(const std::string& header) {
+  std::vector<std::string> names;
+  for (auto& part : Split(header, ',')) {
+    names.emplace_back(Trim(part));
+  }
+  return Schema(std::move(names));
+}
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("attribute '" + name + "' not in schema " +
+                            ToString());
+  }
+  return it->second;
+}
+
+bool Schema::Contains(const std::string& name) const {
+  return index_.count(name) > 0;
+}
+
+Schema Schema::Project(const std::vector<size_t>& indices) const {
+  std::vector<std::string> names;
+  names.reserve(indices.size());
+  for (size_t i : indices) names.push_back(attributes_[i]);
+  return Schema(std::move(names));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attributes_[i];
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace bigdansing

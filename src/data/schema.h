@@ -1,0 +1,50 @@
+#ifndef BIGDANSING_DATA_SCHEMA_H_
+#define BIGDANSING_DATA_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bigdansing {
+
+/// Ordered list of attribute names; maps names to column indices.
+/// BigDansing data units are rows whose elements are identified by these
+/// attributes (paper §2.1).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<std::string> attributes);
+
+  /// Parses "name,zipcode,city" into a schema.
+  static Schema FromCsvHeader(const std::string& header);
+
+  size_t num_attributes() const { return attributes_.size(); }
+  const std::vector<std::string>& attributes() const { return attributes_; }
+  const std::string& attribute(size_t index) const { return attributes_[index]; }
+
+  /// Index of `name`, or error if absent.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  /// True if `name` is an attribute of this schema.
+  bool Contains(const std::string& name) const;
+
+  /// Schema restricted to the given attribute indices (used by Scope).
+  Schema Project(const std::vector<size_t>& indices) const;
+
+  bool operator==(const Schema& other) const {
+    return attributes_ == other.attributes_;
+  }
+
+  /// "(a, b, c)" for debugging.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> attributes_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace bigdansing
+
+#endif  // BIGDANSING_DATA_SCHEMA_H_

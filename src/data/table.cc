@@ -1,0 +1,48 @@
+#include "data/table.h"
+
+namespace bigdansing {
+
+void Table::AppendRow(std::vector<Value> values) {
+  rows_.emplace_back(static_cast<RowId>(rows_.size()), std::move(values));
+}
+
+const Row* Table::FindRowById(RowId id) const {
+  if (id >= 0 && static_cast<size_t>(id) < rows_.size() &&
+      rows_[static_cast<size_t>(id)].id() == id) {
+    return &rows_[static_cast<size_t>(id)];
+  }
+  for (const auto& r : rows_) {
+    if (r.id() == id) return &r;
+  }
+  return nullptr;
+}
+
+Row* Table::FindMutableRowById(RowId id) {
+  return const_cast<Row*>(
+      static_cast<const Table*>(this)->FindRowById(id));
+}
+
+Result<Value> Table::ValueAt(size_t index, const std::string& name) const {
+  if (index >= rows_.size()) {
+    return Status::OutOfRange("row index " + std::to_string(index));
+  }
+  auto col = schema_.IndexOf(name);
+  if (!col.ok()) return col.status();
+  return rows_[index].value(*col);
+}
+
+Result<size_t> Table::CountDifferingCells(const Table& other) const {
+  if (!(schema_ == other.schema_) || num_rows() != other.num_rows()) {
+    return Status::InvalidArgument(
+        "CountDifferingCells requires aligned tables");
+  }
+  size_t diff = 0;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    for (size_t c = 0; c < schema_.num_attributes(); ++c) {
+      if (rows_[i].value(c) != other.rows_[i].value(c)) ++diff;
+    }
+  }
+  return diff;
+}
+
+}  // namespace bigdansing

@@ -1,0 +1,59 @@
+#ifndef BIGDANSING_DATA_TABLE_H_
+#define BIGDANSING_DATA_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/row.h"
+#include "data/schema.h"
+
+namespace bigdansing {
+
+/// An in-memory relation: a schema plus rows with stable ids. This is the
+/// dirty-dataset container handed to BigDansing and the repaired-dataset
+/// container it returns.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+  Table(Schema schema, std::vector<Row> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<Row>& rows() const { return rows_; }
+  std::vector<Row>& mutable_rows() { return rows_; }
+  const Row& row(size_t index) const { return rows_[index]; }
+  Row& mutable_row(size_t index) { return rows_[index]; }
+
+  /// Appends `row`, assigning it the next sequential id.
+  void AppendRow(std::vector<Value> values);
+
+  /// Appends a row preserving its id (ids must stay unique).
+  void AppendRowWithId(Row row) { rows_.push_back(std::move(row)); }
+
+  /// Looks up a cell by row id (ids are positions for generator-built
+  /// tables; falls back to a scan otherwise). Returns nullptr if absent.
+  const Row* FindRowById(RowId id) const;
+  Row* FindMutableRowById(RowId id);
+
+  /// Value of attribute `name` in row `index`.
+  Result<Value> ValueAt(size_t index, const std::string& name) const;
+
+  /// Counts cells whose value differs from the same cell in `other`
+  /// (tables must be row-aligned with identical schemas).
+  Result<size_t> CountDifferingCells(const Table& other) const;
+
+  bool operator==(const Table& other) const {
+    return schema_ == other.schema_ && rows_ == other.rows_;
+  }
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace bigdansing
+
+#endif  // BIGDANSING_DATA_TABLE_H_

@@ -1,0 +1,341 @@
+#ifndef BIGDANSING_DATAFLOW_DATASET_H_
+#define BIGDANSING_DATAFLOW_DATASET_H_
+
+#include <algorithm>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "dataflow/context.h"
+
+namespace bigdansing {
+
+/// A partitioned, immutable, eagerly evaluated collection — the RDD analogue
+/// of this reproduction's embedded dataflow engine. Transformations schedule
+/// one task per partition on the ExecutionContext's worker pool; key-based
+/// operations (GroupByKey, ReduceByKey, Join, CoGroup — free functions below)
+/// perform a hash shuffle and record the moved-record count in Metrics.
+///
+/// Unlike Spark the evaluation is eager: each transformation runs when
+/// called. This keeps behaviour easy to reason about while preserving the
+/// partitioned execution structure that the paper's experiments vary.
+template <typename T>
+class Dataset {
+ public:
+  Dataset() : ctx_(nullptr) {}
+  Dataset(ExecutionContext* ctx, std::vector<std::vector<T>> partitions)
+      : ctx_(ctx), partitions_(std::move(partitions)) {}
+
+  /// Distributes `items` round-robin over `num_partitions` partitions
+  /// (defaults to ctx->default_partitions()).
+  static Dataset FromVector(ExecutionContext* ctx, std::vector<T> items,
+                            size_t num_partitions = 0) {
+    if (num_partitions == 0) num_partitions = ctx->default_partitions();
+    if (num_partitions == 0) num_partitions = 1;
+    std::vector<std::vector<T>> parts(num_partitions);
+    size_t per = (items.size() + num_partitions - 1) / num_partitions;
+    if (per == 0) per = 1;
+    for (auto& p : parts) p.reserve(per);
+    for (size_t i = 0; i < items.size(); ++i) {
+      parts[i / per].push_back(std::move(items[i]));
+    }
+    ctx->metrics().AddRecordsRead(items.size());
+    return Dataset(ctx, std::move(parts));
+  }
+
+  ExecutionContext* context() const { return ctx_; }
+  size_t num_partitions() const { return partitions_.size(); }
+  const std::vector<std::vector<T>>& partitions() const { return partitions_; }
+
+  /// Total number of records.
+  size_t Count() const {
+    size_t n = 0;
+    for (const auto& p : partitions_) n += p.size();
+    return n;
+  }
+
+  /// Gathers all records into one vector (driver-side collect).
+  std::vector<T> Collect() const {
+    std::vector<T> out;
+    out.reserve(Count());
+    for (const auto& p : partitions_) {
+      out.insert(out.end(), p.begin(), p.end());
+    }
+    return out;
+  }
+
+  /// Element-wise transform. `fn`: const T& -> U.
+  template <typename F>
+  auto Map(F fn) const -> Dataset<std::decay_t<decltype(fn(std::declval<const T&>()))>> {
+    using U = std::decay_t<decltype(fn(std::declval<const T&>()))>;
+    std::vector<std::vector<U>> out(partitions_.size());
+    RunStage([&](size_t p) {
+      const auto& in = partitions_[p];
+      out[p].reserve(in.size());
+      for (const auto& x : in) out[p].push_back(fn(x));
+      ctx_->ChargeMaterialization(in.size());
+    });
+    return Dataset<U>(ctx_, std::move(out));
+  }
+
+  /// One-to-many transform. `fn`: const T& -> std::vector<U>.
+  template <typename F>
+  auto FlatMap(F fn) const
+      -> Dataset<typename std::decay_t<decltype(fn(std::declval<const T&>()))>::value_type> {
+    using U = typename std::decay_t<decltype(fn(std::declval<const T&>()))>::value_type;
+    std::vector<std::vector<U>> out(partitions_.size());
+    RunStage([&](size_t p) {
+      for (const auto& x : partitions_[p]) {
+        auto produced = fn(x);
+        for (auto& u : produced) out[p].push_back(std::move(u));
+      }
+      ctx_->ChargeMaterialization(out[p].size());
+    });
+    return Dataset<U>(ctx_, std::move(out));
+  }
+
+  /// Keeps records satisfying `pred`.
+  template <typename F>
+  Dataset<T> Filter(F pred) const {
+    std::vector<std::vector<T>> out(partitions_.size());
+    RunStage([&](size_t p) {
+      for (const auto& x : partitions_[p]) {
+        if (pred(x)) out[p].push_back(x);
+      }
+      ctx_->ChargeMaterialization(partitions_[p].size());
+    });
+    return Dataset<T>(ctx_, std::move(out));
+  }
+
+  /// Whole-partition transform. `fn`: const std::vector<T>& -> std::vector<U>.
+  template <typename U, typename F>
+  Dataset<U> MapPartitions(F fn) const {
+    std::vector<std::vector<U>> out(partitions_.size());
+    RunStage([&](size_t p) {
+      out[p] = fn(partitions_[p]);
+      ctx_->ChargeMaterialization(partitions_[p].size());
+    });
+    return Dataset<U>(ctx_, std::move(out));
+  }
+
+  /// Redistributes records round-robin into `n` partitions (full shuffle).
+  Dataset<T> Repartition(size_t n) const {
+    if (n == 0) n = 1;
+    std::vector<T> all = Collect();
+    ctx_->metrics().AddShuffledRecords(all.size());
+    ctx_->metrics().AddStage();
+    std::vector<std::vector<T>> parts(n);
+    for (size_t i = 0; i < all.size(); ++i) {
+      parts[i % n].push_back(std::move(all[i]));
+    }
+    return Dataset<T>(ctx_, std::move(parts));
+  }
+
+  /// Concatenation (no shuffle; partitions are appended).
+  Dataset<T> Union(const Dataset<T>& other) const {
+    std::vector<std::vector<T>> parts = partitions_;
+    parts.insert(parts.end(), other.partitions_.begin(),
+                 other.partitions_.end());
+    return Dataset<T>(ctx_, std::move(parts));
+  }
+
+  /// Full cross product with `other`. Quadratic: use only on inputs known to
+  /// be small (the paper's baselines pay exactly this cost).
+  template <typename U>
+  Dataset<std::pair<T, U>> Cartesian(const Dataset<U>& other) const {
+    std::vector<U> right = other.Collect();
+    ctx_->metrics().AddShuffledRecords(right.size() * partitions_.size());
+    std::vector<std::vector<std::pair<T, U>>> out(partitions_.size());
+    RunStage([&](size_t p) {
+      uint64_t pairs = 0;
+      for (const auto& a : partitions_[p]) {
+        for (const auto& b : right) {
+          out[p].emplace_back(a, b);
+          ++pairs;
+        }
+      }
+      ctx_->metrics().AddPairsEnumerated(pairs);
+    });
+    return Dataset<std::pair<T, U>>(ctx_, std::move(out));
+  }
+
+  /// Schedules `body(p)` for every partition index and waits; records
+  /// stage/task metrics and per-worker busy time (partition p runs on
+  /// logical worker p % num_workers). Exposed for operators built on top of
+  /// the engine (e.g. OCJoin) that need custom per-partition logic.
+  template <typename F>
+  void RunStage(F body) const {
+    ctx_->metrics().AddStage();
+    ctx_->metrics().AddTasks(partitions_.size());
+    const size_t workers = ctx_->num_workers();
+    ctx_->pool().ParallelFor(partitions_.size(), [&](size_t p) {
+      ThreadCpuStopwatch task_timer;
+      body(p);
+      ctx_->metrics().RecordTaskTime(p % workers, task_timer.ElapsedSeconds());
+    });
+  }
+
+ private:
+  ExecutionContext* ctx_;
+  std::vector<std::vector<T>> partitions_;
+};
+
+namespace dataflow_internal {
+
+/// Hash-shuffles key-value records into `num_out` buckets, in parallel over
+/// input partitions. Returns per-output-partition record vectors.
+template <typename K, typename V, typename Hash>
+std::vector<std::vector<std::pair<K, V>>> ShuffleByKey(
+    const Dataset<std::pair<K, V>>& ds, size_t num_out, const Hash& hash) {
+  ExecutionContext* ctx = ds.context();
+  const auto& parts = ds.partitions();
+  // buckets[input_partition][output_partition]
+  std::vector<std::vector<std::vector<std::pair<K, V>>>> buckets(
+      parts.size(),
+      std::vector<std::vector<std::pair<K, V>>>(num_out));
+  ds.RunStage([&](size_t p) {
+    for (const auto& kv : parts[p]) {
+      size_t target = hash(kv.first) % num_out;
+      buckets[p][target].push_back(kv);
+    }
+    ctx->metrics().AddShuffledRecords(parts[p].size());
+    ctx->ChargeMaterialization(parts[p].size());
+  });
+  std::vector<std::vector<std::pair<K, V>>> out(num_out);
+  ctx->pool().ParallelFor(num_out, [&](size_t q) {
+    size_t total = 0;
+    for (size_t p = 0; p < parts.size(); ++p) total += buckets[p][q].size();
+    out[q].reserve(total);
+    for (size_t p = 0; p < parts.size(); ++p) {
+      auto& b = buckets[p][q];
+      out[q].insert(out[q].end(), std::make_move_iterator(b.begin()),
+                    std::make_move_iterator(b.end()));
+    }
+  });
+  return out;
+}
+
+}  // namespace dataflow_internal
+
+/// Groups values by key with a hash shuffle: Spark's groupByKey.
+template <typename K, typename V, typename Hash = std::hash<K>>
+Dataset<std::pair<K, std::vector<V>>> GroupByKey(
+    const Dataset<std::pair<K, V>>& ds, size_t num_partitions = 0,
+    const Hash& hash = Hash()) {
+  ExecutionContext* ctx = ds.context();
+  if (num_partitions == 0) num_partitions = std::max<size_t>(1, ds.num_partitions());
+  auto shuffled = dataflow_internal::ShuffleByKey(ds, num_partitions, hash);
+  std::vector<std::vector<std::pair<K, std::vector<V>>>> out(num_partitions);
+  ctx->pool().ParallelFor(num_partitions, [&](size_t q) {
+    std::unordered_map<K, std::vector<V>, Hash> groups(16, hash);
+    for (auto& kv : shuffled[q]) {
+      groups[kv.first].push_back(std::move(kv.second));
+    }
+    out[q].reserve(groups.size());
+    for (auto& g : groups) {
+      out[q].emplace_back(g.first, std::move(g.second));
+    }
+  });
+  return Dataset<std::pair<K, std::vector<V>>>(ctx, std::move(out));
+}
+
+/// Combines values per key with `reduce`: Spark's reduceByKey. `reduce`
+/// must be associative and commutative; it is applied map-side first so the
+/// shuffle moves at most one record per key per partition.
+template <typename K, typename V, typename F, typename Hash = std::hash<K>>
+Dataset<std::pair<K, V>> ReduceByKey(const Dataset<std::pair<K, V>>& ds,
+                                     F reduce, size_t num_partitions = 0,
+                                     const Hash& hash = Hash()) {
+  ExecutionContext* ctx = ds.context();
+  // Map-side combine.
+  auto combined = ds.template MapPartitions<std::pair<K, V>>(
+      [&](const std::vector<std::pair<K, V>>& part) {
+        std::unordered_map<K, V, Hash> acc(16, hash);
+        for (const auto& kv : part) {
+          auto it = acc.find(kv.first);
+          if (it == acc.end()) {
+            acc.emplace(kv.first, kv.second);
+          } else {
+            it->second = reduce(it->second, kv.second);
+          }
+        }
+        std::vector<std::pair<K, V>> out;
+        out.reserve(acc.size());
+        for (auto& kv : acc) out.emplace_back(kv.first, std::move(kv.second));
+        return out;
+      });
+  if (num_partitions == 0) num_partitions = std::max<size_t>(1, ds.num_partitions());
+  auto shuffled =
+      dataflow_internal::ShuffleByKey(combined, num_partitions, hash);
+  std::vector<std::vector<std::pair<K, V>>> out(num_partitions);
+  ctx->pool().ParallelFor(num_partitions, [&](size_t q) {
+    std::unordered_map<K, V, Hash> acc(16, hash);
+    for (auto& kv : shuffled[q]) {
+      auto it = acc.find(kv.first);
+      if (it == acc.end()) {
+        acc.emplace(std::move(kv.first), std::move(kv.second));
+      } else {
+        it->second = reduce(it->second, kv.second);
+      }
+    }
+    out[q].reserve(acc.size());
+    for (auto& kv : acc) out[q].emplace_back(kv.first, std::move(kv.second));
+  });
+  return Dataset<std::pair<K, V>>(ctx, std::move(out));
+}
+
+/// Inner hash join on key: Spark's join.
+template <typename K, typename V, typename W, typename Hash = std::hash<K>>
+Dataset<std::pair<K, std::pair<V, W>>> Join(const Dataset<std::pair<K, V>>& a,
+                                            const Dataset<std::pair<K, W>>& b,
+                                            size_t num_partitions = 0,
+                                            const Hash& hash = Hash()) {
+  ExecutionContext* ctx = a.context();
+  if (num_partitions == 0) num_partitions = std::max<size_t>(1, a.num_partitions());
+  auto left = dataflow_internal::ShuffleByKey(a, num_partitions, hash);
+  auto right = dataflow_internal::ShuffleByKey(b, num_partitions, hash);
+  std::vector<std::vector<std::pair<K, std::pair<V, W>>>> out(num_partitions);
+  ctx->pool().ParallelFor(num_partitions, [&](size_t q) {
+    std::unordered_map<K, std::vector<V>, Hash> build(16, hash);
+    for (auto& kv : left[q]) build[kv.first].push_back(std::move(kv.second));
+    for (auto& kw : right[q]) {
+      auto it = build.find(kw.first);
+      if (it == build.end()) continue;
+      for (const auto& v : it->second) {
+        out[q].emplace_back(kw.first, std::make_pair(v, kw.second));
+      }
+    }
+  });
+  return Dataset<std::pair<K, std::pair<V, W>>>(ctx, std::move(out));
+}
+
+/// Groups two keyed datasets on the same key — the paper's CoBlock enhancer
+/// maps onto this (Spark's cogroup). Keys absent from one side produce an
+/// empty bag on that side.
+template <typename K, typename V, typename W, typename Hash = std::hash<K>>
+Dataset<std::pair<K, std::pair<std::vector<V>, std::vector<W>>>> CoGroup(
+    const Dataset<std::pair<K, V>>& a, const Dataset<std::pair<K, W>>& b,
+    size_t num_partitions = 0, const Hash& hash = Hash()) {
+  ExecutionContext* ctx = a.context();
+  if (num_partitions == 0) num_partitions = std::max<size_t>(1, a.num_partitions());
+  auto left = dataflow_internal::ShuffleByKey(a, num_partitions, hash);
+  auto right = dataflow_internal::ShuffleByKey(b, num_partitions, hash);
+  using Bags = std::pair<std::vector<V>, std::vector<W>>;
+  std::vector<std::vector<std::pair<K, Bags>>> out(num_partitions);
+  ctx->pool().ParallelFor(num_partitions, [&](size_t q) {
+    std::unordered_map<K, Bags, Hash> groups(16, hash);
+    for (auto& kv : left[q]) groups[kv.first].first.push_back(std::move(kv.second));
+    for (auto& kw : right[q]) groups[kw.first].second.push_back(std::move(kw.second));
+    out[q].reserve(groups.size());
+    for (auto& g : groups) out[q].emplace_back(g.first, std::move(g.second));
+  });
+  return Dataset<std::pair<K, Bags>>(ctx, std::move(out));
+}
+
+}  // namespace bigdansing
+
+#endif  // BIGDANSING_DATAFLOW_DATASET_H_

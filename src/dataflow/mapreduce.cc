@@ -1,0 +1,246 @@
+#include "dataflow/mapreduce.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <map>
+
+#include "common/hash.h"
+#include "data/storage.h"
+
+namespace bigdansing {
+
+namespace {
+
+/// Appends one length-prefixed record to a spill blob.
+void SpillRecord(std::string* blob, const std::string& key,
+                 const std::string& value) {
+  uint64_t klen = key.size();
+  uint64_t vlen = value.size();
+  blob->append(reinterpret_cast<const char*>(&klen), sizeof(klen));
+  blob->append(key);
+  blob->append(reinterpret_cast<const char*>(&vlen), sizeof(vlen));
+  blob->append(value);
+}
+
+/// Parses a spill blob back into (key, value) records.
+bool ParseSpill(const std::string& blob,
+                std::vector<std::pair<std::string, std::string>>* out) {
+  size_t pos = 0;
+  while (pos < blob.size()) {
+    uint64_t klen = 0;
+    if (pos + sizeof(klen) > blob.size()) return false;
+    std::memcpy(&klen, blob.data() + pos, sizeof(klen));
+    pos += sizeof(klen);
+    if (pos + klen > blob.size()) return false;
+    std::string key(blob.data() + pos, klen);
+    pos += klen;
+    uint64_t vlen = 0;
+    if (pos + sizeof(vlen) > blob.size()) return false;
+    std::memcpy(&vlen, blob.data() + pos, sizeof(vlen));
+    pos += sizeof(vlen);
+    if (pos + vlen > blob.size()) return false;
+    out->emplace_back(std::move(key), std::string(blob.data() + pos, vlen));
+    pos += vlen;
+  }
+  return true;
+}
+
+}  // namespace
+
+MapReduceJob::MapReduceJob(ExecutionContext* ctx, MapFn map_fn,
+                           ReduceFn reduce_fn, size_t num_reducers,
+                           bool spill_to_disk)
+    : ctx_(ctx),
+      map_fn_(std::move(map_fn)),
+      reduce_fn_(std::move(reduce_fn)),
+      num_reducers_(num_reducers == 0 ? ctx->num_workers() : num_reducers),
+      spill_to_disk_(spill_to_disk) {}
+
+std::vector<std::string> MapReduceJob::Run(
+    const std::vector<std::string>& input_records) {
+  const size_t num_maps =
+      std::min(std::max<size_t>(1, ctx_->num_workers() * 2),
+               std::max<size_t>(1, input_records.size()));
+  const size_t split = (input_records.size() + num_maps - 1) / num_maps;
+
+  // --- Map phase: each task writes one serialized spill blob per reducer
+  // (Hadoop's partitioned spill files). ---
+  std::vector<std::vector<std::string>> spills(
+      num_maps, std::vector<std::string>(num_reducers_));
+  ctx_->metrics().AddStage();
+  ctx_->metrics().AddTasks(num_maps);
+  ctx_->pool().ParallelFor(num_maps, [&](size_t m) {
+    size_t begin = m * split;
+    size_t end = std::min(input_records.size(), begin + split);
+    std::vector<std::pair<std::string, std::string>> emitted;
+    for (size_t i = begin; i < end; ++i) {
+      emitted.clear();
+      map_fn_(input_records[i], &emitted);
+      for (const auto& [key, value] : emitted) {
+        size_t r = static_cast<size_t>(StableHashBytes(key)) % num_reducers_;
+        SpillRecord(&spills[m][r], key, value);
+      }
+    }
+  });
+
+  // --- Optional disk materialization: every non-empty spill blob becomes
+  // a real temp file (Hadoop writes map output to local disk; reducers
+  // fetch it from there), freed from memory in between. ---
+  size_t shuffle_bytes = 0;
+  for (const auto& task_spills : spills) {
+    for (const auto& blob : task_spills) shuffle_bytes += blob.size();
+  }
+  shuffle_bytes_ = shuffle_bytes;
+  std::vector<std::vector<std::string>> spill_paths;
+  if (spill_to_disk_) {
+    static std::atomic<uint64_t> spill_counter{0};
+    const std::string dir = std::filesystem::temp_directory_path().string();
+    const uint64_t job_id = spill_counter.fetch_add(1);
+    spill_paths.assign(num_maps, std::vector<std::string>(num_reducers_));
+    ctx_->pool().ParallelFor(num_maps, [&](size_t m) {
+      for (size_t r = 0; r < num_reducers_; ++r) {
+        if (spills[m][r].empty()) continue;
+        std::string path = dir + "/bd_mr_" + std::to_string(job_id) + "_" +
+                           std::to_string(m) + "_" + std::to_string(r) +
+                           ".spill";
+        std::ofstream out(path, std::ios::binary);
+        out.write(spills[m][r].data(),
+                  static_cast<std::streamsize>(spills[m][r].size()));
+        out.close();
+        spill_paths[m][r] = std::move(path);
+        std::string().swap(spills[m][r]);  // Drop the in-memory copy.
+      }
+    });
+  }
+  ctx_->metrics().AddStage();
+  ctx_->metrics().AddTasks(num_reducers_);
+
+  std::vector<std::vector<std::string>> outputs(num_reducers_);
+  ctx_->pool().ParallelFor(num_reducers_, [&](size_t r) {
+    std::vector<std::pair<std::string, std::string>> records;
+    for (size_t m = 0; m < num_maps; ++m) {
+      if (spill_to_disk_) {
+        if (spill_paths[m][r].empty()) continue;
+        std::ifstream in(spill_paths[m][r], std::ios::binary);
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        ParseSpill(buffer.str(), &records);
+        std::filesystem::remove(spill_paths[m][r]);
+      } else {
+        ParseSpill(spills[m][r], &records);
+      }
+    }
+    ctx_->metrics().AddShuffledRecords(records.size());
+    std::sort(records.begin(), records.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<std::string> group;
+    size_t i = 0;
+    while (i < records.size()) {
+      size_t j = i;
+      group.clear();
+      while (j < records.size() && records[j].first == records[i].first) {
+        group.push_back(std::move(records[j].second));
+        ++j;
+      }
+      reduce_fn_(records[i].first, group, &outputs[r]);
+      i = j;
+    }
+  });
+
+  std::vector<std::string> result;
+  for (auto& out : outputs) {
+    for (auto& record : out) result.push_back(std::move(record));
+  }
+  return result;
+}
+
+Result<MapReduceDetectionResult> MapReduceDetect(ExecutionContext* ctx,
+                                                 const Table& table,
+                                                 const RulePtr& rule) {
+  BIGDANSING_RETURN_NOT_OK(rule->Bind(table.schema()));
+  std::vector<std::string> blocking = rule->BlockingAttributes();
+  if (rule->arity() != 2 || blocking.empty()) {
+    return Status::Unimplemented(
+        "the MapReduce backend requires a pair rule with a blocking key");
+  }
+  std::vector<size_t> blocking_columns;
+  for (const auto& a : blocking) {
+    auto idx = table.schema().IndexOf(a);
+    if (!idx.ok()) return idx.status();
+    blocking_columns.push_back(*idx);
+  }
+
+  // Input "splits": every row as a serialized record (Hadoop reads bytes).
+  std::vector<std::string> input;
+  input.reserve(table.num_rows());
+  for (const Row& row : table.rows()) input.push_back(SerializeRow(row));
+  ctx->metrics().AddRecordsRead(table.num_rows());
+
+  const bool symmetric = rule->IsSymmetric();
+  MapReduceJob job(
+      ctx,
+      // MR-PBlock: deserialize, key by the blocking attributes.
+      [&blocking_columns](const std::string& record,
+                          std::vector<std::pair<std::string, std::string>>* out) {
+        auto row = DeserializeRow(record);
+        if (!row.ok()) return;
+        uint64_t h = 0x42D;
+        for (size_t c : blocking_columns) {
+          const Value& v = row->value(c);
+          if (v.is_null()) return;  // Null keys join no block.
+          h = StableHashUint64(h ^ v.Hash());
+        }
+        out->emplace_back(std::string(reinterpret_cast<const char*>(&h),
+                                      sizeof(h)),
+                          record);
+      },
+      // MR-PIterate + MR-PDetect + MR-PGenFix: pair within the group.
+      [&rule, symmetric](const std::string& /*key*/,
+                         const std::vector<std::string>& values,
+                         std::vector<std::string>* out) {
+        std::vector<Row> block;
+        block.reserve(values.size());
+        for (const auto& v : values) {
+          auto row = DeserializeRow(v);
+          if (row.ok()) block.push_back(std::move(*row));
+        }
+        // Hadoop guarantees key order but not value order within a group;
+        // sort by row id so the output is deterministic regardless of the
+        // map-task split.
+        std::sort(block.begin(), block.end(),
+                  [](const Row& a, const Row& b) { return a.id() < b.id(); });
+        std::vector<Violation> found;
+        for (size_t i = 0; i < block.size(); ++i) {
+          for (size_t j = i + 1; j < block.size(); ++j) {
+            found.clear();
+            rule->Detect(block[i], block[j], &found);
+            if (!symmetric) rule->Detect(block[j], block[i], &found);
+            for (auto& violation : found) {
+              std::vector<Fix> fixes;
+              rule->GenFix(violation, &fixes);
+              std::string rendered = violation.rule_name + ":";
+              for (RowId id : violation.RowIds()) {
+                rendered += " t" + std::to_string(id);
+              }
+              rendered += " |";
+              for (const auto& fix : fixes) {
+                rendered += " " + fix.ToString() + ";";
+              }
+              out->push_back(std::move(rendered));
+            }
+          }
+        }
+      });
+
+  MapReduceDetectionResult result;
+  result.rendered = job.Run(input);
+  result.violations = result.rendered.size();
+  result.shuffle_bytes = job.shuffle_bytes();
+  return result;
+}
+
+}  // namespace bigdansing

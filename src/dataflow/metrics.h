@@ -1,0 +1,83 @@
+#ifndef BIGDANSING_DATAFLOW_METRICS_H_
+#define BIGDANSING_DATAFLOW_METRICS_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bigdansing {
+
+/// Execution counters gathered by the dataflow engine. Because this
+/// reproduction runs on one machine, scaling behaviour is evidenced both by
+/// wall time and by these work measures (records shuffled across partitions,
+/// stages executed, tasks launched, pairs enumerated).
+class Metrics {
+ public:
+  void AddShuffledRecords(uint64_t n) { shuffled_records_ += n; }
+  void AddStage() { ++stages_; }
+  void AddTasks(uint64_t n) { tasks_ += n; }
+  void AddPairsEnumerated(uint64_t n) { pairs_enumerated_ += n; }
+  void AddRecordsRead(uint64_t n) { records_read_ += n; }
+
+  uint64_t shuffled_records() const { return shuffled_records_; }
+  uint64_t stages() const { return stages_; }
+  uint64_t tasks() const { return tasks_; }
+  uint64_t pairs_enumerated() const { return pairs_enumerated_; }
+  uint64_t records_read() const { return records_read_; }
+
+  /// Accumulates the busy time of one task onto logical worker `slot`.
+  /// Tasks are bound to workers by partition index, so the maximum busy sum
+  /// over slots is the wall-clock a real cluster with that many executors
+  /// would have needed — the scale-out measure reported by the Fig 11(a)
+  /// bench (this host may have fewer physical cores than workers).
+  void RecordTaskTime(size_t slot, double seconds) {
+    std::lock_guard<std::mutex> lock(task_time_mutex_);
+    if (slot >= worker_busy_seconds_.size()) {
+      worker_busy_seconds_.resize(slot + 1, 0.0);
+    }
+    worker_busy_seconds_[slot] += seconds;
+  }
+
+  /// Simulated cluster wall-clock: the busiest worker's total task time.
+  double SimulatedWallSeconds() const {
+    std::lock_guard<std::mutex> lock(task_time_mutex_);
+    double max_busy = 0.0;
+    for (double b : worker_busy_seconds_) max_busy = std::max(max_busy, b);
+    return max_busy;
+  }
+
+  void Reset() {
+    shuffled_records_ = 0;
+    stages_ = 0;
+    tasks_ = 0;
+    pairs_enumerated_ = 0;
+    records_read_ = 0;
+    std::lock_guard<std::mutex> lock(task_time_mutex_);
+    worker_busy_seconds_.clear();
+  }
+
+  /// One-line summary for bench output.
+  std::string ToString() const {
+    return "stages=" + std::to_string(stages_.load()) +
+           " tasks=" + std::to_string(tasks_.load()) +
+           " shuffled=" + std::to_string(shuffled_records_.load()) +
+           " pairs=" + std::to_string(pairs_enumerated_.load()) +
+           " read=" + std::to_string(records_read_.load());
+  }
+
+ private:
+  std::atomic<uint64_t> shuffled_records_{0};
+  std::atomic<uint64_t> stages_{0};
+  std::atomic<uint64_t> tasks_{0};
+  std::atomic<uint64_t> pairs_enumerated_{0};
+  std::atomic<uint64_t> records_read_{0};
+  mutable std::mutex task_time_mutex_;
+  std::vector<double> worker_busy_seconds_;
+};
+
+}  // namespace bigdansing
+
+#endif  // BIGDANSING_DATAFLOW_METRICS_H_

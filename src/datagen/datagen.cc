@@ -1,0 +1,254 @@
+#include "datagen/datagen.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/random.h"
+
+namespace bigdansing {
+
+namespace {
+
+/// 50 US state codes for synthetic addresses.
+const char* const kStates[] = {
+    "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA",
+    "HI", "ID", "IL", "IN", "IA", "KS", "KY", "LA", "ME", "MD",
+    "MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ",
+    "NM", "NY", "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC",
+    "SD", "TN", "TX", "UT", "VT", "VA", "WA", "WV", "WI", "WY"};
+constexpr size_t kNumStates = 50;
+
+/// Deterministic city name for a zipcode (the clean FD zipcode -> city).
+std::string CityOf(uint64_t zipcode) {
+  return "city_" + std::to_string(zipcode % 1000);
+}
+
+/// Deterministic state for a zipcode (clean FD zipcode -> state).
+std::string StateOf(uint64_t zipcode) {
+  return kStates[zipcode % kNumStates];
+}
+
+/// Appends short random text — the paper's error model for TaxA city/state.
+std::string CorruptText(const std::string& base, Random* rng) {
+  return base + "_" + rng->NextString(3);
+}
+
+/// Random edit of a string: substitute, delete or insert one character at a
+/// random position (the dedup error model: "random edits on name/phone").
+std::string RandomEdit(const std::string& base, Random* rng) {
+  if (base.empty()) return rng->NextString(1);
+  std::string s = base;
+  size_t pos = rng->NextBounded(s.size());
+  switch (rng->NextBounded(3)) {
+    case 0:  // Substitute.
+      s[pos] = static_cast<char>('a' + rng->NextBounded(26));
+      break;
+    case 1:  // Delete.
+      s.erase(pos, 1);
+      break;
+    default:  // Insert.
+      s.insert(pos, 1, static_cast<char>('a' + rng->NextBounded(26)));
+      break;
+  }
+  return s;
+}
+
+std::string PhoneOf(Random* rng) {
+  return std::to_string(100 + rng->NextBounded(900)) + "-" +
+         std::to_string(1000 + rng->NextBounded(9000));
+}
+
+}  // namespace
+
+GeneratedData GenerateTaxA(size_t rows, double error_rate, uint64_t seed) {
+  Random rng(seed);
+  Schema schema({"name", "zipcode", "city", "state", "salary", "rate"});
+  GeneratedData data{Table(schema), Table(schema)};
+  // ~10 rows per zipcode block so majority repair can win.
+  size_t num_zips = std::max<size_t>(1, rows / 10);
+  for (size_t i = 0; i < rows; ++i) {
+    uint64_t zip = 10000 + rng.NextBounded(num_zips);
+    int64_t salary = 20000 + static_cast<int64_t>(rng.NextBounded(180000));
+    int64_t rate = salary / 10000;
+    std::vector<Value> clean = {Value(rng.NextString(8)),
+                                Value(static_cast<int64_t>(zip)),
+                                Value(CityOf(zip)),
+                                Value(StateOf(zip)),
+                                Value(salary),
+                                Value(rate)};
+    std::vector<Value> dirty = clean;
+    if (rng.NextBool(error_rate)) {
+      // Corrupt city or state (50/50), the FD right-hand sides.
+      size_t col = rng.NextBool(0.5) ? 2 : 3;
+      dirty[col] = Value(CorruptText(dirty[col].ToString(), &rng));
+    }
+    data.clean.AppendRow(std::move(clean));
+    data.dirty.AppendRow(std::move(dirty));
+  }
+  return data;
+}
+
+GeneratedData GenerateTaxB(size_t rows, double error_rate, uint64_t seed) {
+  Random rng(seed);
+  Schema schema({"name", "zipcode", "city", "state", "salary", "rate"});
+  GeneratedData data{Table(schema), Table(schema)};
+  // Distinct salaries via a random permutation of ranks; the clean rate is
+  // strictly monotone in salary so the DC holds exactly.
+  std::vector<uint64_t> ranks(rows);
+  std::iota(ranks.begin(), ranks.end(), 0);
+  for (size_t i = rows; i > 1; --i) {
+    std::swap(ranks[i - 1], ranks[rng.NextBounded(i)]);
+  }
+  const double kRatePerRank = 0.01;
+  for (size_t i = 0; i < rows; ++i) {
+    uint64_t rank = ranks[i];
+    int64_t salary = 20000 + static_cast<int64_t>(rank) * 3;
+    double rate = 5.0 + static_cast<double>(rank) * kRatePerRank;
+    uint64_t zip = 10000 + rng.NextBounded(std::max<size_t>(1, rows / 10));
+    std::vector<Value> clean = {Value(rng.NextString(8)),
+                                Value(static_cast<int64_t>(zip)),
+                                Value(CityOf(zip)),
+                                Value(StateOf(zip)),
+                                Value(salary),
+                                Value(rate)};
+    std::vector<Value> dirty = clean;
+    if (rng.NextBool(error_rate)) {
+      // Lower the rate by ~kTaxBViolationBand ranks: the row now pays less
+      // than peers with smaller salaries, creating a bounded band of
+      // violating pairs for DC ϕ2.
+      dirty[5] = Value(rate - static_cast<double>(kTaxBViolationBand) *
+                                  kRatePerRank);
+    }
+    data.clean.AppendRow(std::move(clean));
+    data.dirty.AppendRow(std::move(dirty));
+  }
+  return data;
+}
+
+GeneratedData GenerateTpch(size_t rows, double error_rate, uint64_t seed) {
+  Random rng(seed);
+  Schema schema({"orderkey", "o_custkey", "c_address", "quantity", "price"});
+  GeneratedData data{Table(schema), Table(schema)};
+  size_t num_custs = std::max<size_t>(1, rows / 10);
+  for (size_t i = 0; i < rows; ++i) {
+    uint64_t cust = 1 + rng.NextBounded(num_custs);
+    std::string address = "addr_" + std::to_string(cust * 7919 % 100000);
+    std::vector<Value> clean = {
+        Value(static_cast<int64_t>(i + 1)), Value(static_cast<int64_t>(cust)),
+        Value(address), Value(static_cast<int64_t>(1 + rng.NextBounded(50))),
+        Value(static_cast<double>(rng.NextBounded(100000)) / 100.0)};
+    std::vector<Value> dirty = clean;
+    if (rng.NextBool(error_rate)) {
+      dirty[2] = Value(CorruptText(address, &rng));
+    }
+    data.clean.AppendRow(std::move(clean));
+    data.dirty.AppendRow(std::move(dirty));
+  }
+  return data;
+}
+
+DedupData GenerateCustomerDedup(size_t base_rows, int exact_copies,
+                                double fuzzy_rate, uint64_t seed) {
+  Random rng(seed);
+  Schema schema({"custkey", "name", "address", "phone", "acctbal"});
+  DedupData data;
+  data.table = Table(schema);
+  // Base rows.
+  std::vector<std::vector<Value>> base;
+  base.reserve(base_rows);
+  for (size_t i = 0; i < base_rows; ++i) {
+    base.push_back({Value(static_cast<int64_t>(i + 1)),
+                    Value(rng.NextString(10)), Value("addr_" + rng.NextString(6)),
+                    Value(PhoneOf(&rng)),
+                    Value(static_cast<double>(rng.NextBounded(1000000)) / 100.0)});
+  }
+  for (const auto& row : base) {
+    data.table.AppendRow(row);
+  }
+  // Exact duplicates: `exact_copies` byte-identical copies per base row.
+  for (int c = 0; c < exact_copies; ++c) {
+    for (size_t i = 0; i < base_rows; ++i) {
+      RowId orig = static_cast<RowId>(i);
+      RowId dup = static_cast<RowId>(data.table.num_rows());
+      data.table.AppendRow(base[i]);
+      data.exact_pairs.emplace_back(orig, dup);
+    }
+  }
+  // Fuzzy duplicates: sample `fuzzy_rate` of current tuples, copy with
+  // random edits on name and phone.
+  size_t current = data.table.num_rows();
+  for (size_t i = 0; i < current; ++i) {
+    if (!rng.NextBool(fuzzy_rate)) continue;
+    std::vector<Value> copy = data.table.row(i).values();
+    copy[1] = Value(RandomEdit(copy[1].ToString(), &rng));
+    copy[3] = Value(RandomEdit(copy[3].ToString(), &rng));
+    RowId dup = static_cast<RowId>(data.table.num_rows());
+    data.table.AppendRow(std::move(copy));
+    data.fuzzy_pairs.emplace_back(static_cast<RowId>(i), dup);
+  }
+  return data;
+}
+
+DedupData GenerateNcVoter(size_t rows, double dup_rate, uint64_t seed) {
+  Random rng(seed);
+  Schema schema({"voter_id", "name", "city", "county", "phone", "age"});
+  DedupData data;
+  data.table = Table(schema);
+  for (size_t i = 0; i < rows; ++i) {
+    uint64_t zip = rng.NextBounded(1000);
+    data.table.AppendRow({Value(static_cast<int64_t>(i + 1)),
+                          Value(rng.NextString(9)), Value(CityOf(zip)),
+                          Value("county_" + std::to_string(zip % 100)),
+                          Value(PhoneOf(&rng)),
+                          Value(static_cast<int64_t>(18 + rng.NextBounded(80)))});
+  }
+  size_t current = data.table.num_rows();
+  for (size_t i = 0; i < current; ++i) {
+    if (!rng.NextBool(dup_rate)) continue;
+    std::vector<Value> copy = data.table.row(i).values();
+    copy[1] = Value(RandomEdit(copy[1].ToString(), &rng));
+    copy[4] = Value(RandomEdit(copy[4].ToString(), &rng));
+    RowId dup = static_cast<RowId>(data.table.num_rows());
+    data.table.AppendRow(std::move(copy));
+    data.fuzzy_pairs.emplace_back(static_cast<RowId>(i), dup);
+  }
+  return data;
+}
+
+GeneratedData GenerateHai(size_t rows, double error_rate, uint64_t seed,
+                          const std::vector<size_t>& corrupt_columns) {
+  Random rng(seed);
+  Schema schema({"provider_id", "hospital", "city", "state", "zipcode",
+                 "county", "phone", "measure", "score"});
+  GeneratedData data{Table(schema), Table(schema)};
+  size_t num_providers = std::max<size_t>(1, rows / 12);
+  for (size_t i = 0; i < rows; ++i) {
+    uint64_t provider = 1000 + rng.NextBounded(num_providers);
+    // Clean FDs: provider -> (city, phone, zipcode ...); phone -> zipcode;
+    // zipcode -> state. Derived deterministically from the provider id.
+    uint64_t zip = 10000 + provider % 997;
+    // Injective in provider so the clean data satisfies phone -> zipcode.
+    std::string phone = std::to_string(200 + provider / 10000) + "-" +
+                        std::to_string(provider % 10000);
+    std::vector<Value> clean = {
+        Value(static_cast<int64_t>(provider)),
+        Value("hospital_" + std::to_string(provider)),
+        Value(CityOf(provider)),
+        Value(StateOf(zip)),
+        Value(static_cast<int64_t>(zip)),
+        Value("county_" + std::to_string(provider % 321)),
+        Value(phone),
+        Value("HAI_" + std::to_string(1 + rng.NextBounded(6))),
+        Value(static_cast<double>(rng.NextBounded(1000)) / 100.0)};
+    std::vector<Value> dirty = clean;
+    if (!corrupt_columns.empty() && rng.NextBool(error_rate)) {
+      size_t col = corrupt_columns[rng.NextBounded(corrupt_columns.size())];
+      dirty[col] = Value(CorruptText(dirty[col].ToString(), &rng));
+    }
+    data.clean.AppendRow(std::move(clean));
+    data.dirty.AppendRow(std::move(dirty));
+  }
+  return data;
+}
+
+}  // namespace bigdansing

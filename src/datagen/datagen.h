@@ -1,0 +1,81 @@
+#ifndef BIGDANSING_DATAGEN_DATAGEN_H_
+#define BIGDANSING_DATAGEN_DATAGEN_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "data/table.h"
+
+namespace bigdansing {
+
+/// A generated workload: the dirty instance handed to BigDansing plus the
+/// row-aligned ground truth used for precision/recall (Table 4). These are
+/// deterministic synthetic stand-ins for the paper's datasets (Table 2);
+/// schemas, error models and relative sizes follow the paper, values are
+/// synthetic (see DESIGN.md §2).
+struct GeneratedData {
+  Table dirty;
+  Table clean;
+};
+
+/// TaxA (paper §6.1 (1)): US personal tax records with schema
+/// (name, zipcode, city, state, salary, rate). zipcode functionally
+/// determines city and state in the clean data; errors append random text
+/// to city/state in `error_rate` of the rows — the workload for FD ϕ1
+/// (zipcode -> city). Blocks (zipcode groups) hold ~10 rows so majority
+/// repair can recover the truth.
+GeneratedData GenerateTaxA(size_t rows, double error_rate, uint64_t seed);
+
+/// TaxB (§6.1 (2)): TaxA with numerical errors on rate. Clean rate grows
+/// strictly monotonically with salary (distinct salaries), so the DC ϕ2
+/// (t1.salary > t2.salary & t1.rate < t2.rate) holds exactly; errors lower
+/// the rate of `error_rate` of the rows by a band of ~`kTaxBViolationBand`
+/// salary ranks, so each error produces a bounded set of violating pairs.
+GeneratedData GenerateTaxB(size_t rows, double error_rate, uint64_t seed);
+
+/// Expected violating-pair band per injected TaxB error (used by tests).
+inline constexpr size_t kTaxBViolationBand = 50;
+
+/// TPCH (§6.1 (3)): the lineitem ⋈ customer join with schema
+/// (orderkey, o_custkey, c_address, quantity, price); o_custkey
+/// functionally determines c_address (FD ϕ3); errors mutate the address.
+GeneratedData GenerateTpch(size_t rows, double error_rate, uint64_t seed);
+
+/// A deduplication workload: a table plus the ground-truth duplicate row
+/// pairs that were injected.
+struct DedupData {
+  Table table;
+  /// Byte-identical copies of a base row (paper: cust1 has 3x, cust2 5x).
+  std::vector<std::pair<RowId, RowId>> exact_pairs;
+  /// Copies with random edits on name and phone (paper: 2% of tuples).
+  std::vector<std::pair<RowId, RowId>> fuzzy_pairs;
+};
+
+/// Customer (§6.1 (4)): TPC-H customer with schema
+/// (custkey, name, address, phone, acctbal); `exact_copies` extra exact
+/// duplicates per sampled base row, then `fuzzy_rate` of all tuples
+/// duplicated with random edits on name and phone.
+DedupData GenerateCustomerDedup(size_t base_rows, int exact_copies,
+                                double fuzzy_rate, uint64_t seed);
+
+/// NCVoter (§6.1 (5)): voter records with schema
+/// (voter_id, name, city, county, phone, age); `dup_rate` duplicate rows
+/// with random edits in name and phone.
+DedupData GenerateNcVoter(size_t rows, double dup_rate, uint64_t seed);
+
+/// HAI (§6.1 (6)): hospital infection statistics with schema
+/// (provider_id, hospital, city, state, zipcode, county, phone, measure,
+/// score). The clean data satisfies ϕ6 (zipcode -> state), ϕ7
+/// (phone -> zipcode) and ϕ8 (provider_id -> city, phone); errors corrupt
+/// `error_rate` of the rows on one of `corrupt_columns` (defaults to the
+/// attributes covered by all three FDs: city=2, state=3, phone=6; the paper
+/// builds one dirty instance per rule combination, corrupting only the
+/// attributes that combination covers).
+GeneratedData GenerateHai(size_t rows, double error_rate, uint64_t seed,
+                          const std::vector<size_t>& corrupt_columns = {2, 3,
+                                                                        6});
+
+}  // namespace bigdansing
+
+#endif  // BIGDANSING_DATAGEN_DATAGEN_H_

@@ -1,0 +1,128 @@
+#include "repair/connected_components.h"
+
+#include <algorithm>
+
+#include "dataflow/dataset.h"
+
+namespace bigdansing {
+
+namespace {
+
+/// Union-find over arbitrary uint64 ids with path compression and union by
+/// smaller root id (so the representative is the minimum id, matching BSP).
+class UnionFind {
+ public:
+  uint64_t Find(uint64_t x) {
+    auto it = parent_.find(x);
+    if (it == parent_.end()) {
+      parent_.emplace(x, x);
+      return x;
+    }
+    // Path compression (iterative to avoid deep recursion).
+    uint64_t root = x;
+    while (parent_[root] != root) root = parent_[root];
+    while (parent_[x] != root) {
+      uint64_t next = parent_[x];
+      parent_[x] = root;
+      x = next;
+    }
+    return root;
+  }
+
+  void Union(uint64_t a, uint64_t b) {
+    uint64_t ra = Find(a);
+    uint64_t rb = Find(b);
+    if (ra == rb) return;
+    // The smaller id becomes the root so component ids are minima.
+    if (ra < rb) {
+      parent_[rb] = ra;
+    } else {
+      parent_[ra] = rb;
+    }
+  }
+
+  const std::unordered_map<uint64_t, uint64_t>& nodes() const {
+    return parent_;
+  }
+
+ private:
+  std::unordered_map<uint64_t, uint64_t> parent_;
+};
+
+}  // namespace
+
+ComponentLabels UnionFindConnectedComponents(
+    const std::vector<uint64_t>& nodes,
+    const std::vector<std::pair<uint64_t, uint64_t>>& edges) {
+  UnionFind uf;
+  for (uint64_t n : nodes) uf.Find(n);
+  for (const auto& [a, b] : edges) uf.Union(a, b);
+  ComponentLabels labels;
+  for (const auto& [node, _] : uf.nodes()) {
+    labels[node] = uf.Find(node);
+  }
+  return labels;
+}
+
+ComponentLabels BspConnectedComponents(
+    ExecutionContext* ctx, const std::vector<uint64_t>& nodes,
+    const std::vector<std::pair<uint64_t, uint64_t>>& edges) {
+  // Initial labels: every node is its own component.
+  std::vector<std::pair<uint64_t, uint64_t>> label_records;
+  label_records.reserve(nodes.size());
+  for (uint64_t n : nodes) label_records.emplace_back(n, n);
+  for (const auto& [a, b] : edges) {
+    label_records.emplace_back(a, a);
+    label_records.emplace_back(b, b);
+  }
+  auto min_fn = [](uint64_t a, uint64_t b) { return std::min(a, b); };
+  Dataset<std::pair<uint64_t, uint64_t>> labels =
+      ReduceByKey(Dataset<std::pair<uint64_t, uint64_t>>::FromVector(
+                      ctx, std::move(label_records)),
+                  min_fn);
+
+  // Edge dataset is reused every superstep.
+  auto edge_ds =
+      Dataset<std::pair<uint64_t, uint64_t>>::FromVector(ctx, edges);
+
+  while (true) {
+    // Superstep: each node sends its current label across incident edges;
+    // nodes adopt the minimum of their own and received labels.
+    auto with_labels = Join(edge_ds, labels);  // (u, (v, label_u)) keyed by u.
+    // Messages to v: label_u; plus symmetric direction via reversed edges.
+    auto messages = with_labels.Map(
+        [](const std::pair<uint64_t, std::pair<uint64_t, uint64_t>>& rec) {
+          return std::make_pair(rec.second.first, rec.second.second);
+        });
+    auto reversed = edge_ds.Map([](const std::pair<uint64_t, uint64_t>& e) {
+      return std::make_pair(e.second, e.first);
+    });
+    auto messages_back =
+        Join(reversed, labels).Map(
+            [](const std::pair<uint64_t, std::pair<uint64_t, uint64_t>>& rec) {
+              return std::make_pair(rec.second.first, rec.second.second);
+            });
+    auto combined = labels.Union(messages).Union(messages_back);
+    auto new_labels = ReduceByKey(combined, min_fn);
+
+    // Convergence check: did any label shrink?
+    std::unordered_map<uint64_t, uint64_t> old_map;
+    for (const auto& kv : labels.Collect()) old_map.insert(kv);
+    bool changed = false;
+    for (const auto& kv : new_labels.Collect()) {
+      auto it = old_map.find(kv.first);
+      if (it == old_map.end() || it->second != kv.second) {
+        changed = true;
+        break;
+      }
+    }
+    labels = new_labels;
+    if (!changed) break;
+  }
+
+  ComponentLabels out;
+  for (const auto& kv : labels.Collect()) out.insert(kv);
+  return out;
+}
+
+}  // namespace bigdansing

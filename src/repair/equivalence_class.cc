@@ -1,0 +1,188 @@
+#include "repair/equivalence_class.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "dataflow/dataset.h"
+#include "repair/connected_components.h"
+
+namespace bigdansing {
+
+namespace {
+
+/// Value vote tally with deterministic winner selection: highest count,
+/// ties broken toward the smaller value. std::map keeps value order.
+Value WinningValue(const std::map<Value, size_t>& votes) {
+  Value best;
+  size_t best_count = 0;
+  for (const auto& [value, count] : votes) {
+    if (count > best_count) {
+      best = value;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<CellAssignment> EquivalenceClassAlgorithm::RepairComponent(
+    const std::vector<const ViolationWithFixes*>& edges) const {
+  // Dense ids for the cells touched by equality fixes.
+  std::unordered_map<CellRef, size_t, CellRefHash> ids;
+  std::vector<CellRef> cells;
+  std::vector<Value> current;  // Current (dirty) value per cell.
+  auto intern = [&](const Cell& c) {
+    auto [it, inserted] = ids.emplace(c.ref, cells.size());
+    if (inserted) {
+      cells.push_back(c.ref);
+      current.push_back(c.value);
+    }
+    return it->second;
+  };
+
+  // Union cells linked by `cell = cell` fixes; remember `cell = constant`.
+  std::vector<size_t> parent;
+  std::function<size_t(size_t)> find = [&](size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto ensure = [&](size_t id) {
+    while (parent.size() <= id) parent.push_back(parent.size());
+  };
+  std::vector<std::pair<size_t, Value>> constant_votes;
+  for (const ViolationWithFixes* vf : edges) {
+    for (const Fix& fix : vf->fixes) {
+      if (fix.op != FixOp::kEq) continue;  // EC consumes equality fixes only.
+      size_t left = intern(fix.left);
+      ensure(left);
+      if (fix.right.is_cell) {
+        size_t right = intern(fix.right.cell);
+        ensure(right);
+        size_t a = find(left);
+        size_t b = find(right);
+        if (a != b) parent[std::max(a, b)] = std::min(a, b);
+      } else {
+        constant_votes.emplace_back(left, fix.right.constant);
+      }
+    }
+  }
+
+  // Tally votes per class: one vote per member's current value, plus one
+  // per (cell, constant) fix.
+  std::unordered_map<size_t, std::map<Value, size_t>> votes;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    votes[find(i)][current[i]] += 1;
+  }
+  std::unordered_set<uint64_t> seen_constant;
+  for (const auto& [cell_id, value] : constant_votes) {
+    uint64_t key = StableHashUint64(cell_id) ^ value.Hash();
+    if (!seen_constant.insert(key).second) continue;  // Count once.
+    votes[find(cell_id)][value] += 1;
+  }
+
+  // Assign the winning value to members that differ.
+  std::vector<CellAssignment> out;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Value target = WinningValue(votes[find(i)]);
+    if (current[i] != target) {
+      out.push_back(CellAssignment{cells[i], target});
+    }
+  }
+  return out;
+}
+
+std::vector<CellAssignment> DistributedEquivalenceClassRepair(
+    ExecutionContext* ctx, const std::vector<ViolationWithFixes>& violations) {
+  // Collect the equality-fix graph: nodes are cells, edges link the two
+  // sides of `cell = cell` fixes. Cell identity is its dense id.
+  std::unordered_map<CellRef, uint64_t, CellRefHash> ids;
+  std::vector<CellRef> cells;
+  std::vector<Value> current;
+  auto intern = [&](const Cell& c) {
+    auto [it, inserted] = ids.emplace(c.ref, cells.size());
+    if (inserted) {
+      cells.push_back(c.ref);
+      current.push_back(c.value);
+    }
+    return it->second;
+  };
+  std::vector<std::pair<uint64_t, uint64_t>> edges;
+  std::vector<std::pair<uint64_t, Value>> constant_votes;
+  for (const auto& vf : violations) {
+    for (const Fix& fix : vf.fixes) {
+      if (fix.op != FixOp::kEq) continue;
+      uint64_t left = intern(fix.left);
+      if (fix.right.is_cell) {
+        edges.emplace_back(left, intern(fix.right.cell));
+      } else {
+        constant_votes.emplace_back(left, fix.right.constant);
+      }
+    }
+  }
+  if (cells.empty()) return {};
+
+  // Equivalence classes = connected components of the equality graph,
+  // computed with the BSP kernel (GraphX role).
+  std::vector<uint64_t> nodes(cells.size());
+  for (uint64_t i = 0; i < nodes.size(); ++i) nodes[i] = i;
+  ComponentLabels labels = BspConnectedComponents(ctx, nodes, edges);
+
+  // First map-reduce sequence: ((class, value), 1) -> counts.
+  // "If an element exists in multiple fixes, we only count its value once":
+  // member votes are emitted per cell (once each); constant votes are
+  // deduplicated per (cell, value).
+  struct KeyHash {
+    size_t operator()(const std::pair<uint64_t, Value>& k) const {
+      size_t seed = static_cast<size_t>(StableHashUint64(k.first));
+      HashCombine(&seed, static_cast<size_t>(k.second.Hash()));
+      return seed;
+    }
+  };
+  using CountKey = std::pair<uint64_t, Value>;
+  std::vector<std::pair<CountKey, uint64_t>> votes;
+  votes.reserve(cells.size() + constant_votes.size());
+  for (uint64_t i = 0; i < cells.size(); ++i) {
+    votes.emplace_back(CountKey{labels.at(i), current[i]}, 1);
+  }
+  std::unordered_set<uint64_t> seen_constant;
+  for (const auto& [cell_id, value] : constant_votes) {
+    uint64_t key = StableHashUint64(cell_id) ^ value.Hash();
+    if (!seen_constant.insert(key).second) continue;
+    votes.emplace_back(CountKey{labels.at(cell_id), value}, 1);
+  }
+  auto counted = ReduceByKey<CountKey, uint64_t>(
+      Dataset<std::pair<CountKey, uint64_t>>::FromVector(ctx, std::move(votes)),
+      [](uint64_t a, uint64_t b) { return a + b; }, 0, KeyHash());
+
+  // Second sequence: (class, (value, count)) -> most frequent value.
+  auto per_class = counted.Map(
+      [](const std::pair<CountKey, uint64_t>& rec) {
+        return std::make_pair(rec.first.first,
+                              std::make_pair(rec.first.second, rec.second));
+      });
+  using Best = std::pair<Value, uint64_t>;
+  auto best = ReduceByKey(per_class, [](const Best& a, const Best& b) {
+    if (a.second != b.second) return a.second > b.second ? a : b;
+    return a.first <= b.first ? a : b;  // Deterministic tie-break.
+  });
+
+  std::unordered_map<uint64_t, Value> target;
+  for (const auto& [cls, vc] : best.Collect()) target[cls] = vc.first;
+
+  std::vector<CellAssignment> out;
+  for (uint64_t i = 0; i < cells.size(); ++i) {
+    const Value& t = target.at(labels.at(i));
+    if (current[i] != t) out.push_back(CellAssignment{cells[i], t});
+  }
+  return out;
+}
+
+}  // namespace bigdansing

@@ -1,0 +1,78 @@
+#include "repair/hypergraph.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+#include "repair/connected_components.h"
+
+namespace bigdansing {
+
+ViolationHypergraph::ViolationHypergraph(
+    const std::vector<ViolationWithFixes>& violations) {
+  edges_.reserve(violations.size());
+  edge_nodes_.reserve(violations.size());
+  auto intern = [this](const CellRef& ref) -> uint64_t {
+    auto [it, inserted] = node_ids_.emplace(ref, cells_.size());
+    if (inserted) cells_.push_back(ref);
+    return it->second;
+  };
+  for (const auto& vf : violations) {
+    std::vector<uint64_t> nodes;
+    // Nodes: cells of the violation plus cells referenced by its fixes
+    // (a fix may mention a cell that Detect did not list).
+    for (const auto& c : vf.violation.cells) nodes.push_back(intern(c.ref));
+    for (const auto& f : vf.fixes) {
+      nodes.push_back(intern(f.left.ref));
+      if (f.right.is_cell) nodes.push_back(intern(f.right.cell.ref));
+    }
+    std::sort(nodes.begin(), nodes.end());
+    nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+    edges_.push_back(&vf);
+    edge_nodes_.push_back(std::move(nodes));
+  }
+}
+
+uint64_t ViolationHypergraph::NodeOf(const CellRef& cell) const {
+  auto it = node_ids_.find(cell);
+  BD_CHECK(it != node_ids_.end()) << "unknown cell " << cell.ToString();
+  return it->second;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> ViolationHypergraph::StarEdges()
+    const {
+  std::vector<std::pair<uint64_t, uint64_t>> edges;
+  for (const auto& nodes : edge_nodes_) {
+    for (size_t i = 1; i < nodes.size(); ++i) {
+      edges.emplace_back(nodes[0], nodes[i]);
+    }
+  }
+  return edges;
+}
+
+std::vector<uint64_t> ViolationHypergraph::AllNodes() const {
+  std::vector<uint64_t> nodes(cells_.size());
+  for (uint64_t i = 0; i < cells_.size(); ++i) nodes[i] = i;
+  return nodes;
+}
+
+std::vector<std::vector<size_t>> ViolationHypergraph::ConnectedComponentGroups(
+    ExecutionContext* ctx) const {
+  ComponentLabels labels =
+      ctx != nullptr ? BspConnectedComponents(ctx, AllNodes(), StarEdges())
+                     : UnionFindConnectedComponents(AllNodes(), StarEdges());
+  // Group hyperedges by the component of their first node (all nodes of a
+  // hyperedge share a component by construction). std::map for stable,
+  // component-id-ordered output.
+  std::map<uint64_t, std::vector<size_t>> groups;
+  for (size_t e = 0; e < edge_nodes_.size(); ++e) {
+    if (edge_nodes_[e].empty()) continue;
+    groups[labels.at(edge_nodes_[e][0])].push_back(e);
+  }
+  std::vector<std::vector<size_t>> out;
+  out.reserve(groups.size());
+  for (auto& [_, edges] : groups) out.push_back(std::move(edges));
+  return out;
+}
+
+}  // namespace bigdansing

@@ -1,0 +1,68 @@
+#include "repair/partitioner.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace bigdansing {
+
+std::vector<size_t> GreedyKWayPartition(
+    const std::vector<std::vector<uint64_t>>& edges, size_t k) {
+  if (k == 0) k = 1;
+  k = std::min(k, std::max<size_t>(1, edges.size()));
+  std::vector<size_t> assignment(edges.size(), 0);
+  if (k == 1) return assignment;
+
+  // Process larger edges first so they anchor the parts.
+  std::vector<size_t> order(edges.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return edges[a].size() > edges[b].size();
+  });
+
+  // node -> set of parts it already appears in.
+  std::unordered_map<uint64_t, std::unordered_set<size_t>> node_parts;
+  std::vector<size_t> part_load(k, 0);
+  // Balance cap ("k equal parts" in the paper): connectivity may not
+  // overfill a part beyond ~10% of the ideal share.
+  const size_t capacity = (edges.size() + k - 1) / k * 11 / 10 + 1;
+
+  for (size_t e : order) {
+    // Score each part by shared nodes with this edge.
+    std::vector<size_t> shared(k, 0);
+    for (uint64_t n : edges[e]) {
+      auto it = node_parts.find(n);
+      if (it == node_parts.end()) continue;
+      for (size_t p : it->second) ++shared[p];
+    }
+    size_t best = k;  // Sentinel: no eligible part found yet.
+    for (size_t p = 0; p < k; ++p) {
+      if (part_load[p] >= capacity) continue;
+      if (best == k || shared[p] > shared[best] ||
+          (shared[p] == shared[best] && part_load[p] < part_load[best])) {
+        best = p;
+      }
+    }
+    if (best == k) best = e % k;  // All full (rounding): spread round-robin.
+    assignment[e] = best;
+    part_load[best] += 1;
+    for (uint64_t n : edges[e]) node_parts[n].insert(best);
+  }
+  return assignment;
+}
+
+size_t CountCutNodes(const std::vector<std::vector<uint64_t>>& edges,
+                     const std::vector<size_t>& assignment) {
+  std::unordered_map<uint64_t, std::unordered_set<size_t>> node_parts;
+  for (size_t e = 0; e < edges.size(); ++e) {
+    for (uint64_t n : edges[e]) node_parts[n].insert(assignment[e]);
+  }
+  size_t cut = 0;
+  for (const auto& [_, parts] : node_parts) {
+    if (parts.size() > 1) ++cut;
+  }
+  return cut;
+}
+
+}  // namespace bigdansing

@@ -1,0 +1,30 @@
+#ifndef BIGDANSING_REPAIR_PARTITIONER_H_
+#define BIGDANSING_REPAIR_PARTITIONER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bigdansing {
+
+/// Greedy balanced k-way hyperedge partitioning — the stand-in for the
+/// multilevel k-way hypergraph partitioner [Karypis & Kumar] the paper uses
+/// to split connected components that exceed a single worker's memory
+/// (§5.1 "Dealing with big connected components").
+///
+/// `edges[e]` lists the node ids of hyperedge e. Edges are assigned to `k`
+/// parts; each edge goes to the part with which it currently shares the
+/// most nodes (connectivity heuristic), with part size as the tie-break so
+/// parts stay balanced. Returns the part index per edge (size == edges
+/// .size()). k is clamped to [1, edges.size()].
+std::vector<size_t> GreedyKWayPartition(
+    const std::vector<std::vector<uint64_t>>& edges, size_t k);
+
+/// Number of "cut" nodes: nodes appearing in more than one part under
+/// `assignment`. Used by tests/benches to gauge partition quality.
+size_t CountCutNodes(const std::vector<std::vector<uint64_t>>& edges,
+                     const std::vector<size_t>& assignment);
+
+}  // namespace bigdansing
+
+#endif  // BIGDANSING_REPAIR_PARTITIONER_H_

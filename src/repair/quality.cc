@@ -1,0 +1,92 @@
+#include "repair/quality.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace bigdansing {
+
+namespace {
+
+Status CheckAligned(const Table& a, const Table& b, const char* what) {
+  if (!(a.schema() == b.schema()) || a.num_rows() != b.num_rows()) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " tables are not row-aligned");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string RepairQuality::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "errors=%zu updates=%zu correct=%zu precision=%.3f recall=%.3f",
+                errors, updates, correct_updates, precision, recall);
+  return buf;
+}
+
+Result<RepairQuality> EvaluateRepair(const Table& dirty, const Table& repaired,
+                                     const Table& truth) {
+  BIGDANSING_RETURN_NOT_OK(CheckAligned(dirty, repaired, "dirty/repaired"));
+  BIGDANSING_RETURN_NOT_OK(CheckAligned(dirty, truth, "dirty/truth"));
+  RepairQuality q;
+  const size_t cols = dirty.schema().num_attributes();
+  for (size_t r = 0; r < dirty.num_rows(); ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      const Value& d = dirty.row(r).value(c);
+      const Value& p = repaired.row(r).value(c);
+      const Value& t = truth.row(r).value(c);
+      if (d != t) ++q.errors;
+      if (p != d) {
+        ++q.updates;
+        if (p == t) ++q.correct_updates;
+      }
+    }
+  }
+  q.precision = q.updates == 0
+                    ? 1.0
+                    : static_cast<double>(q.correct_updates) /
+                          static_cast<double>(q.updates);
+  q.recall = q.errors == 0 ? 1.0
+                           : static_cast<double>(q.correct_updates) /
+                                 static_cast<double>(q.errors);
+  return q;
+}
+
+std::string RepairDistance::ToString() const {
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "errors=%zu |R,G|=%.2f |R,G|/e=%.4f (dirty: |D,G|=%.2f "
+                "|D,G|/e=%.4f)",
+                errors, repaired_distance, avg_repaired_distance,
+                dirty_distance, avg_dirty_distance);
+  return buf;
+}
+
+Result<RepairDistance> EvaluateRepairDistance(const Table& dirty,
+                                              const Table& repaired,
+                                              const Table& truth,
+                                              const std::string& attribute) {
+  BIGDANSING_RETURN_NOT_OK(CheckAligned(dirty, repaired, "dirty/repaired"));
+  BIGDANSING_RETURN_NOT_OK(CheckAligned(dirty, truth, "dirty/truth"));
+  auto col = dirty.schema().IndexOf(attribute);
+  if (!col.ok()) return col.status();
+  RepairDistance d;
+  for (size_t r = 0; r < dirty.num_rows(); ++r) {
+    const Value& dv = dirty.row(r).value(*col);
+    const Value& tv = truth.row(r).value(*col);
+    if (dv == tv) continue;
+    ++d.errors;
+    d.dirty_distance += std::abs(dv.AsNumber() - tv.AsNumber());
+    const Value& pv = repaired.row(r).value(*col);
+    d.repaired_distance += std::abs(pv.AsNumber() - tv.AsNumber());
+  }
+  if (d.errors > 0) {
+    d.avg_dirty_distance = d.dirty_distance / static_cast<double>(d.errors);
+    d.avg_repaired_distance =
+        d.repaired_distance / static_cast<double>(d.errors);
+  }
+  return d;
+}
+
+}  // namespace bigdansing

@@ -1,0 +1,52 @@
+#ifndef BIGDANSING_REPAIR_QUALITY_H_
+#define BIGDANSING_REPAIR_QUALITY_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace bigdansing {
+
+/// Repair quality relative to a known ground truth (the Table 4
+/// measurements): precision = correctly updated cells / updated cells,
+/// recall = correctly updated cells / erroneous cells. An update is correct
+/// when the repaired value exactly matches the ground truth.
+struct RepairQuality {
+  size_t errors = 0;           ///< Cells where dirty differs from truth.
+  size_t updates = 0;          ///< Cells where repaired differs from dirty.
+  size_t correct_updates = 0;  ///< Updates matching the truth exactly.
+  double precision = 0.0;
+  double recall = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Computes exact-match precision/recall. All three tables must be
+/// row-aligned with identical schemas (generator output guarantees this).
+Result<RepairQuality> EvaluateRepair(const Table& dirty, const Table& repaired,
+                                     const Table& truth);
+
+/// Distance-based quality for numeric repairs (the paper's hypergraph /
+/// TaxB measurement): total and per-error Euclidean distance between the
+/// repaired values and the ground truth over the cells that were erroneous,
+/// compared against the dirty data's distance.
+struct RepairDistance {
+  size_t errors = 0;
+  double dirty_distance = 0.0;     ///< Σ |dirty - truth| over error cells.
+  double repaired_distance = 0.0;  ///< Σ |repaired - truth| over error cells.
+  double avg_dirty_distance = 0.0;
+  double avg_repaired_distance = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Computes distance-based quality for the numeric attribute `attribute`.
+Result<RepairDistance> EvaluateRepairDistance(const Table& dirty,
+                                              const Table& repaired,
+                                              const Table& truth,
+                                              const std::string& attribute);
+
+}  // namespace bigdansing
+
+#endif  // BIGDANSING_REPAIR_QUALITY_H_

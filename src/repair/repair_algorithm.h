@@ -1,0 +1,39 @@
+#ifndef BIGDANSING_REPAIR_REPAIR_ALGORITHM_H_
+#define BIGDANSING_REPAIR_REPAIR_ALGORITHM_H_
+
+#include <string>
+#include <vector>
+
+#include "rules/violation.h"
+
+namespace bigdansing {
+
+/// A cell update chosen by a repair algorithm.
+struct CellAssignment {
+  CellRef cell;
+  Value value;
+
+  bool operator==(const CellAssignment& other) const = default;
+};
+
+/// Interface of a centralized repair algorithm, invoked by the black-box
+/// distribution scheme of §5.1 on one connected component (or one k-way
+/// part of an oversized component) at a time. Implementations must be
+/// stateless across calls so instances can run concurrently on distinct
+/// components.
+class RepairAlgorithm {
+ public:
+  virtual ~RepairAlgorithm() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Computes cell updates resolving (greedily, cost-minimally) the
+  /// violations in `edges`. `edges` always belong to one connected
+  /// component of the violation hypergraph. Must be thread-safe.
+  virtual std::vector<CellAssignment> RepairComponent(
+      const std::vector<const ViolationWithFixes*>& edges) const = 0;
+};
+
+}  // namespace bigdansing
+
+#endif  // BIGDANSING_REPAIR_REPAIR_ALGORITHM_H_

@@ -1,0 +1,104 @@
+#include "rules/cfd_rule.h"
+
+namespace bigdansing {
+
+CfdRule::CfdRule(std::string name, std::vector<CfdPatternAttr> lhs,
+                 CfdPatternAttr rhs)
+    : Rule(std::move(name)), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+std::vector<std::string> CfdRule::RelevantAttributes() const {
+  std::vector<std::string> attrs;
+  for (const auto& a : lhs_) attrs.push_back(a.attribute);
+  attrs.push_back(rhs_.attribute);
+  return attrs;
+}
+
+std::vector<std::string> CfdRule::BlockingAttributes() const {
+  if (is_constant_cfd()) return {};
+  std::vector<std::string> attrs;
+  for (const auto& a : lhs_) {
+    if (!a.constant.has_value()) attrs.push_back(a.attribute);
+  }
+  // All-constant LHS: every matching tuple is in one block; block on the
+  // first LHS attribute (its value equals the pattern constant anyway).
+  if (attrs.empty() && !lhs_.empty()) attrs.push_back(lhs_[0].attribute);
+  return attrs;
+}
+
+Status CfdRule::Bind(const Schema& schema) {
+  lhs_columns_.clear();
+  for (const auto& a : lhs_) {
+    auto idx = schema.IndexOf(a.attribute);
+    if (!idx.ok()) return idx.status();
+    lhs_columns_.push_back(*idx);
+  }
+  auto rhs_idx = schema.IndexOf(rhs_.attribute);
+  if (!rhs_idx.ok()) return rhs_idx.status();
+  rhs_column_ = *rhs_idx;
+  bound_schema_ = schema;
+  return Status::OK();
+}
+
+bool CfdRule::MatchesPattern(const Row& row) const {
+  for (size_t i = 0; i < lhs_.size(); ++i) {
+    if (!lhs_[i].constant.has_value()) continue;
+    const Value& v = row.value(lhs_columns_[i]);
+    if (v.is_null() || v != *lhs_[i].constant) return false;
+  }
+  return true;
+}
+
+void CfdRule::Detect(const Row& t1, const Row& t2,
+                     std::vector<Violation>* out) const {
+  if (is_constant_cfd()) return;  // Constant CFDs are arity-1.
+  if (!MatchesPattern(t1) || !MatchesPattern(t2)) return;
+  for (size_t c : lhs_columns_) {
+    const Value& a = t1.value(c);
+    const Value& b = t2.value(c);
+    if (a.is_null() || b.is_null() || a != b) return;
+  }
+  if (t1.value(rhs_column_) == t2.value(rhs_column_)) return;
+  // Violation layout (consumed by GenFix): t1.lhs*, t2.lhs*, t1.A, t2.A.
+  Violation v;
+  v.rule_name = name();
+  for (size_t c : lhs_columns_) {
+    v.cells.push_back(MakeCell(t1, c, bound_schema_));
+    v.cells.push_back(MakeCell(t2, c, bound_schema_));
+  }
+  v.cells.push_back(MakeCell(t1, rhs_column_, bound_schema_));
+  v.cells.push_back(MakeCell(t2, rhs_column_, bound_schema_));
+  out->push_back(std::move(v));
+}
+
+void CfdRule::DetectSingle(const Row& t, std::vector<Violation>* out) const {
+  if (!is_constant_cfd()) return;
+  if (!MatchesPattern(t)) return;
+  const Value& v = t.value(rhs_column_);
+  if (!v.is_null() && v == *rhs_.constant) return;
+  Violation violation;
+  violation.rule_name = name();
+  violation.cells.push_back(MakeCell(t, rhs_column_, bound_schema_));
+  out->push_back(std::move(violation));
+}
+
+void CfdRule::GenFix(const Violation& violation,
+                     std::vector<Fix>* out) const {
+  if (is_constant_cfd()) {
+    if (violation.cells.empty()) return;
+    Fix fix;
+    fix.left = violation.cells[0];
+    fix.op = FixOp::kEq;
+    fix.right = FixTerm::MakeConstant(*rhs_.constant);
+    out->push_back(std::move(fix));
+    return;
+  }
+  // The last two cells are the differing RHS pair.
+  if (violation.cells.size() < 2) return;
+  Fix fix;
+  fix.left = violation.cells[violation.cells.size() - 2];
+  fix.op = FixOp::kEq;
+  fix.right = FixTerm::MakeCell(violation.cells.back());
+  out->push_back(std::move(fix));
+}
+
+}  // namespace bigdansing

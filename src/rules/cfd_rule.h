@@ -1,0 +1,70 @@
+#ifndef BIGDANSING_RULES_CFD_RULE_H_
+#define BIGDANSING_RULES_CFD_RULE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rules/rule.h"
+
+namespace bigdansing {
+
+/// One attribute of a CFD's pattern tableau: the attribute name plus an
+/// optional constant. Without a constant the attribute is a wildcard '_'
+/// (plain FD semantics on that attribute).
+struct CfdPatternAttr {
+  std::string attribute;
+  std::optional<Value> constant;
+};
+
+/// A conditional functional dependency [Fan et al., TODS'08] with a
+/// single-tuple pattern: (X -> A, tp). Two forms:
+///
+///  - **variable CFD** (the RHS pattern is a wildcard): among tuples whose
+///    X attributes match the pattern constants, X-equality implies
+///    A-equality. A pair rule, like an FD restricted to the matching
+///    subset — the Scope operator implements the restriction.
+///  - **constant CFD** (the RHS pattern is a constant): every tuple whose
+///    X attributes match must have A equal to that constant. A single-unit
+///    rule (arity 1).
+///
+/// GenFix proposes equating the RHS cells (variable form) or assigning the
+/// RHS constant (constant form) — both consumable by the equivalence-class
+/// repair.
+class CfdRule : public Rule {
+ public:
+  CfdRule(std::string name, std::vector<CfdPatternAttr> lhs,
+          CfdPatternAttr rhs);
+
+  const std::vector<CfdPatternAttr>& lhs() const { return lhs_; }
+  const CfdPatternAttr& rhs() const { return rhs_; }
+  bool is_constant_cfd() const { return rhs_.constant.has_value(); }
+
+  int arity() const override { return is_constant_cfd() ? 1 : 2; }
+  std::vector<std::string> RelevantAttributes() const override;
+  /// Variable CFDs block on the wildcard LHS attributes (pattern-constant
+  /// attributes are equal by construction within the scoped subset).
+  std::vector<std::string> BlockingAttributes() const override;
+  bool IsSymmetric() const override { return true; }
+
+  Status Bind(const Schema& schema) override;
+  void Detect(const Row& t1, const Row& t2,
+              std::vector<Violation>* out) const override;
+  void DetectSingle(const Row& t, std::vector<Violation>* out) const override;
+  void GenFix(const Violation& violation,
+              std::vector<Fix>* out) const override;
+
+ private:
+  /// True when `row`'s LHS attributes match every pattern constant.
+  bool MatchesPattern(const Row& row) const;
+
+  std::vector<CfdPatternAttr> lhs_;
+  CfdPatternAttr rhs_;
+  std::vector<size_t> lhs_columns_;
+  size_t rhs_column_ = 0;
+  Schema bound_schema_;
+};
+
+}  // namespace bigdansing
+
+#endif  // BIGDANSING_RULES_CFD_RULE_H_

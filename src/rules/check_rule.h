@@ -1,0 +1,35 @@
+#ifndef BIGDANSING_RULES_CHECK_RULE_H_
+#define BIGDANSING_RULES_CHECK_RULE_H_
+
+#include <string>
+#include <vector>
+
+#include "rules/rule.h"
+
+namespace bigdansing {
+
+/// A single-tuple denial constraint ∀t ¬(p1(t) ∧ ... ∧ pk(t)), e.g.
+/// "no row may have rate > 0 and salary < 0". Exercises the arity-1
+/// Detect path (the paper's Detect signature accepts a single data unit).
+/// Every predicate must reference t1 only (or a constant).
+class CheckRule : public Rule {
+ public:
+  CheckRule(std::string name, std::vector<Predicate> predicates);
+
+  int arity() const override { return 1; }
+  std::vector<std::string> RelevantAttributes() const override;
+
+  Status Bind(const Schema& schema) override;
+  void DetectSingle(const Row& t, std::vector<Violation>* out) const override;
+  void GenFix(const Violation& violation,
+              std::vector<Fix>* out) const override;
+
+ private:
+  std::vector<Predicate> predicates_;
+  std::vector<BoundPredicate> bound_;
+  Schema bound_schema_;
+};
+
+}  // namespace bigdansing
+
+#endif  // BIGDANSING_RULES_CHECK_RULE_H_

@@ -1,0 +1,57 @@
+#ifndef BIGDANSING_RULES_DC_RULE_H_
+#define BIGDANSING_RULES_DC_RULE_H_
+
+#include <string>
+#include <vector>
+
+#include "rules/rule.h"
+
+namespace bigdansing {
+
+/// A denial constraint over a tuple pair: ∀ t1, t2 ¬(p1 ∧ ... ∧ pk)
+/// (e.g. the paper's φD: ¬(t1.rate > t2.rate ∧ t1.salary < t2.salary)).
+/// A violation is an ordered pair satisfying every predicate; GenFix
+/// proposes the negation of each predicate as a possible fix.
+class DcRule : public Rule {
+ public:
+  DcRule(std::string name, std::vector<Predicate> predicates);
+
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+
+  std::vector<std::string> RelevantAttributes() const override;
+
+  /// Blocking key from equality predicates of the form t1.A = t2.A.
+  std::vector<std::string> BlockingAttributes() const override;
+
+  /// True when the predicate set is invariant under swapping t1 and t2.
+  bool IsSymmetric() const override;
+
+  /// Ordering predicates between t1 and t2, enabling OCJoin.
+  std::vector<OrderingCondition> OrderingConditions() const override;
+
+  Status Bind(const Schema& schema) override;
+
+  /// Binds a two-table DC: t1 attributes resolve against `left_schema`,
+  /// t2 attributes against `right_schema` (the CoBlock case, Figure 6).
+  Status BindAcross(const Schema& left_schema, const Schema& right_schema);
+
+  /// Equality predicates t1.X = t2.Y usable as a cross-table blocking key:
+  /// pairs of (left-table attribute, right-table attribute).
+  std::vector<std::pair<std::string, std::string>> BlockingAttributePairs()
+      const;
+
+  void Detect(const Row& t1, const Row& t2,
+              std::vector<Violation>* out) const override;
+  void GenFix(const Violation& violation,
+              std::vector<Fix>* out) const override;
+
+ private:
+  std::vector<Predicate> predicates_;
+  std::vector<BoundPredicate> bound_;
+  Schema bound_schema_;        ///< Schema for t1 cells.
+  Schema bound_right_schema_;  ///< Schema for t2 cells (== bound_schema_ unless bound across).
+};
+
+}  // namespace bigdansing
+
+#endif  // BIGDANSING_RULES_DC_RULE_H_

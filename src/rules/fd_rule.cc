@@ -1,0 +1,84 @@
+#include "rules/fd_rule.h"
+
+namespace bigdansing {
+
+FdRule::FdRule(std::string name, std::vector<std::string> lhs,
+               std::vector<std::string> rhs)
+    : Rule(std::move(name)), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+std::vector<std::string> FdRule::RelevantAttributes() const {
+  std::vector<std::string> attrs = lhs_;
+  attrs.insert(attrs.end(), rhs_.begin(), rhs_.end());
+  return attrs;
+}
+
+Status FdRule::Bind(const Schema& schema) {
+  lhs_columns_.clear();
+  rhs_columns_.clear();
+  for (const auto& a : lhs_) {
+    auto idx = schema.IndexOf(a);
+    if (!idx.ok()) return idx.status();
+    lhs_columns_.push_back(*idx);
+  }
+  for (const auto& a : rhs_) {
+    auto idx = schema.IndexOf(a);
+    if (!idx.ok()) return idx.status();
+    rhs_columns_.push_back(*idx);
+  }
+  bound_schema_ = schema;
+  return Status::OK();
+}
+
+void FdRule::Detect(const Row& t1, const Row& t2,
+                    std::vector<Violation>* out) const {
+  // LHS must agree on non-null values; a null LHS cell cannot witness a
+  // violation.
+  for (size_t c : lhs_columns_) {
+    const Value& a = t1.value(c);
+    const Value& b = t2.value(c);
+    if (a.is_null() || b.is_null() || a != b) return;
+  }
+  // Violation layout (consumed by GenFix): t1.lhs*, t2.lhs*, then one
+  // (t1.rhs_k, t2.rhs_k) pair per differing RHS attribute.
+  Violation v;
+  bool any_diff = false;
+  for (size_t c : lhs_columns_) {
+    v.cells.push_back(MakeCell(t1, c, bound_schema_));
+    v.cells.push_back(MakeCell(t2, c, bound_schema_));
+  }
+  for (size_t c : rhs_columns_) {
+    if (t1.value(c) != t2.value(c)) {
+      any_diff = true;
+      v.cells.push_back(MakeCell(t1, c, bound_schema_));
+      v.cells.push_back(MakeCell(t2, c, bound_schema_));
+    }
+  }
+  if (!any_diff) return;
+  v.rule_name = name();
+  out->push_back(std::move(v));
+}
+
+void FdRule::GenFix(const Violation& violation, std::vector<Fix>* out) const {
+  size_t lhs_cells = 2 * lhs_columns_.size();
+  // Equate each differing RHS pair.
+  for (size_t i = lhs_cells; i + 1 < violation.cells.size(); i += 2) {
+    Fix fix;
+    fix.left = violation.cells[i];
+    fix.op = FixOp::kEq;
+    fix.right = FixTerm::MakeCell(violation.cells[i + 1]);
+    out->push_back(std::move(fix));
+  }
+  if (generate_lhs_fixes_) {
+    // Alternative resolution: break the LHS agreement (paper §2.1, "at
+    // least one element between t2[zipcode] and t4[zipcode] differs").
+    for (size_t i = 0; i + 1 < lhs_cells; i += 2) {
+      Fix fix;
+      fix.left = violation.cells[i];
+      fix.op = FixOp::kNeq;
+      fix.right = FixTerm::MakeCell(violation.cells[i + 1]);
+      out->push_back(std::move(fix));
+    }
+  }
+}
+
+}  // namespace bigdansing

@@ -1,0 +1,39 @@
+#ifndef BIGDANSING_RULES_PARSER_H_
+#define BIGDANSING_RULES_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "rules/predicate.h"
+#include "rules/rule.h"
+
+namespace bigdansing {
+
+/// Parses a declarative quality rule from text into a Rule object — the
+/// entry point that lets users avoid writing any operator code (paper §2.2,
+/// "declarative rule"). Supported forms:
+///
+///   FD: zipcode -> city                 (multi-attribute: "a, b -> c, d")
+///   DC: t1.salary > t2.salary & t1.rate < t2.rate
+///   DC: t1.city = t2.city & t1.state != t2.state
+///   DC: t1.name ~0.8 t2.name & t1.county = t2.county     (similarity)
+///   DC: t1.role = "M" & t1.city != t2.city               (constants)
+///   CHECK: t1.rate > 0 & t1.salary < 0                   (single tuple)
+///
+/// Comparison operators: = != < > <= >= and ~<threshold> (similarity).
+/// Conjuncts are separated by '&'. String constants are double-quoted;
+/// bare numerics parse as numbers. An optional leading "name:" before the
+/// kind labels the rule ("myrule: FD: a -> b"); otherwise the rule is named
+/// after its text.
+Result<RulePtr> ParseRule(const std::string& text);
+
+/// Parses a '&'-separated predicate conjunction ("t1.a > t2.b & t3.c = 5")
+/// using the DC grammar, allowing tuple references t1/t2/t3. Exposed for
+/// rule forms beyond the two-tuple DCs ParseRule builds (e.g. the
+/// three-tuple DCs of Appendix E).
+Result<std::vector<Predicate>> ParsePredicateConjunction(
+    const std::string& body);
+
+}  // namespace bigdansing
+
+#endif  // BIGDANSING_RULES_PARSER_H_

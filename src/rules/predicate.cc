@@ -1,0 +1,149 @@
+#include "rules/predicate.h"
+
+#include "common/logging.h"
+#include "rules/similarity.h"
+
+namespace bigdansing {
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNeq:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kLeq:
+      return "<=";
+    case CmpOp::kGeq:
+      return ">=";
+    case CmpOp::kSimilar:
+      return "~";
+  }
+  return "?";
+}
+
+bool IsEqualityOp(CmpOp op) {
+  return op == CmpOp::kEq || op == CmpOp::kNeq || op == CmpOp::kSimilar;
+}
+
+bool IsOrderingOp(CmpOp op) {
+  return op == CmpOp::kLt || op == CmpOp::kGt || op == CmpOp::kLeq ||
+         op == CmpOp::kGeq;
+}
+
+CmpOp FlipOp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt:
+      return CmpOp::kGt;
+    case CmpOp::kGt:
+      return CmpOp::kLt;
+    case CmpOp::kLeq:
+      return CmpOp::kGeq;
+    case CmpOp::kGeq:
+      return CmpOp::kLeq;
+    default:
+      return op;  // =, !=, ~ are symmetric.
+  }
+}
+
+CmpOp NegateOp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return CmpOp::kNeq;
+    case CmpOp::kNeq:
+      return CmpOp::kEq;
+    case CmpOp::kLt:
+      return CmpOp::kGeq;
+    case CmpOp::kGt:
+      return CmpOp::kLeq;
+    case CmpOp::kLeq:
+      return CmpOp::kGt;
+    case CmpOp::kGeq:
+      return CmpOp::kLt;
+    case CmpOp::kSimilar:
+      return CmpOp::kNeq;
+  }
+  return CmpOp::kNeq;
+}
+
+std::string Predicate::ToString() const {
+  std::string out =
+      "t" + std::to_string(left_tuple) + "." + left_attr + " ";
+  out += CmpOpName(op);
+  out += " ";
+  if (right_is_constant) {
+    out += constant.ToString();
+  } else {
+    out += "t" + std::to_string(right_tuple) + "." + right_attr;
+  }
+  return out;
+}
+
+Result<BoundPredicate> BoundPredicate::Bind(const Predicate& pred,
+                                            const Schema& schema) {
+  BoundPredicate bound;
+  bound.pred_ = pred;
+  auto left = schema.IndexOf(pred.left_attr);
+  if (!left.ok()) return left.status();
+  bound.left_column_ = *left;
+  if (!pred.right_is_constant) {
+    auto right = schema.IndexOf(pred.right_attr);
+    if (!right.ok()) return right.status();
+    bound.right_column_ = *right;
+  }
+  return bound;
+}
+
+Result<BoundPredicate> BoundPredicate::BindAcross(const Predicate& pred,
+                                                  const Schema& left_schema,
+                                                  const Schema& right_schema) {
+  BoundPredicate bound;
+  bound.pred_ = pred;
+  const Schema& lschema = pred.left_tuple == 1 ? left_schema : right_schema;
+  auto left = lschema.IndexOf(pred.left_attr);
+  if (!left.ok()) return left.status();
+  bound.left_column_ = *left;
+  if (!pred.right_is_constant) {
+    const Schema& rschema = pred.right_tuple == 1 ? left_schema : right_schema;
+    auto right = rschema.IndexOf(pred.right_attr);
+    if (!right.ok()) return right.status();
+    bound.right_column_ = *right;
+  }
+  return bound;
+}
+
+bool BoundPredicate::Eval(const Row& t1, const Row& t2) const {
+  const Row& left_row = pred_.left_tuple == 1 ? t1 : t2;
+  const Value& left = left_row.value(left_column_);
+  const Value* right;
+  if (pred_.right_is_constant) {
+    right = &pred_.constant;
+  } else {
+    const Row& right_row = pred_.right_tuple == 1 ? t1 : t2;
+    right = &right_row.value(right_column_);
+  }
+  if (left.is_null() || right->is_null()) return false;
+  switch (pred_.op) {
+    case CmpOp::kEq:
+      return left == *right;
+    case CmpOp::kNeq:
+      return left != *right;
+    case CmpOp::kLt:
+      return left < *right;
+    case CmpOp::kGt:
+      return left > *right;
+    case CmpOp::kLeq:
+      return left <= *right;
+    case CmpOp::kGeq:
+      return left >= *right;
+    case CmpOp::kSimilar:
+      return IsSimilar(left.ToString(), right->ToString(),
+                       pred_.similarity_threshold);
+  }
+  return false;
+}
+
+}  // namespace bigdansing

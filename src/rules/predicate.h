@@ -1,0 +1,84 @@
+#ifndef BIGDANSING_RULES_PREDICATE_H_
+#define BIGDANSING_RULES_PREDICATE_H_
+
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "data/row.h"
+#include "data/schema.h"
+#include "data/value.h"
+
+namespace bigdansing {
+
+/// Comparison operator of a denial-constraint predicate.
+enum class CmpOp { kEq, kNeq, kLt, kGt, kLeq, kGeq, kSimilar };
+
+/// Returns "=", "!=", "<", ">", "<=", ">=", "~".
+const char* CmpOpName(CmpOp op);
+
+/// True for operators whose truth is unchanged when both sides are swapped
+/// together with the operator flip applied (used for symmetry analysis).
+bool IsEqualityOp(CmpOp op);
+
+/// True for ordering comparisons (<, >, <=, >=) — the OCJoin triggers.
+bool IsOrderingOp(CmpOp op);
+
+/// The operator `op` such that `a op b == b Flip(op) a`.
+CmpOp FlipOp(CmpOp op);
+
+/// The negation of `op` (e.g. < becomes >=). kSimilar has no negation in the
+/// fix language and maps to kNeq of the compared cells.
+CmpOp NegateOp(CmpOp op);
+
+/// One conjunct of a denial constraint over a tuple pair (t1, t2):
+///   t<left_tuple>.left_attr  op  t<right_tuple>.right_attr | constant
+/// A unary predicate (single-tuple rule) references t1 on both sides or a
+/// constant on the right.
+struct Predicate {
+  int left_tuple = 1;  ///< 1 or 2.
+  std::string left_attr;
+  CmpOp op = CmpOp::kEq;
+  bool right_is_constant = false;
+  int right_tuple = 2;  ///< 1 or 2; meaningful when !right_is_constant.
+  std::string right_attr;
+  Value constant;
+  /// Threshold for kSimilar (normalized Levenshtein similarity).
+  double similarity_threshold = 0.8;
+
+  /// "t1.salary > t2.salary" rendering.
+  std::string ToString() const;
+};
+
+/// A predicate with attribute names resolved to column indices of the schema
+/// the Detect operator will see. Binding happens once per plan, evaluation
+/// once per candidate pair.
+class BoundPredicate {
+ public:
+  /// Resolves `pred` against `schema`; fails if an attribute is missing.
+  static Result<BoundPredicate> Bind(const Predicate& pred,
+                                     const Schema& schema);
+
+  /// Resolves `pred` for a two-table rule: attributes of t1 resolve against
+  /// `left_schema`, attributes of t2 against `right_schema`.
+  static Result<BoundPredicate> BindAcross(const Predicate& pred,
+                                           const Schema& left_schema,
+                                           const Schema& right_schema);
+
+  /// Evaluates over (t1, t2). Null operands make every comparison false
+  /// (SQL-like three-valued logic collapsed to false).
+  bool Eval(const Row& t1, const Row& t2) const;
+
+  const Predicate& pred() const { return pred_; }
+  size_t left_column() const { return left_column_; }
+  size_t right_column() const { return right_column_; }
+
+ private:
+  Predicate pred_;
+  size_t left_column_ = 0;
+  size_t right_column_ = 0;
+};
+
+}  // namespace bigdansing
+
+#endif  // BIGDANSING_RULES_PREDICATE_H_

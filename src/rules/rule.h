@@ -1,0 +1,107 @@
+#ifndef BIGDANSING_RULES_RULE_H_
+#define BIGDANSING_RULES_RULE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/row.h"
+#include "data/schema.h"
+#include "rules/predicate.h"
+#include "rules/violation.h"
+
+namespace bigdansing {
+
+/// An inequality self-join condition `t1.left_attr op t2.right_attr`
+/// extracted from a rule; a non-empty set of these lets the planner use the
+/// OCJoin enhancer (§4.3) instead of a cross product.
+struct OrderingCondition {
+  std::string left_attr;
+  CmpOp op = CmpOp::kLt;
+  std::string right_attr;
+  /// Column indices, resolved by Rule::Bind against the Detect-time schema.
+  size_t left_column = 0;
+  size_t right_column = 0;
+};
+
+/// A data quality rule in BigDansing's UDF-based model (§2.1): the two
+/// fundamental functions Detect and GenFix, plus the logical hints (relevant
+/// attributes, blocking key, symmetry, ordering conditions) that let the
+/// planner build Scope / Block / Iterate operators around them (§3).
+///
+/// Lifecycle: the planner calls Bind() once with the schema the Detect
+/// operator will see (the scoped schema), then Detect/GenFix many times,
+/// possibly concurrently — implementations must be immutable after Bind.
+class Rule {
+ public:
+  explicit Rule(std::string name) : name_(std::move(name)) {}
+  virtual ~Rule() = default;
+
+  Rule(const Rule&) = delete;
+  Rule& operator=(const Rule&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Number of data units Detect consumes: 1 (single-unit rules such as
+  /// check constraints) or 2 (pair rules: FDs, DCs, deduplication).
+  virtual int arity() const { return 2; }
+
+  /// Attributes the rule reads; the Scope operator projects to these.
+  /// Empty means "all attributes" (no scoping possible).
+  virtual std::vector<std::string> RelevantAttributes() const { return {}; }
+
+  /// Attributes forming the blocking key; violations can only occur between
+  /// units sharing the key. Empty means no blocking (one global block).
+  virtual std::vector<std::string> BlockingAttributes() const { return {}; }
+
+  /// True when Detect(a, b) finding nothing implies Detect(b, a) finds
+  /// nothing (and their violations are equivalent). Lets Iterate enumerate
+  /// unordered pairs (the UCrossProduct enhancer). Non-symmetric rules are
+  /// probed in both orientations.
+  virtual bool IsSymmetric() const { return false; }
+
+  /// Inequality self-join conditions, enabling the OCJoin enhancer.
+  virtual std::vector<OrderingCondition> OrderingConditions() const {
+    return {};
+  }
+
+  /// Resolves attribute names against the schema Detect will see. Must be
+  /// called before Detect/GenFix.
+  virtual Status Bind(const Schema& schema) = 0;
+
+  /// Pair detection (arity() == 2). Appends violations found in the ordered
+  /// pair (t1, t2).
+  virtual void Detect(const Row& t1, const Row& t2,
+                      std::vector<Violation>* out) const {}
+
+  /// Single-unit detection (arity() == 1).
+  virtual void DetectSingle(const Row& t,
+                            std::vector<Violation>* out) const {}
+
+  /// Computes possible fixes for `violation` (paper §2.1,
+  /// `GenFix(violation) -> possible fixes`).
+  virtual void GenFix(const Violation& violation,
+                      std::vector<Fix>* out) const {}
+
+ protected:
+  /// Builds a Cell for bound column `column` of `row`, mapping back to the
+  /// original (pre-Scope) column index so repairs land on the base table.
+  static Cell MakeCell(const Row& row, size_t column, const Schema& schema) {
+    Cell c;
+    c.ref.row_id = row.id();
+    c.ref.column = row.source_column(column);
+    c.attribute = schema.attribute(column);
+    c.value = row.value(column);
+    return c;
+  }
+
+ private:
+  std::string name_;
+};
+
+using RulePtr = std::shared_ptr<Rule>;
+
+}  // namespace bigdansing
+
+#endif  // BIGDANSING_RULES_RULE_H_

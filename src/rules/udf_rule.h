@@ -1,0 +1,123 @@
+#ifndef BIGDANSING_RULES_UDF_RULE_H_
+#define BIGDANSING_RULES_UDF_RULE_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rules/rule.h"
+
+namespace bigdansing {
+
+/// A procedural rule supplied by the user (paper §2.1: "BigDansing adopts
+/// UDFs as the basis to define quality rules"). Detect/GenFix are arbitrary
+/// closures; the optional hints unlock Scope/Block/Iterate optimizations
+/// exactly as for declarative rules (e.g. the paper's φU blocks on county).
+///
+/// Closures receive the bound schema so they can resolve attributes once.
+class UdfRule : public Rule {
+ public:
+  /// Pair detection callback: append violations for the ordered pair.
+  using DetectFn = std::function<void(const Schema&, const Row&, const Row&,
+                                      std::vector<Violation>*)>;
+  /// Single-unit detection callback (arity-1 rules).
+  using DetectSingleFn =
+      std::function<void(const Schema&, const Row&, std::vector<Violation>*)>;
+  /// Fix generation callback.
+  using GenFixFn =
+      std::function<void(const Schema&, const Violation&, std::vector<Fix>*)>;
+  /// Custom blocking key (overrides blocking attributes when set); return a
+  /// null Value to exclude the unit from every block.
+  using BlockKeyFn = std::function<Value(const Schema&, const Row&)>;
+
+  explicit UdfRule(std::string name) : Rule(std::move(name)) {}
+
+  UdfRule& set_detect(DetectFn fn) {
+    detect_ = std::move(fn);
+    return *this;
+  }
+  UdfRule& set_detect_single(DetectSingleFn fn) {
+    detect_single_ = std::move(fn);
+    arity_ = 1;
+    return *this;
+  }
+  UdfRule& set_gen_fix(GenFixFn fn) {
+    gen_fix_ = std::move(fn);
+    return *this;
+  }
+  UdfRule& set_relevant_attributes(std::vector<std::string> attrs) {
+    relevant_attributes_ = std::move(attrs);
+    return *this;
+  }
+  UdfRule& set_blocking_attributes(std::vector<std::string> attrs) {
+    blocking_attributes_ = std::move(attrs);
+    return *this;
+  }
+  UdfRule& set_block_key(BlockKeyFn fn) {
+    block_key_ = std::move(fn);
+    return *this;
+  }
+  UdfRule& set_symmetric(bool symmetric) {
+    symmetric_ = symmetric;
+    return *this;
+  }
+
+  int arity() const override { return arity_; }
+  std::vector<std::string> RelevantAttributes() const override {
+    return relevant_attributes_;
+  }
+  std::vector<std::string> BlockingAttributes() const override {
+    return blocking_attributes_;
+  }
+  bool IsSymmetric() const override { return symmetric_; }
+
+  /// Non-null when the user supplied a procedural blocking key.
+  const BlockKeyFn& block_key() const { return block_key_; }
+  const Schema& bound_schema() const { return bound_schema_; }
+
+  Status Bind(const Schema& schema) override {
+    bound_schema_ = schema;
+    return Status::OK();
+  }
+
+  void Detect(const Row& t1, const Row& t2,
+              std::vector<Violation>* out) const override {
+    if (detect_) detect_(bound_schema_, t1, t2, out);
+  }
+
+  void DetectSingle(const Row& t, std::vector<Violation>* out) const override {
+    if (detect_single_) detect_single_(bound_schema_, t, out);
+  }
+
+  void GenFix(const Violation& violation,
+              std::vector<Fix>* out) const override {
+    if (gen_fix_) gen_fix_(bound_schema_, violation, out);
+  }
+
+ protected:
+  /// Exposed so UDF closures can build cells with source-column mapping.
+  using Rule::MakeCell;
+
+ public:
+  /// Public helper mirroring Rule::MakeCell for use inside UDF closures.
+  static Cell MakeUdfCell(const Row& row, size_t column,
+                          const Schema& schema) {
+    return MakeCell(row, column, schema);
+  }
+
+ private:
+  DetectFn detect_;
+  DetectSingleFn detect_single_;
+  GenFixFn gen_fix_;
+  BlockKeyFn block_key_;
+  std::vector<std::string> relevant_attributes_;
+  std::vector<std::string> blocking_attributes_;
+  bool symmetric_ = true;
+  int arity_ = 2;
+  Schema bound_schema_;
+};
+
+}  // namespace bigdansing
+
+#endif  // BIGDANSING_RULES_UDF_RULE_H_

@@ -1,0 +1,37 @@
+#include "rules/violation.h"
+
+namespace bigdansing {
+
+const char* FixOpName(FixOp op) {
+  switch (op) {
+    case FixOp::kEq:
+      return "=";
+    case FixOp::kNeq:
+      return "!=";
+    case FixOp::kLt:
+      return "<";
+    case FixOp::kGt:
+      return ">";
+    case FixOp::kLeq:
+      return "<=";
+    case FixOp::kGeq:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string Fix::ToString() const {
+  std::string out = "t" + std::to_string(left.ref.row_id) + "[" +
+                    left.attribute + "] ";
+  out += FixOpName(op);
+  out += " ";
+  if (right.is_cell) {
+    out += "t" + std::to_string(right.cell.ref.row_id) + "[" +
+           right.cell.attribute + "]";
+  } else {
+    out += right.constant.ToString();
+  }
+  return out;
+}
+
+}  // namespace bigdansing

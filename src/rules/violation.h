@@ -1,0 +1,115 @@
+#ifndef BIGDANSING_RULES_VIOLATION_H_
+#define BIGDANSING_RULES_VIOLATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "data/row.h"
+#include "data/value.h"
+
+namespace bigdansing {
+
+/// Identity of an element (a cell) in the input dataset: which row and which
+/// original column. Cells are the nodes of the violation hypergraph (§5.1).
+struct CellRef {
+  RowId row_id = -1;
+  size_t column = 0;
+
+  bool operator==(const CellRef& other) const = default;
+  bool operator<(const CellRef& other) const {
+    if (row_id != other.row_id) return row_id < other.row_id;
+    return column < other.column;
+  }
+
+  /// "t<row>[<col>]" for debugging.
+  std::string ToString() const {
+    return "t" + std::to_string(row_id) + "[" + std::to_string(column) + "]";
+  }
+};
+
+struct CellRefHash {
+  size_t operator()(const CellRef& c) const {
+    size_t seed = static_cast<size_t>(
+        StableHashUint64(static_cast<uint64_t>(c.row_id)));
+    HashCombine(&seed, c.column);
+    return seed;
+  }
+};
+
+/// A cell with its (dirty) value at detection time.
+struct Cell {
+  CellRef ref;
+  std::string attribute;  ///< Original attribute name, for reporting.
+  Value value;
+
+  bool operator==(const Cell& other) const {
+    return ref == other.ref && value == other.value;
+  }
+};
+
+/// A violation: the elements that together break a rule (paper §2.1,
+/// `Detect(data units) -> violation`).
+struct Violation {
+  std::string rule_name;
+  std::vector<Cell> cells;
+
+  /// Row ids involved (deduplicated, order of first appearance).
+  std::vector<RowId> RowIds() const {
+    std::vector<RowId> ids;
+    for (const auto& c : cells) {
+      bool seen = false;
+      for (RowId id : ids) seen = seen || id == c.ref.row_id;
+      if (!seen) ids.push_back(c.ref.row_id);
+    }
+    return ids;
+  }
+};
+
+/// Comparison operator in a possible fix `x op y` (paper §2.1).
+enum class FixOp { kEq, kNeq, kLt, kGt, kLeq, kGeq };
+
+/// Returns "=", "!=", "<", ">", "<=", ">=".
+const char* FixOpName(FixOp op);
+
+/// Right-hand side of a possible fix: another cell or a constant.
+struct FixTerm {
+  bool is_cell = false;
+  Cell cell;       ///< Valid when is_cell.
+  Value constant;  ///< Valid when !is_cell.
+
+  static FixTerm MakeCell(Cell c) {
+    FixTerm t;
+    t.is_cell = true;
+    t.cell = std::move(c);
+    return t;
+  }
+  static FixTerm MakeConstant(Value v) {
+    FixTerm t;
+    t.is_cell = false;
+    t.constant = std::move(v);
+    return t;
+  }
+};
+
+/// A possible fix `left op right` proposed by GenFix for one violation.
+struct Fix {
+  Cell left;
+  FixOp op = FixOp::kEq;
+  FixTerm right;
+
+  /// "t1[city] = t4[city]" style rendering.
+  std::string ToString() const;
+};
+
+/// The unit shipped from the RuleEngine to the repair stage: one violation
+/// together with its possible fixes (a hyperedge of the violation graph).
+struct ViolationWithFixes {
+  Violation violation;
+  std::vector<Fix> fixes;
+};
+
+}  // namespace bigdansing
+
+#endif  // BIGDANSING_RULES_VIOLATION_H_

@@ -1,0 +1,66 @@
+#include "rules/violation_io.h"
+
+#include <fstream>
+
+namespace bigdansing {
+
+namespace {
+
+/// CSV-quotes a field when needed (commas, quotes, newlines).
+std::string QuoteIfNeeded(const std::string& field) {
+  bool needs = false;
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs = true;
+      break;
+    }
+  }
+  if (!needs) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+std::string WriteViolationsCsv(
+    const std::vector<ViolationWithFixes>& violations) {
+  std::string out = "rule,rows,cells,fixes\n";
+  for (const auto& vf : violations) {
+    std::string rows;
+    for (RowId id : vf.violation.RowIds()) {
+      if (!rows.empty()) rows.push_back(';');
+      rows += std::to_string(id);
+    }
+    std::string cells;
+    for (const auto& c : vf.violation.cells) {
+      if (!cells.empty()) cells.push_back(';');
+      cells += "t" + std::to_string(c.ref.row_id) + "[" + c.attribute +
+               "]=" + c.value.ToString();
+    }
+    std::string fixes;
+    for (const auto& f : vf.fixes) {
+      if (!fixes.empty()) fixes.push_back(';');
+      fixes += f.ToString();
+    }
+    out += QuoteIfNeeded(vf.violation.rule_name) + "," + QuoteIfNeeded(rows) +
+           "," + QuoteIfNeeded(cells) + "," + QuoteIfNeeded(fixes) + "\n";
+  }
+  return out;
+}
+
+Status WriteViolationsCsvFile(
+    const std::vector<ViolationWithFixes>& violations,
+    const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << WriteViolationsCsv(violations);
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace bigdansing

@@ -1,0 +1,27 @@
+#ifndef BIGDANSING_RULES_VIOLATION_IO_H_
+#define BIGDANSING_RULES_VIOLATION_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rules/violation.h"
+
+namespace bigdansing {
+
+/// Serializes detection output as CSV with one line per violation:
+///   rule,rows,cells,fixes
+/// where `rows` is a ';'-joined row-id list, `cells` renders each cell as
+/// "t<row>[<attr>]=<value>" and `fixes` joins Fix::ToString() with ';'.
+/// This is the "Detect output written to disk" sink of §3.2 for plans
+/// without a GenFix (fixes column empty then) and the report format of the
+/// clean_csv example tool.
+std::string WriteViolationsCsv(const std::vector<ViolationWithFixes>& violations);
+
+/// Writes WriteViolationsCsv output to a file.
+Status WriteViolationsCsvFile(const std::vector<ViolationWithFixes>& violations,
+                              const std::string& path);
+
+}  // namespace bigdansing
+
+#endif  // BIGDANSING_RULES_VIOLATION_IO_H_

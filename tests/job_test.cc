@@ -1,0 +1,262 @@
+#include "core/job.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/csv.h"
+
+namespace bigdansing {
+namespace {
+
+Table TaxTable() {
+  const char* csv =
+      "name,zipcode,city\n"
+      "Annie,10011,NY\n"
+      "Laure,90210,LA\n"
+      "Mark,90210,SF\n"
+      "Mary,90210,LA\n";
+  return *ReadCsvString(csv, CsvOptions{});
+}
+
+/// The FD zipcode -> city written as raw job UDFs (the paper's Listings
+/// 4-6 and 1-2 rolled together).
+Job FdJob(const Table* table) {
+  Job job("fd-job");
+  job.AddInput("S", table)
+      .AddScope(
+          [](const Row& row) {
+            // Project to (zipcode, city), keeping source columns.
+            Row out(row.id(), {row.value(1), row.value(2)});
+            out.set_source_columns({1, 2});
+            return std::vector<Row>{out};
+          },
+          "S")
+      .AddBlock([](const Row& row) { return row.value(0); }, "S")
+      .AddIterate("M", {"S"})
+      .AddDetect(
+          [](const RowPair& pair, std::vector<Violation>* out) {
+            if (pair.left.value(1) == pair.right.value(1)) return;
+            Violation v;
+            Cell c1{CellRef{pair.left.id(), pair.left.source_column(1)},
+                    "city", pair.left.value(1)};
+            Cell c2{CellRef{pair.right.id(), pair.right.source_column(1)},
+                    "city", pair.right.value(1)};
+            v.cells = {c1, c2};
+            out->push_back(std::move(v));
+          },
+          "M")
+      .AddGenFix([](const Violation& v, std::vector<Fix>* out) {
+        Fix fix;
+        fix.left = v.cells[0];
+        fix.op = FixOp::kEq;
+        fix.right = FixTerm::MakeCell(v.cells[1]);
+        out->push_back(std::move(fix));
+      }, "M");
+  return job;
+}
+
+TEST(Job, FdJobFindsPaperViolations) {
+  Table table = TaxTable();
+  Job job = FdJob(&table);
+  ASSERT_TRUE(job.Validate().ok()) << job.Validate().ToString();
+  ExecutionContext ctx(2);
+  auto result = job.Run(&ctx);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // 90210 block {Laure(LA), Mark(SF), Mary(LA)}: violations (1,2), (2,3).
+  EXPECT_EQ(result->violations.size(), 2u);
+  for (const auto& vf : result->violations) {
+    EXPECT_EQ(vf.violation.rule_name, "fd-job");
+    ASSERT_EQ(vf.fixes.size(), 1u);
+    EXPECT_EQ(vf.fixes[0].op, FixOp::kEq);
+    // Cells map back to the base table's city column (index 2).
+    EXPECT_EQ(vf.fixes[0].left.ref.column, 2u);
+  }
+  // Blocking limited probing to the 3 pairs of the 90210 block.
+  EXPECT_EQ(result->detect_calls, 3u);
+}
+
+TEST(Job, MissingOperatorsAreGenerated) {
+  // Only Detect provided: the planner generates the Iterate (all unordered
+  // pairs) and runs without Scope/Block.
+  Table table = TaxTable();
+  Job job("detect-only");
+  job.AddInput("D", &table).AddDetect(
+      [](const RowPair& pair, std::vector<Violation>* out) {
+        if (pair.left.value(1) == pair.right.value(1) &&
+            pair.left.value(2) != pair.right.value(2)) {
+          Violation v;
+          v.cells.push_back(Cell{CellRef{pair.left.id(), 2}, "city",
+                                 pair.left.value(2)});
+          out->push_back(std::move(v));
+        }
+      },
+      "D");
+  ExecutionContext ctx(2);
+  auto result = job.Run(&ctx);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->violations.size(), 2u);
+  // All 6 unordered pairs probed (no blocking).
+  EXPECT_EQ(result->detect_calls, 6u);
+}
+
+TEST(Job, TwoFlowIterateCrossesDatasets) {
+  const char* left_csv = "name,city\nacme,NYC\nblue,LA\n";
+  const char* right_csv = "name,city\nacme,BOS\nblue,LA\nzeta,SF\n";
+  Table left = *ReadCsvString(left_csv, CsvOptions{});
+  Table right = *ReadCsvString(right_csv, CsvOptions{});
+  Job job("cross");
+  job.AddInput("L", &left)
+      .AddInput("R", &right)
+      .AddBlock([](const Row& r) { return r.value(0); }, "L")
+      .AddBlock([](const Row& r) { return r.value(0); }, "R")
+      .AddIterate("M", {"L", "R"})
+      .AddDetect(
+          [](const RowPair& pair, std::vector<Violation>* out) {
+            if (pair.left.value(1) != pair.right.value(1)) {
+              Violation v;
+              v.cells.push_back(Cell{CellRef{pair.left.id(), 1}, "city",
+                                     pair.left.value(1)});
+              v.cells.push_back(Cell{CellRef{pair.right.id(), 1}, "city",
+                                     pair.right.value(1)});
+              out->push_back(std::move(v));
+            }
+          },
+          "M");
+  ExecutionContext ctx(2);
+  auto result = job.Run(&ctx);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Only acme's cities differ; co-blocking pairs acme-acme and blue-blue.
+  EXPECT_EQ(result->violations.size(), 1u);
+  EXPECT_EQ(result->detect_calls, 2u);
+}
+
+TEST(Job, CustomIterateControlsPairing) {
+  Table table = TaxTable();
+  Job job("custom-iterate");
+  job.AddInput("S", &table)
+      .AddIterate("M", {"S"},
+                  Job::IterateFn([](const std::vector<Row>& block) {
+                    // Only adjacent pairs in id order.
+                    std::vector<RowPair> pairs;
+                    for (size_t i = 0; i + 1 < block.size(); ++i) {
+                      pairs.push_back(RowPair{block[i], block[i + 1]});
+                    }
+                    return pairs;
+                  }))
+      .AddDetect(
+          [](const RowPair&, std::vector<Violation>* out) {
+            out->push_back(Violation{});
+          },
+          "M");
+  ExecutionContext ctx(1);
+  auto result = job.Run(&ctx);
+  ASSERT_TRUE(result.ok());
+  // One global block of 4 rows -> 3 adjacent pairs.
+  EXPECT_EQ(result->detect_calls, 3u);
+}
+
+TEST(Job, NullBlockKeyDropsUnit) {
+  Table table = TaxTable();
+  Job job("drop");
+  job.AddInput("S", &table)
+      .AddBlock(
+          [](const Row& row) {
+            // Exclude NY rows from all blocks.
+            return row.value(2) == Value("NY") ? Value() : row.value(1);
+          },
+          "S")
+      .AddDetect(
+          [](const RowPair&, std::vector<Violation>* out) {
+            out->push_back(Violation{});
+          },
+          "M");
+  job.AddIterate("M", {"S"});
+  ExecutionContext ctx(2);
+  auto result = job.Run(&ctx);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // 90210 block of 3 rows -> 3 unordered pairs; the NY row joined nothing.
+  EXPECT_EQ(result->detect_calls, 3u);
+}
+
+TEST(Job, ValidationCatchesMistakes) {
+  Table table = TaxTable();
+  {
+    Job job("no-detect");
+    job.AddInput("S", &table);
+    EXPECT_FALSE(job.Validate().ok());
+  }
+  {
+    Job job("unknown-flow");
+    job.AddInput("S", &table)
+        .AddBlock([](const Row& r) { return r.value(0); }, "NOPE")
+        .AddDetect([](const RowPair&, std::vector<Violation>*) {}, "S");
+    EXPECT_FALSE(job.Validate().ok());
+  }
+  {
+    Job job("iterate-over-iterate");
+    job.AddInput("S", &table)
+        .AddIterate("M", {"S"})
+        .AddIterate("V", {"M"})  // Not a unit flow.
+        .AddDetect([](const RowPair&, std::vector<Violation>*) {}, "V");
+    EXPECT_FALSE(job.Validate().ok());
+  }
+  {
+    Job job("orphan-genfix");
+    job.AddInput("S", &table)
+        .AddDetect([](const RowPair&, std::vector<Violation>*) {}, "S")
+        .AddGenFix([](const Violation&, std::vector<Fix>*) {}, "ELSEWHERE");
+    EXPECT_FALSE(job.Validate().ok());
+  }
+  {
+    Job job("null-input");
+    job.AddInput("S", nullptr)
+        .AddDetect([](const RowPair&, std::vector<Violation>*) {}, "S");
+    EXPECT_FALSE(job.Validate().ok());
+  }
+  {
+    Job job("three-inputs");
+    job.AddInput("A", &table).AddInput("B", &table).AddInput("C", &table);
+    job.AddIterate("M", {"A", "B", "C"});
+    job.AddDetect([](const RowPair&, std::vector<Violation>*) {}, "M");
+    EXPECT_FALSE(job.Validate().ok());
+  }
+}
+
+TEST(Job, PlanDescribesChain) {
+  Table table = TaxTable();
+  Job job = FdJob(&table);
+  auto plan = job.Plan();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->CountOps(LogicalOpKind::kScope), 1u);
+  EXPECT_EQ(plan->CountOps(LogicalOpKind::kBlock), 1u);
+  EXPECT_EQ(plan->CountOps(LogicalOpKind::kIterate), 1u);
+  EXPECT_EQ(plan->CountOps(LogicalOpKind::kDetect), 1u);
+  EXPECT_EQ(plan->CountOps(LogicalOpKind::kGenFix), 1u);
+}
+
+TEST(Job, SameTableUnderTwoLabels) {
+  // Listing 3 registers one dataset under two labels; pair the two flows.
+  Table table = TaxTable();
+  Job job("self-join");
+  job.AddInput("S", &table)
+      .AddInput("T", &table)
+      .AddBlock([](const Row& r) { return r.value(1); }, "S")
+      .AddBlock([](const Row& r) { return r.value(1); }, "T")
+      .AddIterate("M", {"S", "T"})
+      .AddDetect(
+          [](const RowPair& pair, std::vector<Violation>* out) {
+            if (pair.left.id() < pair.right.id() &&
+                pair.left.value(2) != pair.right.value(2)) {
+              out->push_back(Violation{});
+            }
+          },
+          "M");
+  ExecutionContext ctx(2);
+  auto result = job.Run(&ctx);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->violations.size(), 2u);  // Same as the FD job.
+}
+
+}  // namespace
+}  // namespace bigdansing

