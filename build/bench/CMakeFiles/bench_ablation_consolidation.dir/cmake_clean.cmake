@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_consolidation.dir/bench_ablation_consolidation.cc.o"
+  "CMakeFiles/bench_ablation_consolidation.dir/bench_ablation_consolidation.cc.o.d"
+  "CMakeFiles/bench_ablation_consolidation.dir/util.cc.o"
+  "CMakeFiles/bench_ablation_consolidation.dir/util.cc.o.d"
+  "bench_ablation_consolidation"
+  "bench_ablation_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_iejoin.dir/bench_ablation_iejoin.cc.o"
+  "CMakeFiles/bench_ablation_iejoin.dir/bench_ablation_iejoin.cc.o.d"
+  "CMakeFiles/bench_ablation_iejoin.dir/util.cc.o"
+  "CMakeFiles/bench_ablation_iejoin.dir/util.cc.o.d"
+  "bench_ablation_iejoin"
+  "bench_ablation_iejoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_iejoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10a_multinode_fd.dir/bench_fig10a_multinode_fd.cc.o"
+  "CMakeFiles/bench_fig10a_multinode_fd.dir/bench_fig10a_multinode_fd.cc.o.d"
+  "CMakeFiles/bench_fig10a_multinode_fd.dir/util.cc.o"
+  "CMakeFiles/bench_fig10a_multinode_fd.dir/util.cc.o.d"
+  "bench_fig10a_multinode_fd"
+  "bench_fig10a_multinode_fd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10a_multinode_fd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

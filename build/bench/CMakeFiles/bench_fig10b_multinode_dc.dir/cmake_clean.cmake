@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10b_multinode_dc.dir/bench_fig10b_multinode_dc.cc.o"
+  "CMakeFiles/bench_fig10b_multinode_dc.dir/bench_fig10b_multinode_dc.cc.o.d"
+  "CMakeFiles/bench_fig10b_multinode_dc.dir/util.cc.o"
+  "CMakeFiles/bench_fig10b_multinode_dc.dir/util.cc.o.d"
+  "bench_fig10b_multinode_dc"
+  "bench_fig10b_multinode_dc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10b_multinode_dc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10c_large_tpch.dir/bench_fig10c_large_tpch.cc.o"
+  "CMakeFiles/bench_fig10c_large_tpch.dir/bench_fig10c_large_tpch.cc.o.d"
+  "CMakeFiles/bench_fig10c_large_tpch.dir/util.cc.o"
+  "CMakeFiles/bench_fig10c_large_tpch.dir/util.cc.o.d"
+  "bench_fig10c_large_tpch"
+  "bench_fig10c_large_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10c_large_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

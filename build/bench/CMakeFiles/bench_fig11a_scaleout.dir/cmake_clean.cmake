@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11a_scaleout.dir/bench_fig11a_scaleout.cc.o"
+  "CMakeFiles/bench_fig11a_scaleout.dir/bench_fig11a_scaleout.cc.o.d"
+  "CMakeFiles/bench_fig11a_scaleout.dir/util.cc.o"
+  "CMakeFiles/bench_fig11a_scaleout.dir/util.cc.o.d"
+  "bench_fig11a_scaleout"
+  "bench_fig11a_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11a_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11b_dedup.dir/bench_fig11b_dedup.cc.o"
+  "CMakeFiles/bench_fig11b_dedup.dir/bench_fig11b_dedup.cc.o.d"
+  "CMakeFiles/bench_fig11b_dedup.dir/util.cc.o"
+  "CMakeFiles/bench_fig11b_dedup.dir/util.cc.o.d"
+  "bench_fig11b_dedup"
+  "bench_fig11b_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11b_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

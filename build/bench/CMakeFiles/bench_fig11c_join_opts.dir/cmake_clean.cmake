@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11c_join_opts.dir/bench_fig11c_join_opts.cc.o"
+  "CMakeFiles/bench_fig11c_join_opts.dir/bench_fig11c_join_opts.cc.o.d"
+  "CMakeFiles/bench_fig11c_join_opts.dir/util.cc.o"
+  "CMakeFiles/bench_fig11c_join_opts.dir/util.cc.o.d"
+  "bench_fig11c_join_opts"
+  "bench_fig11c_join_opts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11c_join_opts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

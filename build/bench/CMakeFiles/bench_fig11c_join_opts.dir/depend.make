@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig11c_join_opts.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12a_abstraction.dir/bench_fig12a_abstraction.cc.o"
+  "CMakeFiles/bench_fig12a_abstraction.dir/bench_fig12a_abstraction.cc.o.d"
+  "CMakeFiles/bench_fig12a_abstraction.dir/util.cc.o"
+  "CMakeFiles/bench_fig12a_abstraction.dir/util.cc.o.d"
+  "bench_fig12a_abstraction"
+  "bench_fig12a_abstraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12a_abstraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12b_repair_scaling.dir/bench_fig12b_repair_scaling.cc.o"
+  "CMakeFiles/bench_fig12b_repair_scaling.dir/bench_fig12b_repair_scaling.cc.o.d"
+  "CMakeFiles/bench_fig12b_repair_scaling.dir/util.cc.o"
+  "CMakeFiles/bench_fig12b_repair_scaling.dir/util.cc.o.d"
+  "bench_fig12b_repair_scaling"
+  "bench_fig12b_repair_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12b_repair_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

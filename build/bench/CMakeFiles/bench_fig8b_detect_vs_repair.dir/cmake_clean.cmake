@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8b_detect_vs_repair.dir/bench_fig8b_detect_vs_repair.cc.o"
+  "CMakeFiles/bench_fig8b_detect_vs_repair.dir/bench_fig8b_detect_vs_repair.cc.o.d"
+  "CMakeFiles/bench_fig8b_detect_vs_repair.dir/util.cc.o"
+  "CMakeFiles/bench_fig8b_detect_vs_repair.dir/util.cc.o.d"
+  "bench_fig8b_detect_vs_repair"
+  "bench_fig8b_detect_vs_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8b_detect_vs_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9a_taxa_fd.dir/bench_fig9a_taxa_fd.cc.o"
+  "CMakeFiles/bench_fig9a_taxa_fd.dir/bench_fig9a_taxa_fd.cc.o.d"
+  "CMakeFiles/bench_fig9a_taxa_fd.dir/util.cc.o"
+  "CMakeFiles/bench_fig9a_taxa_fd.dir/util.cc.o.d"
+  "bench_fig9a_taxa_fd"
+  "bench_fig9a_taxa_fd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9a_taxa_fd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

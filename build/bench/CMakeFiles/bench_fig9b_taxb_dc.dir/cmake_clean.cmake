@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9b_taxb_dc.dir/bench_fig9b_taxb_dc.cc.o"
+  "CMakeFiles/bench_fig9b_taxb_dc.dir/bench_fig9b_taxb_dc.cc.o.d"
+  "CMakeFiles/bench_fig9b_taxb_dc.dir/util.cc.o"
+  "CMakeFiles/bench_fig9b_taxb_dc.dir/util.cc.o.d"
+  "bench_fig9b_taxb_dc"
+  "bench_fig9b_taxb_dc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9b_taxb_dc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

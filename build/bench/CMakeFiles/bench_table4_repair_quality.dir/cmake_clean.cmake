@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_repair_quality.dir/bench_table4_repair_quality.cc.o"
+  "CMakeFiles/bench_table4_repair_quality.dir/bench_table4_repair_quality.cc.o.d"
+  "CMakeFiles/bench_table4_repair_quality.dir/util.cc.o"
+  "CMakeFiles/bench_table4_repair_quality.dir/util.cc.o.d"
+  "bench_table4_repair_quality"
+  "bench_table4_repair_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_repair_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedup_customers.dir/dedup_customers.cpp.o"
+  "CMakeFiles/dedup_customers.dir/dedup_customers.cpp.o.d"
+  "dedup_customers"
+  "dedup_customers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedup_customers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

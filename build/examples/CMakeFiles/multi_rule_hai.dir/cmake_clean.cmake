@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_rule_hai.dir/multi_rule_hai.cpp.o"
+  "CMakeFiles/multi_rule_hai.dir/multi_rule_hai.cpp.o.d"
+  "multi_rule_hai"
+  "multi_rule_hai.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_rule_hai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

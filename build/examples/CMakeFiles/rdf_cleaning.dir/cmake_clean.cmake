@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdf_cleaning.dir/rdf_cleaning.cpp.o"
+  "CMakeFiles/rdf_cleaning.dir/rdf_cleaning.cpp.o.d"
+  "rdf_cleaning"
+  "rdf_cleaning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdf_cleaning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/nadeef_baseline.cc" "src/CMakeFiles/bigdansing.dir/baselines/nadeef_baseline.cc.o" "gcc" "src/CMakeFiles/bigdansing.dir/baselines/nadeef_baseline.cc.o.d"
+  "/root/repo/src/baselines/sql_baseline.cc" "src/CMakeFiles/bigdansing.dir/baselines/sql_baseline.cc.o" "gcc" "src/CMakeFiles/bigdansing.dir/baselines/sql_baseline.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/bigdansing.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/bigdansing.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/bigdansing.dir/common/status.cc.o" "gcc" "src/CMakeFiles/bigdansing.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/bigdansing.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/bigdansing.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/bigdansing.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/bigdansing.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/core/bigdansing.cc" "src/CMakeFiles/bigdansing.dir/core/bigdansing.cc.o" "gcc" "src/CMakeFiles/bigdansing.dir/core/bigdansing.cc.o.d"
+  "/root/repo/src/core/iejoin.cc" "src/CMakeFiles/bigdansing.dir/core/iejoin.cc.o" "gcc" "src/CMakeFiles/bigdansing.dir/core/iejoin.cc.o.d"
+  "/root/repo/src/core/job.cc" "src/CMakeFiles/bigdansing.dir/core/job.cc.o" "gcc" "src/CMakeFiles/bigdansing.dir/core/job.cc.o.d"
+  "/root/repo/src/core/logical_plan.cc" "src/CMakeFiles/bigdansing.dir/core/logical_plan.cc.o" "gcc" "src/CMakeFiles/bigdansing.dir/core/logical_plan.cc.o.d"
+  "/root/repo/src/core/multi_dc.cc" "src/CMakeFiles/bigdansing.dir/core/multi_dc.cc.o" "gcc" "src/CMakeFiles/bigdansing.dir/core/multi_dc.cc.o.d"
+  "/root/repo/src/core/ocjoin.cc" "src/CMakeFiles/bigdansing.dir/core/ocjoin.cc.o" "gcc" "src/CMakeFiles/bigdansing.dir/core/ocjoin.cc.o.d"
+  "/root/repo/src/core/physical_plan.cc" "src/CMakeFiles/bigdansing.dir/core/physical_plan.cc.o" "gcc" "src/CMakeFiles/bigdansing.dir/core/physical_plan.cc.o.d"
+  "/root/repo/src/core/rule_engine.cc" "src/CMakeFiles/bigdansing.dir/core/rule_engine.cc.o" "gcc" "src/CMakeFiles/bigdansing.dir/core/rule_engine.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/CMakeFiles/bigdansing.dir/data/csv.cc.o" "gcc" "src/CMakeFiles/bigdansing.dir/data/csv.cc.o.d"
+  "/root/repo/src/data/rdf.cc" "src/CMakeFiles/bigdansing.dir/data/rdf.cc.o" "gcc" "src/CMakeFiles/bigdansing.dir/data/rdf.cc.o.d"
+  "/root/repo/src/data/row.cc" "src/CMakeFiles/bigdansing.dir/data/row.cc.o" "gcc" "src/CMakeFiles/bigdansing.dir/data/row.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/CMakeFiles/bigdansing.dir/data/schema.cc.o" "gcc" "src/CMakeFiles/bigdansing.dir/data/schema.cc.o.d"
+  "/root/repo/src/data/storage.cc" "src/CMakeFiles/bigdansing.dir/data/storage.cc.o" "gcc" "src/CMakeFiles/bigdansing.dir/data/storage.cc.o.d"
+  "/root/repo/src/data/table.cc" "src/CMakeFiles/bigdansing.dir/data/table.cc.o" "gcc" "src/CMakeFiles/bigdansing.dir/data/table.cc.o.d"
+  "/root/repo/src/data/value.cc" "src/CMakeFiles/bigdansing.dir/data/value.cc.o" "gcc" "src/CMakeFiles/bigdansing.dir/data/value.cc.o.d"
+  "/root/repo/src/dataflow/mapreduce.cc" "src/CMakeFiles/bigdansing.dir/dataflow/mapreduce.cc.o" "gcc" "src/CMakeFiles/bigdansing.dir/dataflow/mapreduce.cc.o.d"
+  "/root/repo/src/datagen/datagen.cc" "src/CMakeFiles/bigdansing.dir/datagen/datagen.cc.o" "gcc" "src/CMakeFiles/bigdansing.dir/datagen/datagen.cc.o.d"
+  "/root/repo/src/repair/blackbox.cc" "src/CMakeFiles/bigdansing.dir/repair/blackbox.cc.o" "gcc" "src/CMakeFiles/bigdansing.dir/repair/blackbox.cc.o.d"
+  "/root/repo/src/repair/connected_components.cc" "src/CMakeFiles/bigdansing.dir/repair/connected_components.cc.o" "gcc" "src/CMakeFiles/bigdansing.dir/repair/connected_components.cc.o.d"
+  "/root/repo/src/repair/equivalence_class.cc" "src/CMakeFiles/bigdansing.dir/repair/equivalence_class.cc.o" "gcc" "src/CMakeFiles/bigdansing.dir/repair/equivalence_class.cc.o.d"
+  "/root/repo/src/repair/hypergraph.cc" "src/CMakeFiles/bigdansing.dir/repair/hypergraph.cc.o" "gcc" "src/CMakeFiles/bigdansing.dir/repair/hypergraph.cc.o.d"
+  "/root/repo/src/repair/hypergraph_repair.cc" "src/CMakeFiles/bigdansing.dir/repair/hypergraph_repair.cc.o" "gcc" "src/CMakeFiles/bigdansing.dir/repair/hypergraph_repair.cc.o.d"
+  "/root/repo/src/repair/partitioner.cc" "src/CMakeFiles/bigdansing.dir/repair/partitioner.cc.o" "gcc" "src/CMakeFiles/bigdansing.dir/repair/partitioner.cc.o.d"
+  "/root/repo/src/repair/quality.cc" "src/CMakeFiles/bigdansing.dir/repair/quality.cc.o" "gcc" "src/CMakeFiles/bigdansing.dir/repair/quality.cc.o.d"
+  "/root/repo/src/rules/cfd_rule.cc" "src/CMakeFiles/bigdansing.dir/rules/cfd_rule.cc.o" "gcc" "src/CMakeFiles/bigdansing.dir/rules/cfd_rule.cc.o.d"
+  "/root/repo/src/rules/check_rule.cc" "src/CMakeFiles/bigdansing.dir/rules/check_rule.cc.o" "gcc" "src/CMakeFiles/bigdansing.dir/rules/check_rule.cc.o.d"
+  "/root/repo/src/rules/dc_rule.cc" "src/CMakeFiles/bigdansing.dir/rules/dc_rule.cc.o" "gcc" "src/CMakeFiles/bigdansing.dir/rules/dc_rule.cc.o.d"
+  "/root/repo/src/rules/fd_rule.cc" "src/CMakeFiles/bigdansing.dir/rules/fd_rule.cc.o" "gcc" "src/CMakeFiles/bigdansing.dir/rules/fd_rule.cc.o.d"
+  "/root/repo/src/rules/parser.cc" "src/CMakeFiles/bigdansing.dir/rules/parser.cc.o" "gcc" "src/CMakeFiles/bigdansing.dir/rules/parser.cc.o.d"
+  "/root/repo/src/rules/predicate.cc" "src/CMakeFiles/bigdansing.dir/rules/predicate.cc.o" "gcc" "src/CMakeFiles/bigdansing.dir/rules/predicate.cc.o.d"
+  "/root/repo/src/rules/similarity.cc" "src/CMakeFiles/bigdansing.dir/rules/similarity.cc.o" "gcc" "src/CMakeFiles/bigdansing.dir/rules/similarity.cc.o.d"
+  "/root/repo/src/rules/violation.cc" "src/CMakeFiles/bigdansing.dir/rules/violation.cc.o" "gcc" "src/CMakeFiles/bigdansing.dir/rules/violation.cc.o.d"
+  "/root/repo/src/rules/violation_io.cc" "src/CMakeFiles/bigdansing.dir/rules/violation_io.cc.o" "gcc" "src/CMakeFiles/bigdansing.dir/rules/violation_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iejoin_test.dir/iejoin_test.cc.o"
+  "CMakeFiles/iejoin_test.dir/iejoin_test.cc.o.d"
+  "iejoin_test"
+  "iejoin_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iejoin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

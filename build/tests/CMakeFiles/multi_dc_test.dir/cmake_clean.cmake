@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_dc_test.dir/multi_dc_test.cc.o"
+  "CMakeFiles/multi_dc_test.dir/multi_dc_test.cc.o.d"
+  "multi_dc_test"
+  "multi_dc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_dc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocjoin_test.dir/ocjoin_test.cc.o"
+  "CMakeFiles/ocjoin_test.dir/ocjoin_test.cc.o.d"
+  "ocjoin_test"
+  "ocjoin_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocjoin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/violation_io_test.dir/violation_io_test.cc.o"
+  "CMakeFiles/violation_io_test.dir/violation_io_test.cc.o.d"
+  "violation_io_test"
+  "violation_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/violation_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
