@@ -41,6 +41,8 @@ void Run() {
     double wall = TimeSeconds(
         [&] { engine.Detect(data.dirty, *ParseRule(kRule)); });
     double sim = ctx.metrics().SimulatedWallSeconds();
+    bench::MaybeEmitStageJson("fig11a:workers=" + std::to_string(workers),
+                              ctx.metrics().ToJson());
     double sparksql = TimeSeconds([&] {
       SqlBaselineDetect(&ctx, data.dirty, *ParseRule(kRule),
                         SqlEngine::kSparkSql);

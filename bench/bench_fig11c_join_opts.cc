@@ -50,6 +50,8 @@ void Run() {
       auto r = RuleEngine(&ctx).Detect(data.dirty, *ParseRule(kRule));
       violations = r.ok() ? r->violations.size() : 0;
     });
+    bench::MaybeEmitStageJson("fig11c:rows=" + std::to_string(rows),
+                              ctx.metrics().ToJson());
 
     char factor[16];
     std::snprintf(factor, sizeof(factor), "%.0fx",

@@ -44,6 +44,9 @@ void Run() {
     auto r = BlackBoxRepair(&ctx, violations, ec, parallel_options);
     components = r.num_components;
     double parallel = ctx.metrics().SimulatedWallSeconds();
+    bench::MaybeEmitStageJson(
+        "fig12b:rate=" + std::to_string(static_cast<int>(rate * 100)),
+        ctx.metrics().ToJson());
 
     ctx.metrics().Reset();
     BlackBoxOptions serial_options;

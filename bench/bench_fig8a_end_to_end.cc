@@ -63,6 +63,9 @@ void Run() {
           violations = report->iterations[0].violations;
         }
       });
+      bench::MaybeEmitStageJson(
+          "fig8a:" + std::string(s.label) + ":rows=" + std::to_string(rows),
+          ctx.metrics().ToJson());
 
       // NADEEF: centralized, pair-at-a-time, capped + extrapolated.
       size_t capped = std::min(rows, kNadeefCap);

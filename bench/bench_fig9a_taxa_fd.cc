@@ -49,6 +49,8 @@ void Run() {
       auto r = engine.Detect(data.dirty, *ParseRule(rule_text));
       violations = r.ok() ? r->violations.size() : 0;
     });
+    bench::MaybeEmitStageJson("fig9a:rows=" + std::to_string(rows),
+                              ctx.metrics().ToJson());
 
     double sparksql = TimeSeconds([&] {
       SqlBaselineDetect(&ctx, data.dirty, *ParseRule(rule_text),

@@ -49,6 +49,14 @@ class ResultTable {
   std::vector<std::vector<std::string>> rows_;
 };
 
+/// Emits the context's metrics (totals + per-stage StageReport breakdown)
+/// as one JSON object labelled `label`, honouring the BD_STAGE_JSON
+/// environment variable: unset -> no-op, "-" or "stdout" -> print to
+/// stdout, any other value -> append one line to that file path. Benches
+/// call this after each measured configuration, passing
+/// `ctx.metrics().ToJson()` as `json`.
+void MaybeEmitStageJson(const std::string& label, const std::string& json);
+
 /// "%.3f" seconds formatting.
 std::string Secs(double seconds);
 

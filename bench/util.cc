@@ -45,6 +45,23 @@ void ResultTable::Print() const {
   std::fflush(stdout);
 }
 
+void MaybeEmitStageJson(const std::string& label, const std::string& json) {
+  const char* env = std::getenv("BD_STAGE_JSON");
+  if (env == nullptr || *env == '\0') return;
+  std::string line =
+      "{\"label\":\"" + label + "\",\"metrics\":" + json + "}\n";
+  const std::string target(env);
+  if (target == "-" || target == "stdout") {
+    std::fwrite(line.data(), 1, line.size(), stdout);
+    std::fflush(stdout);
+    return;
+  }
+  std::FILE* f = std::fopen(target.c_str(), "a");
+  if (f == nullptr) return;
+  std::fwrite(line.data(), 1, line.size(), f);
+  std::fclose(f);
+}
+
 std::string Secs(double seconds) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.3f", seconds);

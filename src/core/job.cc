@@ -87,7 +87,7 @@ void DetectOverPairs(ExecutionContext* ctx, const ResolvedChain& chain,
     uint64_t detect_calls = 0;
   };
   std::vector<TaskOut> tasks(parts.size());
-  blocks.RunStage([&](size_t p) {
+  blocks.RunStage("iterate|detect|genfix:job", [&](size_t p) {
     for (const auto& entry : parts[p]) {
       for (const RowPair& pair : expand(entry)) {
         ++tasks[p].detect_calls;

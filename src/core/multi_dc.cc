@@ -280,7 +280,7 @@ Result<std::vector<ViolationWithFixes>> DetectThreeTuple(
   const auto& cparts = coblocks.partitions();
   std::vector<std::vector<std::pair<uint64_t, RowPair>>> per_part(
       cparts.size());
-  coblocks.RunStage([&](size_t p) {
+  coblocks.RunStage("iterate:3dc-pairs", [&](size_t p) {
     for (const auto& kv : cparts[p]) {
       for (const Row& a : kv.second.first) {
         for (const Row& b : kv.second.second) {
@@ -344,7 +344,7 @@ Result<std::vector<ViolationWithFixes>> DetectThreeTuple(
   const auto& jparts = joined.partitions();
   std::vector<std::vector<ViolationWithFixes>> outputs(jparts.size());
   std::vector<uint64_t> task_probes(jparts.size(), 0);
-  joined.RunStage([&](size_t p) {
+  joined.RunStage("detect|genfix:3dc", [&](size_t p) {
     for (const auto& kv : jparts[p]) {
       for (const RowPair& pair : kv.second.first) {
         for (const Row& t3 : kv.second.second) {

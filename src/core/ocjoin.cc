@@ -7,6 +7,7 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "dataflow/stage_executor.h"
 
 namespace bigdansing {
 
@@ -152,10 +153,10 @@ std::vector<RowPair> OCJoin(ExecutionContext* ctx,
 
   // --- Sorting phase (lines 4-5): local, one sorted list per condition
   // attribute per partition. ---
-  ctx->metrics().AddStage();
-  ctx->metrics().AddTasks(np);
-  ctx->pool().ParallelFor(np, [&](size_t p) {
+  StageExecutor executor(ctx);
+  executor.Run("ocjoin:sort", np, [&](size_t p, TaskContext& tc) {
     PartitionState& part = parts[p];
+    tc.records_in = part.rows.size();
     for (size_t col : columns) {
       std::vector<uint32_t> idx;
       idx.reserve(part.rows.size());
@@ -207,18 +208,8 @@ std::vector<RowPair> OCJoin(ExecutionContext* ctx,
   // residual conditions evaluated per candidate pair. ---
   std::vector<std::vector<RowPair>> task_results(surviving.size());
   std::atomic<size_t> candidate_pairs{0};
-  ctx->metrics().AddStage();
-  ctx->metrics().AddTasks(surviving.size());
   const OrderingCondition& c0 = conds[0];
-  const size_t workers = ctx->num_workers();
-  ctx->pool().ParallelFor(surviving.size(), [&](size_t t) {
-    ThreadCpuStopwatch task_timer;
-    const struct TimeGuard {
-      ExecutionContext* ctx;
-      const ThreadCpuStopwatch& timer;
-      size_t slot;
-      ~TimeGuard() { ctx->metrics().RecordTaskTime(slot, timer.ElapsedSeconds()); }
-    } guard{ctx, task_timer, t % workers};
+  executor.Run("ocjoin:join", surviving.size(), [&](size_t t, TaskContext& tc) {
     const PartitionState& p1 = parts[surviving[t].t1];
     const PartitionState& p2 = parts[surviving[t].t2];
     const auto& s1 = p1.sorted.at(c0.left_column);    // t1 side, ascending.
@@ -288,6 +279,8 @@ std::vector<RowPair> OCJoin(ExecutionContext* ctx,
       }
     }
     candidate_pairs += local_candidates;
+    tc.records_in = p1.rows.size() + p2.rows.size();
+    tc.records_out = out.size();
   });
 
   size_t total = 0;

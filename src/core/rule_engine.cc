@@ -8,6 +8,7 @@
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "dataflow/dataset.h"
+#include "dataflow/stage_executor.h"
 
 namespace bigdansing {
 
@@ -28,7 +29,7 @@ Dataset<Row> LoadTable(ExecutionContext* ctx, const Table& table) {
 Dataset<Row> ApplyScope(const Dataset<Row>& data,
                         const std::vector<size_t>& scope_columns) {
   if (scope_columns.empty()) return data;
-  return data.Map([&scope_columns](const Row& row) {
+  return data.Map([scope_columns](const Row& row) {
     std::vector<Value> values;
     values.reserve(scope_columns.size());
     std::vector<size_t> sources;
@@ -40,7 +41,7 @@ Dataset<Row> ApplyScope(const Dataset<Row>& data,
     Row out(row.id(), std::move(values));
     out.set_source_columns(std::move(sources));
     return out;
-  });
+  }, "scope");
 }
 
 /// Computes the blocking key of `row` under `plan`; returns false when the
@@ -134,7 +135,7 @@ void RunBlocked(ExecutionContext* ctx, const PhysicalRulePlan& plan,
                 DetectionResult* result) {
   const auto& parts = blocks.partitions();
   std::vector<TaskOutput> tasks(parts.size());
-  blocks.RunStage([&](size_t p) {
+  blocks.RunStage("iterate|detect|genfix", [&](size_t p) {
     for (const auto& block : parts[p]) {
       IterateBlock(plan, block.second, &tasks[p]);
     }
@@ -165,11 +166,9 @@ void RunUnblocked(ExecutionContext* ctx, const PhysicalRulePlan& plan,
   }
   const bool materialize = plan.strategy == IterateStrategy::kCrossProduct;
   std::vector<TaskOutput> tasks(chunk_pairs.size());
-  ctx->metrics().AddStage();
-  ctx->metrics().AddTasks(chunk_pairs.size());
-  const size_t workers = ctx->num_workers();
-  ctx->pool().ParallelFor(chunk_pairs.size(), [&](size_t t) {
-    ThreadCpuStopwatch task_timer;
+  StageExecutor(ctx).Run(
+      "iterate|detect|genfix:unblocked", chunk_pairs.size(),
+      [&](size_t t, TaskContext& tc) {
     auto [ci, cj] = chunk_pairs[t];
     size_t ibegin = ci * chunk;
     size_t iend = std::min(rows.size(), ibegin + chunk);
@@ -199,7 +198,7 @@ void RunUnblocked(ExecutionContext* ctx, const PhysicalRulePlan& plan,
       }
     }
     ctx->metrics().AddPairsEnumerated(out->detect_calls);
-    ctx->metrics().RecordTaskTime(t % workers, task_timer.ElapsedSeconds());
+    tc.records_out = out->violations.size();
   });
   MergeOutputs(&tasks, result);
 }
@@ -261,7 +260,7 @@ Result<std::vector<DetectionResult>> RuleEngine::DetectAll(
     if (plan.strategy == IterateStrategy::kSingle) {
       const auto& parts = scoped.partitions();
       std::vector<TaskOutput> tasks(parts.size());
-      scoped.RunStage([&](size_t p) {
+      scoped.RunStage("detect:single|genfix", [&](size_t p) {
         for (const Row& row : parts[p]) {
           ++tasks[p].detect_calls;
           std::vector<Violation> found;
@@ -297,7 +296,7 @@ Result<std::vector<DetectionResult>> RuleEngine::DetectAll(
       Dataset<RowPair> pair_ds = Dataset<RowPair>::FromVector(ctx_, std::move(pairs));
       const auto& parts = pair_ds.partitions();
       std::vector<TaskOutput> tasks(parts.size());
-      pair_ds.RunStage([&](size_t p) {
+      pair_ds.RunStage("detect|genfix:ocjoin-pairs", [&](size_t p) {
         for (const RowPair& pr : parts[p]) {
           Probe(*plan.rule, pr.left, pr.right, &tasks[p]);
         }
@@ -329,7 +328,7 @@ Result<std::vector<DetectionResult>> RuleEngine::DetectAll(
                 }
               }
               return out;
-            });
+            }, "block");
         block_it = block_cache.emplace(block_sig, GroupByKey(keyed)).first;
       }
       RunBlocked(ctx_, plan, block_it->second, &result);
@@ -361,7 +360,7 @@ Result<DetectionResult> RuleEngine::DetectIncremental(
   if (plan->strategy == IterateStrategy::kSingle) {
     const auto& parts = scoped.partitions();
     std::vector<TaskOutput> tasks(parts.size());
-    scoped.RunStage([&](size_t p) {
+    scoped.RunStage("detect:single|genfix", [&](size_t p) {
       for (const Row& row : parts[p]) {
         if (changed_rows.count(row.id()) == 0) continue;
         ++tasks[p].detect_calls;
@@ -388,7 +387,7 @@ Result<DetectionResult> RuleEngine::DetectIncremental(
     // the shuffle moves a fraction of the data.
     std::vector<std::vector<BlockKey>> per_part_keys(
         scoped.num_partitions());
-    scoped.RunStage([&](size_t p) {
+    scoped.RunStage("block:dirty-keys", [&](size_t p) {
       BlockKey key = 0;
       for (const Row& row : scoped.partitions()[p]) {
         if (changed_rows.count(row.id()) > 0 &&
@@ -412,7 +411,7 @@ Result<DetectionResult> RuleEngine::DetectIncremental(
             }
           }
           return out;
-        });
+        }, "block:dirty");
     RunBlocked(ctx_, *plan, GroupByKey(keyed), &result);
     return result;
   }
@@ -428,7 +427,7 @@ Result<DetectionResult> RuleEngine::DetectIncremental(
   Dataset<Row> changed_ds = Dataset<Row>::FromVector(ctx_, std::move(changed));
   const auto& parts = changed_ds.partitions();
   std::vector<TaskOutput> tasks(parts.size());
-  changed_ds.RunStage([&](size_t p) {
+  changed_ds.RunStage("iterate|detect:incremental", [&](size_t p) {
     for (const Row& c : parts[p]) {
       for (const Row& r : rows) {
         if (r.id() == c.id()) continue;
@@ -489,7 +488,7 @@ Result<DetectionResult> RuleEngine::DetectWithStorage(
         out.reserve(groups.size());
         for (auto& g : groups) out.emplace_back(g.first, std::move(g.second));
         return out;
-      });
+      }, "block:local");
   RunBlocked(ctx_, *plan, blocks, &result);
   return result;
 }
@@ -512,7 +511,7 @@ Result<DetectionResult> RuleEngine::DetectAcross(
     auto pairs = left_ds.Cartesian(right_ds);
     const auto& parts = pairs.partitions();
     std::vector<TaskOutput> tasks(parts.size());
-    pairs.RunStage([&](size_t p) {
+    pairs.RunStage("detect|genfix:cartesian", [&](size_t p) {
       for (const auto& pr : parts[p]) {
         Probe(*rule, pr.first, pr.second, &tasks[p]);
       }
@@ -535,7 +534,8 @@ Result<DetectionResult> RuleEngine::DetectAcross(
     right_cols.push_back(*rc);
   }
   auto key_rows = [](const Dataset<Row>& ds, const std::vector<size_t>& cols) {
-    return ds.FlatMap([&cols](const Row& row) {
+    // Deferred until the CoGroup below: capture the column list by value.
+    return ds.FlatMap([cols](const Row& row) {
       std::vector<std::pair<BlockKey, Row>> out;
       uint64_t h = 0x42D;
       for (size_t c : cols) {
@@ -551,7 +551,7 @@ Result<DetectionResult> RuleEngine::DetectAcross(
                           key_rows(right_ds, right_cols));
   const auto& parts = coblocks.partitions();
   std::vector<TaskOutput> tasks(parts.size());
-  coblocks.RunStage([&](size_t p) {
+  coblocks.RunStage("iterate|detect|genfix:coblock", [&](size_t p) {
     for (const auto& kv : parts[p]) {
       const auto& [lbag, rbag] = kv.second;
       for (const Row& a : lbag) {

@@ -3,7 +3,9 @@
 
 #include <algorithm>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -11,24 +13,51 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "dataflow/context.h"
+#include "dataflow/stage_executor.h"
 
 namespace bigdansing {
 
-/// A partitioned, immutable, eagerly evaluated collection — the RDD analogue
-/// of this reproduction's embedded dataflow engine. Transformations schedule
-/// one task per partition on the ExecutionContext's worker pool; key-based
-/// operations (GroupByKey, ReduceByKey, Join, CoGroup — free functions below)
-/// perform a hash shuffle and record the moved-record count in Metrics.
+/// A partitioned, immutable, *lazily* evaluated collection — the RDD
+/// analogue of this reproduction's embedded dataflow engine.
 ///
-/// Unlike Spark the evaluation is eager: each transformation runs when
-/// called. This keeps behaviour easy to reason about while preserving the
-/// partitioned execution structure that the paper's experiments vary.
+/// Element-wise transformations (Map, FlatMap, Filter, MapPartitions) do not
+/// run when called: they append a step to a deferred per-partition pipeline.
+/// The pipeline executes — fused into a single pass per partition with no
+/// intermediate partition vectors — when the dataset is *forced* by an
+/// action (Collect, Count, partitions()) or by a shuffle boundary
+/// (GroupByKey, ReduceByKey, Join, CoGroup, Repartition, Cartesian — free
+/// functions and methods below). A forced dataset caches its partitions, so
+/// repeated actions do not re-execute the pipeline and results are identical
+/// per partition to the former eager engine.
+///
+/// Every fused pipeline runs as one named stage through the StageExecutor,
+/// so a Map→Filter→Map chain costs one stage (and one materialization
+/// charge in Hadoop mode) instead of three.
+///
+/// Lifetime rule: functors passed to transformations are copied into the
+/// pipeline, but anything they capture *by reference* must stay alive until
+/// the dataset is forced. All engine call-sites force within the scope that
+/// owns the captures.
 template <typename T>
 class Dataset {
+  template <typename>
+  friend class Dataset;
+
  public:
-  Dataset() : ctx_(nullptr) {}
+  /// Streams one record to the consumer of a pipeline step.
+  using Sink = std::function<void(T&&)>;
+  /// Produces all records of one partition by invoking the sink per record.
+  using Producer = std::function<void(size_t, const Sink&)>;
+
+  Dataset() : state_(nullptr) {}
+  /// Wraps already-materialized partitions (no stage runs).
   Dataset(ExecutionContext* ctx, std::vector<std::vector<T>> partitions)
-      : ctx_(ctx), partitions_(std::move(partitions)) {}
+      : state_(std::make_shared<State>()) {
+    state_->ctx = ctx;
+    state_->num_partitions = partitions.size();
+    state_->parts = std::move(partitions);
+    state_->materialized = true;
+  }
 
   /// Distributes `items` round-robin over `num_partitions` partitions
   /// (defaults to ctx->default_partitions()).
@@ -47,213 +76,433 @@ class Dataset {
     return Dataset(ctx, std::move(parts));
   }
 
-  ExecutionContext* context() const { return ctx_; }
-  size_t num_partitions() const { return partitions_.size(); }
-  const std::vector<std::vector<T>>& partitions() const { return partitions_; }
+  ExecutionContext* context() const { return state_ ? state_->ctx : nullptr; }
+  size_t num_partitions() const {
+    return state_ ? state_->num_partitions : 0;
+  }
 
-  /// Total number of records.
+  /// True when the deferred pipeline (if any) has already executed.
+  bool materialized() const { return !state_ || state_->materialized; }
+
+  /// Name of the pending fused pipeline ("scope|filter|map"); empty when
+  /// materialized.
+  const std::string& pipeline_label() const {
+    static const std::string kEmpty;
+    return state_ && !state_->materialized ? state_->label : kEmpty;
+  }
+
+  /// Partition storage. Forces the pipeline.
+  const std::vector<std::vector<T>>& partitions() const {
+    static const std::vector<std::vector<T>> kEmpty;
+    if (!state_) return kEmpty;
+    Force();
+    return state_->parts;
+  }
+
+  /// Total number of records. Forces the pipeline.
   size_t Count() const {
     size_t n = 0;
-    for (const auto& p : partitions_) n += p.size();
+    for (const auto& p : partitions()) n += p.size();
     return n;
   }
 
-  /// Gathers all records into one vector (driver-side collect).
+  /// Gathers all records into one vector (driver-side collect). Forces.
   std::vector<T> Collect() const {
     std::vector<T> out;
     out.reserve(Count());
-    for (const auto& p : partitions_) {
+    for (const auto& p : partitions()) {
       out.insert(out.end(), p.begin(), p.end());
     }
     return out;
   }
 
-  /// Element-wise transform. `fn`: const T& -> U.
+  /// Streams partition `p` through the fused pipeline into `sink` on the
+  /// calling thread, without materializing this dataset. Exposed for
+  /// shuffle implementations that consume the pipeline directly; most
+  /// callers want partitions().
+  void StreamPartition(size_t p, const Sink& sink) const {
+    StreamFrom(state_, p, sink);
+  }
+
+  /// Records entering partition `p`'s fused pipeline (the pipeline root's
+  /// partition size). Equals the partition size when materialized.
+  size_t InputSize(size_t p) const {
+    if (!state_) return 0;
+    if (state_->materialized) return state_->parts[p].size();
+    return state_->input_size(p);
+  }
+
+  /// Element-wise transform. `fn`: const T& -> U. Deferred.
   template <typename F>
-  auto Map(F fn) const -> Dataset<std::decay_t<decltype(fn(std::declval<const T&>()))>> {
+  auto Map(F fn, const std::string& name = "map") const
+      -> Dataset<std::decay_t<decltype(fn(std::declval<const T&>()))>> {
     using U = std::decay_t<decltype(fn(std::declval<const T&>()))>;
-    std::vector<std::vector<U>> out(partitions_.size());
-    RunStage([&](size_t p) {
-      const auto& in = partitions_[p];
-      out[p].reserve(in.size());
-      for (const auto& x : in) out[p].push_back(fn(x));
-      ctx_->ChargeMaterialization(in.size());
-    });
-    return Dataset<U>(ctx_, std::move(out));
+    auto parent = state_;
+    return Dataset<U>::Deferred(
+        context(), num_partitions(), ChainLabel(name),
+        [parent, fn](size_t p, const typename Dataset<U>::Sink& sink) {
+          StreamFrom(parent, p, [&](T&& x) { sink(fn(x)); });
+        },
+        InputSizeFn());
   }
 
-  /// One-to-many transform. `fn`: const T& -> std::vector<U>.
+  /// One-to-many transform. `fn`: const T& -> std::vector<U>. Deferred.
   template <typename F>
-  auto FlatMap(F fn) const
-      -> Dataset<typename std::decay_t<decltype(fn(std::declval<const T&>()))>::value_type> {
-    using U = typename std::decay_t<decltype(fn(std::declval<const T&>()))>::value_type;
-    std::vector<std::vector<U>> out(partitions_.size());
-    RunStage([&](size_t p) {
-      for (const auto& x : partitions_[p]) {
-        auto produced = fn(x);
-        for (auto& u : produced) out[p].push_back(std::move(u));
-      }
-      ctx_->ChargeMaterialization(out[p].size());
-    });
-    return Dataset<U>(ctx_, std::move(out));
+  auto FlatMap(F fn, const std::string& name = "flatMap") const
+      -> Dataset<
+          typename std::decay_t<decltype(fn(std::declval<const T&>()))>::value_type> {
+    using U =
+        typename std::decay_t<decltype(fn(std::declval<const T&>()))>::value_type;
+    auto parent = state_;
+    return Dataset<U>::Deferred(
+        context(), num_partitions(), ChainLabel(name),
+        [parent, fn](size_t p, const typename Dataset<U>::Sink& sink) {
+          StreamFrom(parent, p, [&](T&& x) {
+            auto produced = fn(x);
+            for (auto& u : produced) sink(std::move(u));
+          });
+        },
+        InputSizeFn());
   }
 
-  /// Keeps records satisfying `pred`.
+  /// Keeps records satisfying `pred`. Deferred.
   template <typename F>
-  Dataset<T> Filter(F pred) const {
-    std::vector<std::vector<T>> out(partitions_.size());
-    RunStage([&](size_t p) {
-      for (const auto& x : partitions_[p]) {
-        if (pred(x)) out[p].push_back(x);
-      }
-      ctx_->ChargeMaterialization(partitions_[p].size());
-    });
-    return Dataset<T>(ctx_, std::move(out));
+  Dataset<T> Filter(F pred, const std::string& name = "filter") const {
+    auto parent = state_;
+    return Dataset<T>::Deferred(
+        context(), num_partitions(), ChainLabel(name),
+        [parent, pred](size_t p, const Sink& sink) {
+          StreamFrom(parent, p, [&](T&& x) {
+            if (pred(x)) sink(std::move(x));
+          });
+        },
+        InputSizeFn());
   }
 
-  /// Whole-partition transform. `fn`: const std::vector<T>& -> std::vector<U>.
+  /// Whole-partition transform. `fn`: const std::vector<T>& ->
+  /// std::vector<U>. Deferred; fuses into the stage (the partition is
+  /// buffered locally when the upstream is itself deferred).
   template <typename U, typename F>
-  Dataset<U> MapPartitions(F fn) const {
-    std::vector<std::vector<U>> out(partitions_.size());
-    RunStage([&](size_t p) {
-      out[p] = fn(partitions_[p]);
-      ctx_->ChargeMaterialization(partitions_[p].size());
-    });
-    return Dataset<U>(ctx_, std::move(out));
+  Dataset<U> MapPartitions(F fn,
+                           const std::string& name = "mapPartitions") const {
+    auto parent = state_;
+    return Dataset<U>::Deferred(
+        context(), num_partitions(), ChainLabel(name),
+        [parent, fn](size_t p, const typename Dataset<U>::Sink& sink) {
+          std::vector<U> out;
+          if (parent && parent->materialized) {
+            out = fn(parent->parts[p]);
+          } else {
+            std::vector<T> buffer;
+            StreamFrom(parent, p,
+                       [&](T&& x) { buffer.push_back(std::move(x)); });
+            out = fn(buffer);
+          }
+          for (auto& u : out) sink(std::move(u));
+        },
+        InputSizeFn());
   }
 
   /// Redistributes records round-robin into `n` partitions (full shuffle).
+  /// Forces the pipeline, then moves records in parallel: a map-side pass
+  /// buckets each input partition (record g of the collect order lands in
+  /// bucket g % n) and a reduce-side pass concatenates the buckets, so the
+  /// result is identical to a driver-side collect + round-robin loop.
   Dataset<T> Repartition(size_t n) const {
     if (n == 0) n = 1;
-    std::vector<T> all = Collect();
-    ctx_->metrics().AddShuffledRecords(all.size());
-    ctx_->metrics().AddStage();
-    std::vector<std::vector<T>> parts(n);
-    for (size_t i = 0; i < all.size(); ++i) {
-      parts[i % n].push_back(std::move(all[i]));
+    ExecutionContext* ctx = context();
+    const auto& parts = partitions();
+    // Global start offset of each input partition in collect order.
+    std::vector<size_t> offset(parts.size() + 1, 0);
+    for (size_t p = 0; p < parts.size(); ++p) {
+      offset[p + 1] = offset[p] + parts[p].size();
     }
-    return Dataset<T>(ctx_, std::move(parts));
+    StageExecutor executor(ctx);
+    // buckets[input_partition][output_partition]
+    std::vector<std::vector<std::vector<T>>> buckets(
+        parts.size(), std::vector<std::vector<T>>(n));
+    executor.Run("repartition:map", parts.size(),
+                 [&](size_t p, TaskContext& tc) {
+                   for (size_t i = 0; i < parts[p].size(); ++i) {
+                     buckets[p][(offset[p] + i) % n].push_back(parts[p][i]);
+                   }
+                   tc.records_in = parts[p].size();
+                   tc.records_out = parts[p].size();
+                   tc.shuffled_records = parts[p].size();
+                 });
+    std::vector<std::vector<T>> out(n);
+    executor.Run("repartition:merge", n, [&](size_t q, TaskContext& tc) {
+      size_t total = 0;
+      for (size_t p = 0; p < parts.size(); ++p) total += buckets[p][q].size();
+      out[q].reserve(total);
+      for (size_t p = 0; p < parts.size(); ++p) {
+        auto& b = buckets[p][q];
+        out[q].insert(out[q].end(), std::make_move_iterator(b.begin()),
+                      std::make_move_iterator(b.end()));
+      }
+      tc.records_in = total;
+      tc.records_out = total;
+    });
+    return Dataset<T>(ctx, std::move(out));
   }
 
-  /// Concatenation (no shuffle; partitions are appended).
+  /// Concatenation (no shuffle; partitions are appended). Deferred when
+  /// either side still has a pending pipeline.
   Dataset<T> Union(const Dataset<T>& other) const {
-    std::vector<std::vector<T>> parts = partitions_;
-    parts.insert(parts.end(), other.partitions_.begin(),
-                 other.partitions_.end());
-    return Dataset<T>(ctx_, std::move(parts));
+    if (materialized() && other.materialized()) {
+      std::vector<std::vector<T>> parts =
+          state_ ? state_->parts : std::vector<std::vector<T>>{};
+      if (other.state_) {
+        parts.insert(parts.end(), other.state_->parts.begin(),
+                     other.state_->parts.end());
+      }
+      return Dataset<T>(context() ? context() : other.context(),
+                        std::move(parts));
+    }
+    auto left = state_;
+    auto right = other.state_;
+    const size_t left_np = num_partitions();
+    return Dataset<T>::Deferred(
+        context() ? context() : other.context(),
+        left_np + other.num_partitions(), "union",
+        [left, right, left_np](size_t p, const Sink& sink) {
+          if (p < left_np) {
+            StreamFrom(left, p, sink);
+          } else {
+            StreamFrom(right, p - left_np, sink);
+          }
+        },
+        [left, right, left_np](size_t p) {
+          const auto& s = p < left_np ? left : right;
+          const size_t q = p < left_np ? p : p - left_np;
+          if (!s) return size_t{0};
+          return s->materialized ? s->parts[q].size() : s->input_size(q);
+        });
   }
 
   /// Full cross product with `other`. Quadratic: use only on inputs known to
-  /// be small (the paper's baselines pay exactly this cost).
+  /// be small (the paper's baselines pay exactly this cost). Forces both
+  /// sides (a shuffle boundary).
   template <typename U>
   Dataset<std::pair<T, U>> Cartesian(const Dataset<U>& other) const {
+    ExecutionContext* ctx = context();
     std::vector<U> right = other.Collect();
-    ctx_->metrics().AddShuffledRecords(right.size() * partitions_.size());
-    std::vector<std::vector<std::pair<T, U>>> out(partitions_.size());
-    RunStage([&](size_t p) {
-      uint64_t pairs = 0;
-      for (const auto& a : partitions_[p]) {
-        for (const auto& b : right) {
-          out[p].emplace_back(a, b);
-          ++pairs;
-        }
-      }
-      ctx_->metrics().AddPairsEnumerated(pairs);
-    });
-    return Dataset<std::pair<T, U>>(ctx_, std::move(out));
+    const auto& parts = partitions();
+    ctx->metrics().AddShuffledRecords(right.size() * parts.size());
+    std::vector<std::vector<std::pair<T, U>>> out(parts.size());
+    StageExecutor(ctx).Run(
+        "cartesian", parts.size(), [&](size_t p, TaskContext& tc) {
+          uint64_t pairs = 0;
+          for (const auto& a : parts[p]) {
+            for (const auto& b : right) {
+              out[p].emplace_back(a, b);
+              ++pairs;
+            }
+          }
+          tc.records_in = parts[p].size();
+          tc.records_out = pairs;
+          ctx->metrics().AddPairsEnumerated(pairs);
+        });
+    return Dataset<std::pair<T, U>>(ctx, std::move(out));
   }
 
-  /// Schedules `body(p)` for every partition index and waits; records
-  /// stage/task metrics and per-worker busy time (partition p runs on
-  /// logical worker p % num_workers). Exposed for operators built on top of
-  /// the engine (e.g. OCJoin) that need custom per-partition logic.
+  /// Schedules `body(p)` for every partition index and waits, as one named
+  /// stage on the StageExecutor. Forces the pipeline first. Exposed for
+  /// operators built on top of the engine (e.g. OCJoin) that need custom
+  /// per-partition logic.
+  template <typename F>
+  void RunStage(const std::string& name, F body) const {
+    const auto& parts = partitions();
+    ExecutionContext* ctx = context();
+    if (ctx == nullptr) return;
+    StageExecutor(ctx).Run(name, parts.size(), [&](size_t p, TaskContext& tc) {
+      body(p);
+      tc.records_in = parts[p].size();
+    });
+  }
+
+  /// Back-compat overload: unnamed stage.
   template <typename F>
   void RunStage(F body) const {
-    ctx_->metrics().AddStage();
-    ctx_->metrics().AddTasks(partitions_.size());
-    const size_t workers = ctx_->num_workers();
-    ctx_->pool().ParallelFor(partitions_.size(), [&](size_t p) {
-      ThreadCpuStopwatch task_timer;
-      body(p);
-      ctx_->metrics().RecordTaskTime(p % workers, task_timer.ElapsedSeconds());
-    });
+    RunStage("stage", std::move(body));
   }
 
  private:
-  ExecutionContext* ctx_;
-  std::vector<std::vector<T>> partitions_;
+  /// Shared, cached evaluation state. Copies of a Dataset share one State,
+  /// so forcing through any copy materializes for all of them.
+  struct State {
+    ExecutionContext* ctx = nullptr;
+    size_t num_partitions = 0;
+    /// Deferred fused pipeline; null once materialized.
+    Producer produce;
+    /// Record count entering the pipeline for a partition (pipeline root's
+    /// partition size); only meaningful while deferred.
+    std::function<size_t(size_t)> input_size;
+    /// Stage name for the fused pipeline, e.g. "scope|filter".
+    std::string label;
+    std::vector<std::vector<T>> parts;
+    bool materialized = false;
+  };
+
+  /// Builds a deferred dataset node (internal; used across Dataset<T> and
+  /// Dataset<U> via friendship).
+  static Dataset Deferred(ExecutionContext* ctx, size_t num_partitions,
+                          std::string label, Producer produce,
+                          std::function<size_t(size_t)> input_size) {
+    Dataset ds;
+    ds.state_ = std::make_shared<State>();
+    ds.state_->ctx = ctx;
+    ds.state_->num_partitions = num_partitions;
+    ds.state_->produce = std::move(produce);
+    ds.state_->input_size = std::move(input_size);
+    ds.state_->label = std::move(label);
+    return ds;
+  }
+
+  /// Streams partition `p` of `state` into `sink`: replays the cache when
+  /// materialized (copying, as the cache stays valid), otherwise runs the
+  /// deferred pipeline.
+  static void StreamFrom(const std::shared_ptr<State>& state, size_t p,
+                         const Sink& sink) {
+    if (!state) return;
+    if (state->materialized) {
+      for (const T& x : state->parts[p]) sink(T(x));
+      return;
+    }
+    state->produce(p, sink);
+  }
+
+  /// Label of the pipeline extended by step `name`.
+  std::string ChainLabel(const std::string& name) const {
+    if (!state_ || state_->materialized || state_->label.empty()) return name;
+    if (state_->label.size() > 160) return state_->label;  // Cap runaway chains.
+    return state_->label + "|" + name;
+  }
+
+  /// Root-partition-size function for a node chained onto this dataset.
+  std::function<size_t(size_t)> InputSizeFn() const {
+    auto parent = state_;
+    return [parent](size_t p) {
+      if (!parent) return size_t{0};
+      return parent->materialized ? parent->parts[p].size()
+                                  : parent->input_size(p);
+    };
+  }
+
+  /// Executes the fused pipeline as one stage and caches the result.
+  void Force() const {
+    State& s = *state_;
+    if (s.materialized) return;
+    std::vector<std::vector<T>> out(s.num_partitions);
+    StageExecutor(s.ctx).Run(
+        s.label.empty() ? "stage" : s.label, s.num_partitions,
+        [&](size_t p, TaskContext& tc) {
+          s.produce(p, [&](T&& x) { out[p].push_back(std::move(x)); });
+          tc.records_in = s.input_size ? s.input_size(p) : 0;
+          tc.records_out = out[p].size();
+          // One stage boundary per fused pipeline: Hadoop mode charges the
+          // materialization once, however many steps were fused.
+          s.ctx->ChargeMaterialization(out[p].size());
+        });
+    s.parts = std::move(out);
+    s.produce = nullptr;
+    s.input_size = nullptr;
+    s.materialized = true;
+  }
+
+  std::shared_ptr<State> state_;
 };
 
 namespace dataflow_internal {
 
-/// Hash-shuffles key-value records into `num_out` buckets, in parallel over
-/// input partitions. Returns per-output-partition record vectors.
+/// Hash-shuffles key-value records into `num_out` buckets. The map side
+/// consumes `ds`'s fused pipeline directly (no materialization of the
+/// upstream dataset); the merge side concatenates buckets per output
+/// partition. Both sides run as named stages. Returns per-output-partition
+/// record vectors.
 template <typename K, typename V, typename Hash>
 std::vector<std::vector<std::pair<K, V>>> ShuffleByKey(
-    const Dataset<std::pair<K, V>>& ds, size_t num_out, const Hash& hash) {
+    const Dataset<std::pair<K, V>>& ds, size_t num_out, const Hash& hash,
+    const std::string& stage_prefix) {
   ExecutionContext* ctx = ds.context();
-  const auto& parts = ds.partitions();
+  const size_t num_in = ds.num_partitions();
+  StageExecutor executor(ctx);
   // buckets[input_partition][output_partition]
   std::vector<std::vector<std::vector<std::pair<K, V>>>> buckets(
-      parts.size(),
-      std::vector<std::vector<std::pair<K, V>>>(num_out));
-  ds.RunStage([&](size_t p) {
-    for (const auto& kv : parts[p]) {
+      num_in, std::vector<std::vector<std::pair<K, V>>>(num_out));
+  const std::string map_label =
+      ds.materialized() || ds.pipeline_label().empty()
+          ? stage_prefix + ":map"
+          : ds.pipeline_label() + "|" + stage_prefix + ":map";
+  executor.Run(map_label, num_in, [&](size_t p, TaskContext& tc) {
+    ds.StreamPartition(p, [&](std::pair<K, V>&& kv) {
       size_t target = hash(kv.first) % num_out;
-      buckets[p][target].push_back(kv);
-    }
-    ctx->metrics().AddShuffledRecords(parts[p].size());
-    ctx->ChargeMaterialization(parts[p].size());
+      buckets[p][target].push_back(std::move(kv));
+      ++tc.records_out;
+    });
+    tc.records_in = ds.InputSize(p);
+    tc.shuffled_records = tc.records_out;
+    ctx->ChargeMaterialization(tc.records_out);
   });
   std::vector<std::vector<std::pair<K, V>>> out(num_out);
-  ctx->pool().ParallelFor(num_out, [&](size_t q) {
-    size_t total = 0;
-    for (size_t p = 0; p < parts.size(); ++p) total += buckets[p][q].size();
-    out[q].reserve(total);
-    for (size_t p = 0; p < parts.size(); ++p) {
-      auto& b = buckets[p][q];
-      out[q].insert(out[q].end(), std::make_move_iterator(b.begin()),
-                    std::make_move_iterator(b.end()));
-    }
-  });
+  executor.Run(stage_prefix + ":merge", num_out,
+               [&](size_t q, TaskContext& tc) {
+                 size_t total = 0;
+                 for (size_t p = 0; p < num_in; ++p) total += buckets[p][q].size();
+                 out[q].reserve(total);
+                 for (size_t p = 0; p < num_in; ++p) {
+                   auto& b = buckets[p][q];
+                   out[q].insert(out[q].end(),
+                                 std::make_move_iterator(b.begin()),
+                                 std::make_move_iterator(b.end()));
+                 }
+                 tc.records_in = total;
+                 tc.records_out = total;
+               });
   return out;
 }
 
 }  // namespace dataflow_internal
 
-/// Groups values by key with a hash shuffle: Spark's groupByKey.
+/// Groups values by key with a hash shuffle: Spark's groupByKey. A shuffle
+/// boundary: forces (and fuses with) the upstream pipeline's map side.
 template <typename K, typename V, typename Hash = std::hash<K>>
 Dataset<std::pair<K, std::vector<V>>> GroupByKey(
     const Dataset<std::pair<K, V>>& ds, size_t num_partitions = 0,
     const Hash& hash = Hash()) {
   ExecutionContext* ctx = ds.context();
   if (num_partitions == 0) num_partitions = std::max<size_t>(1, ds.num_partitions());
-  auto shuffled = dataflow_internal::ShuffleByKey(ds, num_partitions, hash);
+  auto shuffled =
+      dataflow_internal::ShuffleByKey(ds, num_partitions, hash, "groupByKey");
   std::vector<std::vector<std::pair<K, std::vector<V>>>> out(num_partitions);
-  ctx->pool().ParallelFor(num_partitions, [&](size_t q) {
-    std::unordered_map<K, std::vector<V>, Hash> groups(16, hash);
-    for (auto& kv : shuffled[q]) {
-      groups[kv.first].push_back(std::move(kv.second));
-    }
-    out[q].reserve(groups.size());
-    for (auto& g : groups) {
-      out[q].emplace_back(g.first, std::move(g.second));
-    }
-  });
+  StageExecutor(ctx).Run(
+      "groupByKey:reduce", num_partitions, [&](size_t q, TaskContext& tc) {
+        std::unordered_map<K, std::vector<V>, Hash> groups(16, hash);
+        tc.records_in = shuffled[q].size();
+        for (auto& kv : shuffled[q]) {
+          groups[kv.first].push_back(std::move(kv.second));
+        }
+        out[q].reserve(groups.size());
+        for (auto& g : groups) {
+          out[q].emplace_back(g.first, std::move(g.second));
+        }
+        tc.records_out = out[q].size();
+      });
   return Dataset<std::pair<K, std::vector<V>>>(ctx, std::move(out));
 }
 
 /// Combines values per key with `reduce`: Spark's reduceByKey. `reduce`
 /// must be associative and commutative; it is applied map-side first so the
-/// shuffle moves at most one record per key per partition.
+/// shuffle moves at most one record per key per partition. A shuffle
+/// boundary.
 template <typename K, typename V, typename F, typename Hash = std::hash<K>>
 Dataset<std::pair<K, V>> ReduceByKey(const Dataset<std::pair<K, V>>& ds,
                                      F reduce, size_t num_partitions = 0,
                                      const Hash& hash = Hash()) {
   ExecutionContext* ctx = ds.context();
-  // Map-side combine.
+  // Map-side combine, fused into the shuffle's map stage.
   auto combined = ds.template MapPartitions<std::pair<K, V>>(
-      [&](const std::vector<std::pair<K, V>>& part) {
+      [reduce, hash](const std::vector<std::pair<K, V>>& part) {
         std::unordered_map<K, V, Hash> acc(16, hash);
         for (const auto& kv : part) {
           auto it = acc.find(kv.first);
@@ -267,28 +516,32 @@ Dataset<std::pair<K, V>> ReduceByKey(const Dataset<std::pair<K, V>>& ds,
         out.reserve(acc.size());
         for (auto& kv : acc) out.emplace_back(kv.first, std::move(kv.second));
         return out;
-      });
+      },
+      "combine");
   if (num_partitions == 0) num_partitions = std::max<size_t>(1, ds.num_partitions());
-  auto shuffled =
-      dataflow_internal::ShuffleByKey(combined, num_partitions, hash);
+  auto shuffled = dataflow_internal::ShuffleByKey(combined, num_partitions,
+                                                  hash, "reduceByKey");
   std::vector<std::vector<std::pair<K, V>>> out(num_partitions);
-  ctx->pool().ParallelFor(num_partitions, [&](size_t q) {
-    std::unordered_map<K, V, Hash> acc(16, hash);
-    for (auto& kv : shuffled[q]) {
-      auto it = acc.find(kv.first);
-      if (it == acc.end()) {
-        acc.emplace(std::move(kv.first), std::move(kv.second));
-      } else {
-        it->second = reduce(it->second, kv.second);
-      }
-    }
-    out[q].reserve(acc.size());
-    for (auto& kv : acc) out[q].emplace_back(kv.first, std::move(kv.second));
-  });
+  StageExecutor(ctx).Run(
+      "reduceByKey:reduce", num_partitions, [&](size_t q, TaskContext& tc) {
+        std::unordered_map<K, V, Hash> acc(16, hash);
+        tc.records_in = shuffled[q].size();
+        for (auto& kv : shuffled[q]) {
+          auto it = acc.find(kv.first);
+          if (it == acc.end()) {
+            acc.emplace(std::move(kv.first), std::move(kv.second));
+          } else {
+            it->second = reduce(it->second, kv.second);
+          }
+        }
+        out[q].reserve(acc.size());
+        for (auto& kv : acc) out[q].emplace_back(kv.first, std::move(kv.second));
+        tc.records_out = out[q].size();
+      });
   return Dataset<std::pair<K, V>>(ctx, std::move(out));
 }
 
-/// Inner hash join on key: Spark's join.
+/// Inner hash join on key: Spark's join. A shuffle boundary on both inputs.
 template <typename K, typename V, typename W, typename Hash = std::hash<K>>
 Dataset<std::pair<K, std::pair<V, W>>> Join(const Dataset<std::pair<K, V>>& a,
                                             const Dataset<std::pair<K, W>>& b,
@@ -296,43 +549,49 @@ Dataset<std::pair<K, std::pair<V, W>>> Join(const Dataset<std::pair<K, V>>& a,
                                             const Hash& hash = Hash()) {
   ExecutionContext* ctx = a.context();
   if (num_partitions == 0) num_partitions = std::max<size_t>(1, a.num_partitions());
-  auto left = dataflow_internal::ShuffleByKey(a, num_partitions, hash);
-  auto right = dataflow_internal::ShuffleByKey(b, num_partitions, hash);
+  auto left = dataflow_internal::ShuffleByKey(a, num_partitions, hash, "join");
+  auto right = dataflow_internal::ShuffleByKey(b, num_partitions, hash, "join");
   std::vector<std::vector<std::pair<K, std::pair<V, W>>>> out(num_partitions);
-  ctx->pool().ParallelFor(num_partitions, [&](size_t q) {
-    std::unordered_map<K, std::vector<V>, Hash> build(16, hash);
-    for (auto& kv : left[q]) build[kv.first].push_back(std::move(kv.second));
-    for (auto& kw : right[q]) {
-      auto it = build.find(kw.first);
-      if (it == build.end()) continue;
-      for (const auto& v : it->second) {
-        out[q].emplace_back(kw.first, std::make_pair(v, kw.second));
-      }
-    }
-  });
+  StageExecutor(ctx).Run(
+      "join:probe", num_partitions, [&](size_t q, TaskContext& tc) {
+        std::unordered_map<K, std::vector<V>, Hash> build(16, hash);
+        tc.records_in = left[q].size() + right[q].size();
+        for (auto& kv : left[q]) build[kv.first].push_back(std::move(kv.second));
+        for (auto& kw : right[q]) {
+          auto it = build.find(kw.first);
+          if (it == build.end()) continue;
+          for (const auto& v : it->second) {
+            out[q].emplace_back(kw.first, std::make_pair(v, kw.second));
+          }
+        }
+        tc.records_out = out[q].size();
+      });
   return Dataset<std::pair<K, std::pair<V, W>>>(ctx, std::move(out));
 }
 
 /// Groups two keyed datasets on the same key — the paper's CoBlock enhancer
 /// maps onto this (Spark's cogroup). Keys absent from one side produce an
-/// empty bag on that side.
+/// empty bag on that side. A shuffle boundary on both inputs.
 template <typename K, typename V, typename W, typename Hash = std::hash<K>>
 Dataset<std::pair<K, std::pair<std::vector<V>, std::vector<W>>>> CoGroup(
     const Dataset<std::pair<K, V>>& a, const Dataset<std::pair<K, W>>& b,
     size_t num_partitions = 0, const Hash& hash = Hash()) {
   ExecutionContext* ctx = a.context();
   if (num_partitions == 0) num_partitions = std::max<size_t>(1, a.num_partitions());
-  auto left = dataflow_internal::ShuffleByKey(a, num_partitions, hash);
-  auto right = dataflow_internal::ShuffleByKey(b, num_partitions, hash);
+  auto left = dataflow_internal::ShuffleByKey(a, num_partitions, hash, "cogroup");
+  auto right = dataflow_internal::ShuffleByKey(b, num_partitions, hash, "cogroup");
   using Bags = std::pair<std::vector<V>, std::vector<W>>;
   std::vector<std::vector<std::pair<K, Bags>>> out(num_partitions);
-  ctx->pool().ParallelFor(num_partitions, [&](size_t q) {
-    std::unordered_map<K, Bags, Hash> groups(16, hash);
-    for (auto& kv : left[q]) groups[kv.first].first.push_back(std::move(kv.second));
-    for (auto& kw : right[q]) groups[kw.first].second.push_back(std::move(kw.second));
-    out[q].reserve(groups.size());
-    for (auto& g : groups) out[q].emplace_back(g.first, std::move(g.second));
-  });
+  StageExecutor(ctx).Run(
+      "cogroup:merge", num_partitions, [&](size_t q, TaskContext& tc) {
+        std::unordered_map<K, Bags, Hash> groups(16, hash);
+        tc.records_in = left[q].size() + right[q].size();
+        for (auto& kv : left[q]) groups[kv.first].first.push_back(std::move(kv.second));
+        for (auto& kw : right[q]) groups[kw.first].second.push_back(std::move(kw.second));
+        out[q].reserve(groups.size());
+        for (auto& g : groups) out[q].emplace_back(g.first, std::move(g.second));
+        tc.records_out = out[q].size();
+      });
   return Dataset<std::pair<K, Bags>>(ctx, std::move(out));
 }
 

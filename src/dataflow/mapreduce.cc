@@ -10,6 +10,7 @@
 
 #include "common/hash.h"
 #include "data/storage.h"
+#include "dataflow/stage_executor.h"
 
 namespace bigdansing {
 
@@ -69,11 +70,10 @@ std::vector<std::string> MapReduceJob::Run(
 
   // --- Map phase: each task writes one serialized spill blob per reducer
   // (Hadoop's partitioned spill files). ---
+  StageExecutor executor(ctx_);
   std::vector<std::vector<std::string>> spills(
       num_maps, std::vector<std::string>(num_reducers_));
-  ctx_->metrics().AddStage();
-  ctx_->metrics().AddTasks(num_maps);
-  ctx_->pool().ParallelFor(num_maps, [&](size_t m) {
+  executor.Run("mr:map", num_maps, [&](size_t m, TaskContext& tc) {
     size_t begin = m * split;
     size_t end = std::min(input_records.size(), begin + split);
     std::vector<std::pair<std::string, std::string>> emitted;
@@ -83,8 +83,10 @@ std::vector<std::string> MapReduceJob::Run(
       for (const auto& [key, value] : emitted) {
         size_t r = static_cast<size_t>(StableHashBytes(key)) % num_reducers_;
         SpillRecord(&spills[m][r], key, value);
+        ++tc.records_out;
       }
     }
+    tc.records_in = end - begin;
   });
 
   // --- Optional disk materialization: every non-empty spill blob becomes
@@ -101,7 +103,7 @@ std::vector<std::string> MapReduceJob::Run(
     const std::string dir = std::filesystem::temp_directory_path().string();
     const uint64_t job_id = spill_counter.fetch_add(1);
     spill_paths.assign(num_maps, std::vector<std::string>(num_reducers_));
-    ctx_->pool().ParallelFor(num_maps, [&](size_t m) {
+    executor.Run("mr:spill", num_maps, [&](size_t m) {
       for (size_t r = 0; r < num_reducers_; ++r) {
         if (spills[m][r].empty()) continue;
         std::string path = dir + "/bd_mr_" + std::to_string(job_id) + "_" +
@@ -116,11 +118,9 @@ std::vector<std::string> MapReduceJob::Run(
       }
     });
   }
-  ctx_->metrics().AddStage();
-  ctx_->metrics().AddTasks(num_reducers_);
 
   std::vector<std::vector<std::string>> outputs(num_reducers_);
-  ctx_->pool().ParallelFor(num_reducers_, [&](size_t r) {
+  executor.Run("mr:reduce", num_reducers_, [&](size_t r, TaskContext& tc) {
     std::vector<std::pair<std::string, std::string>> records;
     for (size_t m = 0; m < num_maps; ++m) {
       if (spill_to_disk_) {
@@ -134,7 +134,8 @@ std::vector<std::string> MapReduceJob::Run(
         ParseSpill(spills[m][r], &records);
       }
     }
-    ctx_->metrics().AddShuffledRecords(records.size());
+    tc.records_in = records.size();
+    tc.shuffled_records = records.size();
     std::sort(records.begin(), records.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
     std::vector<std::string> group;
@@ -149,6 +150,7 @@ std::vector<std::string> MapReduceJob::Run(
       reduce_fn_(records[i].first, group, &outputs[r]);
       i = j;
     }
+    tc.records_out = outputs[r].size();
   });
 
   std::vector<std::string> result;

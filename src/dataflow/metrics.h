@@ -4,16 +4,41 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <mutex>
 #include <string>
 #include <vector>
 
 namespace bigdansing {
 
+/// Per-task counters filled in by stage task bodies and folded into the
+/// owning stage's StageReport by the StageExecutor. Each task gets its own
+/// instance, so bodies update it without synchronization.
+struct TaskContext {
+  uint64_t records_in = 0;
+  uint64_t records_out = 0;
+  /// Records this task pushed across a shuffle boundary.
+  uint64_t shuffled_records = 0;
+};
+
+/// Structured record of one executed stage — the EXPLAIN-style breakdown
+/// the benches export as JSON. `busy_seconds` is the sum of per-task CPU
+/// time; `wall_seconds` is the driver-observed duration of the stage.
+struct StageReport {
+  std::string name;
+  uint64_t tasks = 0;
+  uint64_t records_in = 0;
+  uint64_t records_out = 0;
+  uint64_t shuffled_records = 0;
+  double busy_seconds = 0.0;
+  double wall_seconds = 0.0;
+};
+
 /// Execution counters gathered by the dataflow engine. Because this
 /// reproduction runs on one machine, scaling behaviour is evidenced both by
 /// wall time and by these work measures (records shuffled across partitions,
-/// stages executed, tasks launched, pairs enumerated).
+/// stages executed, tasks launched, pairs enumerated). Stages launched via
+/// the StageExecutor additionally contribute a named StageReport each.
 class Metrics {
  public:
   void AddShuffledRecords(uint64_t n) { shuffled_records_ += n; }
@@ -27,6 +52,41 @@ class Metrics {
   uint64_t tasks() const { return tasks_; }
   uint64_t pairs_enumerated() const { return pairs_enumerated_; }
   uint64_t records_read() const { return records_read_; }
+
+  /// Opens a StageReport for a stage named `name` with `num_tasks` tasks and
+  /// returns its handle. Counted into stages()/tasks() immediately.
+  size_t BeginStage(const std::string& name, uint64_t num_tasks) {
+    ++stages_;
+    tasks_ += num_tasks;
+    std::lock_guard<std::mutex> lock(stage_mutex_);
+    stage_reports_.push_back(StageReport{name, num_tasks, 0, 0, 0, 0.0, 0.0});
+    return stage_reports_.size() - 1;
+  }
+
+  /// Folds one finished task's counters and CPU time into stage `handle`.
+  /// The task's shuffled records also count toward the global total.
+  void AccumulateTask(size_t handle, const TaskContext& tc,
+                      double busy_seconds) {
+    if (tc.shuffled_records > 0) shuffled_records_ += tc.shuffled_records;
+    std::lock_guard<std::mutex> lock(stage_mutex_);
+    StageReport& report = stage_reports_[handle];
+    report.records_in += tc.records_in;
+    report.records_out += tc.records_out;
+    report.shuffled_records += tc.shuffled_records;
+    report.busy_seconds += busy_seconds;
+  }
+
+  /// Closes stage `handle` with its driver-observed wall time.
+  void FinishStage(size_t handle, double wall_seconds) {
+    std::lock_guard<std::mutex> lock(stage_mutex_);
+    stage_reports_[handle].wall_seconds = wall_seconds;
+  }
+
+  /// Snapshot of all stage reports recorded so far, in execution order.
+  std::vector<StageReport> StageReports() const {
+    std::lock_guard<std::mutex> lock(stage_mutex_);
+    return stage_reports_;
+  }
 
   /// Accumulates the busy time of one task onto logical worker `slot`.
   /// Tasks are bound to workers by partition index, so the maximum busy sum
@@ -55,6 +115,10 @@ class Metrics {
     tasks_ = 0;
     pairs_enumerated_ = 0;
     records_read_ = 0;
+    {
+      std::lock_guard<std::mutex> lock(stage_mutex_);
+      stage_reports_.clear();
+    }
     std::lock_guard<std::mutex> lock(task_time_mutex_);
     worker_busy_seconds_.clear();
   }
@@ -68,12 +132,66 @@ class Metrics {
            " read=" + std::to_string(records_read_.load());
   }
 
+  /// Stage reports as a JSON array (execution order).
+  std::string StageReportsJson() const {
+    std::string out = "[";
+    bool first = true;
+    for (const StageReport& r : StageReports()) {
+      if (!first) out += ",";
+      first = false;
+      out += "{\"name\":\"" + JsonEscape(r.name) + "\"";
+      out += ",\"tasks\":" + std::to_string(r.tasks);
+      out += ",\"records_in\":" + std::to_string(r.records_in);
+      out += ",\"records_out\":" + std::to_string(r.records_out);
+      out += ",\"shuffled_records\":" + std::to_string(r.shuffled_records);
+      out += ",\"busy_seconds\":" + JsonDouble(r.busy_seconds);
+      out += ",\"wall_seconds\":" + JsonDouble(r.wall_seconds);
+      out += "}";
+    }
+    out += "]";
+    return out;
+  }
+
+  /// Full metrics snapshot as one JSON object: the totals plus the
+  /// per-stage breakdown. This is what the benches emit.
+  std::string ToJson() const {
+    std::string out = "{";
+    out += "\"stages\":" + std::to_string(stages_.load());
+    out += ",\"tasks\":" + std::to_string(tasks_.load());
+    out += ",\"shuffled_records\":" + std::to_string(shuffled_records_.load());
+    out += ",\"pairs_enumerated\":" + std::to_string(pairs_enumerated_.load());
+    out += ",\"records_read\":" + std::to_string(records_read_.load());
+    out += ",\"simulated_wall_seconds\":" + JsonDouble(SimulatedWallSeconds());
+    out += ",\"stage_reports\":" + StageReportsJson();
+    out += "}";
+    return out;
+  }
+
  private:
+  static std::string JsonEscape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) continue;
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  static std::string JsonDouble(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6f", v);
+    return buf;
+  }
+
   std::atomic<uint64_t> shuffled_records_{0};
   std::atomic<uint64_t> stages_{0};
   std::atomic<uint64_t> tasks_{0};
   std::atomic<uint64_t> pairs_enumerated_{0};
   std::atomic<uint64_t> records_read_{0};
+  mutable std::mutex stage_mutex_;
+  std::vector<StageReport> stage_reports_;
   mutable std::mutex task_time_mutex_;
   std::vector<double> worker_busy_seconds_;
 };

@@ -1,0 +1,63 @@
+#ifndef BIGDANSING_DATAFLOW_STAGE_EXECUTOR_H_
+#define BIGDANSING_DATAFLOW_STAGE_EXECUTOR_H_
+
+#include <functional>
+#include <string>
+
+#include "common/stopwatch.h"
+#include "dataflow/context.h"
+
+namespace bigdansing {
+
+/// The single task-scheduling point of the dataflow engine. Every unit of
+/// parallel work — map-side fused pipelines, reduce-side merges, join
+/// probes, repair components — runs through Run(), so it is uniformly:
+///
+///  - counted (stages/tasks totals in Metrics),
+///  - timed (per-task CPU time accrued to logical worker `task % workers`,
+///    feeding Metrics::SimulatedWallSeconds()), and
+///  - attributed to a named stage (a StageReport carrying task count,
+///    records in/out, shuffled records and busy/wall seconds).
+///
+/// StageExecutor is a cheap value type: construct one on the spot wherever
+/// a stage needs to run.
+class StageExecutor {
+ public:
+  using TaskBody = std::function<void(size_t task, TaskContext& tc)>;
+
+  explicit StageExecutor(ExecutionContext* ctx) : ctx_(ctx) {}
+
+  /// Runs `body(t, tc)` for every task index t in [0, num_tasks) on the
+  /// context's worker pool and blocks until all tasks finish. `body` must be
+  /// safe to invoke concurrently for distinct indices.
+  void Run(const std::string& stage_name, size_t num_tasks,
+           const TaskBody& body) const {
+    Metrics& metrics = ctx_->metrics();
+    const size_t handle = metrics.BeginStage(stage_name, num_tasks);
+    const size_t workers = ctx_->num_workers();
+    Stopwatch wall;
+    ctx_->pool().ParallelFor(num_tasks, [&](size_t t) {
+      ThreadCpuStopwatch timer;
+      TaskContext tc;
+      body(t, tc);
+      const double busy = timer.ElapsedSeconds();
+      metrics.RecordTaskTime(t % workers, busy);
+      metrics.AccumulateTask(handle, tc, busy);
+    });
+    metrics.FinishStage(handle, wall.ElapsedSeconds());
+  }
+
+  /// Convenience overload for bodies that do not report record counts.
+  void Run(const std::string& stage_name, size_t num_tasks,
+           const std::function<void(size_t)>& body) const {
+    Run(stage_name, num_tasks,
+        [&body](size_t t, TaskContext& /*tc*/) { body(t); });
+  }
+
+ private:
+  ExecutionContext* ctx_;
+};
+
+}  // namespace bigdansing
+
+#endif  // BIGDANSING_DATAFLOW_STAGE_EXECUTOR_H_

@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "common/stopwatch.h"
+#include "dataflow/stage_executor.h"
 #include <unordered_map>
 #include <unordered_set>
 
@@ -106,19 +107,9 @@ RepairPassResult BlackBoxRepair(
   std::vector<std::vector<CellAssignment>> per_group(groups.size());
   std::vector<size_t> undone(groups.size(), 0);
   std::vector<char> split(groups.size(), 0);
-  ctx->metrics().AddStage();
-  ctx->metrics().AddTasks(groups.size());
-  const size_t workers = ctx->num_workers();
-  ctx->pool().ParallelFor(groups.size(), [&](size_t g) {
-    ThreadCpuStopwatch task_timer;
-    const struct TimeGuard {
-      ExecutionContext* ctx;
-      const ThreadCpuStopwatch& timer;
-      size_t slot;
-      ~TimeGuard() {
-        ctx->metrics().RecordTaskTime(slot, timer.ElapsedSeconds());
-      }
-    } guard{ctx, task_timer, g % workers};
+  StageExecutor(ctx).Run(
+      "repair:components", groups.size(), [&](size_t g, TaskContext& tc) {
+    tc.records_in = groups[g].size();
     if (groups[g].size() > options.max_component_edges) {
       split[g] = 1;
       size_t local_undone = 0;
@@ -131,6 +122,7 @@ RepairPassResult BlackBoxRepair(
     edges.reserve(groups[g].size());
     for (size_t e : groups[g]) edges.push_back(&graph.edge(e));
     per_group[g] = algorithm.RepairComponent(edges);
+    tc.records_out = per_group[g].size();
   });
 
   for (size_t g = 0; g < groups.size(); ++g) {

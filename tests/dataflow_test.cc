@@ -203,5 +203,203 @@ TEST(Dataset, WorkerCountDoesNotChangeResults) {
   }
 }
 
+// --- Deferred pipelines and operator fusion ---
+
+// Applies the reference chain (x -> x*2, keep odd, duplicate) to one
+// partition the eager way: one full pass and one intermediate vector per
+// step, exactly what the engine did before pipelines became deferred.
+std::vector<int> EagerReference(const std::vector<int>& part) {
+  std::vector<int> mapped;
+  for (int x : part) mapped.push_back(x * 2);
+  std::vector<int> filtered;
+  for (int x : mapped) {
+    if (x % 4 != 0) filtered.push_back(x);
+  }
+  std::vector<int> out;
+  for (int x : filtered) {
+    out.push_back(x);
+    out.push_back(x + 1);
+  }
+  return out;
+}
+
+Dataset<int> ApplyChain(const Dataset<int>& ds) {
+  return ds.Map([](const int& x) { return x * 2; })
+      .Filter([](const int& x) { return x % 4 != 0; })
+      .FlatMap([](const int& x) { return std::vector<int>{x, x + 1}; });
+}
+
+TEST(DatasetFusion, FusedChainMatchesEagerPartitionByPartition) {
+  // Empty input, single partition, and skewed partitions (including empty
+  // ones in the middle) must all produce identical partitions in identical
+  // order to the per-step eager evaluation.
+  std::vector<std::vector<std::vector<int>>> shapes = {
+      {},
+      {{}},
+      {Range(17)},
+      {Range(1000), {}, {5, 3, 1}, Range(2), {}},
+  };
+  for (auto& shape : shapes) {
+    ExecutionContext ctx(4);
+    auto input = Dataset<int>(&ctx, shape);
+    auto fused = ApplyChain(input);
+    EXPECT_FALSE(fused.materialized());
+    const auto& got = fused.partitions();
+    ASSERT_EQ(got.size(), shape.size());
+    for (size_t p = 0; p < shape.size(); ++p) {
+      EXPECT_EQ(got[p], EagerReference(shape[p])) << "partition " << p;
+    }
+  }
+}
+
+TEST(DatasetFusion, ThreeStepChainRecordsExactlyOneStage) {
+  ExecutionContext ctx(4);
+  auto ds = Dataset<int>::FromVector(&ctx, Range(1000), 4);
+  auto chain = ds.Map([](const int& x) { return x + 1; }, "inc")
+                   .Filter([](const int& x) { return x % 2 == 0; })
+                   .Map([](const int& x) { return x * 10; }, "scale");
+  EXPECT_EQ(chain.pipeline_label(), "inc|filter|scale");
+  uint64_t stages_before = ctx.metrics().stages();
+  chain.Collect();
+  EXPECT_EQ(ctx.metrics().stages() - stages_before, 1u);
+  // A second action reuses the materialized result: no new stage.
+  chain.Count();
+  EXPECT_EQ(ctx.metrics().stages() - stages_before, 1u);
+}
+
+TEST(DatasetFusion, EagerForcingRecordsThreeStages) {
+  ExecutionContext ctx(4);
+  auto ds = Dataset<int>::FromVector(&ctx, Range(1000), 4);
+  uint64_t stages_before = ctx.metrics().stages();
+  auto a = ds.Map([](const int& x) { return x + 1; });
+  a.Count();
+  auto b = a.Filter([](const int& x) { return x % 2 == 0; });
+  b.Count();
+  auto c = b.Map([](const int& x) { return x * 10; });
+  c.Count();
+  EXPECT_EQ(ctx.metrics().stages() - stages_before, 3u);
+}
+
+TEST(DatasetFusion, CopiesShareMaterializedState) {
+  ExecutionContext ctx(2);
+  auto ds = Dataset<int>::FromVector(&ctx, Range(10), 2)
+                .Map([](const int& x) { return x + 1; });
+  Dataset<int> copy = ds;
+  uint64_t stages_before = ctx.metrics().stages();
+  copy.Count();
+  EXPECT_TRUE(ds.materialized());
+  ds.Collect();
+  EXPECT_EQ(ctx.metrics().stages() - stages_before, 1u);
+}
+
+// --- Per-stage structured metrics ---
+
+bool HasStage(const std::vector<StageReport>& reports,
+              const std::string& suffix, uint64_t min_tasks) {
+  for (const auto& r : reports) {
+    if (r.name.size() >= suffix.size() &&
+        r.name.compare(r.name.size() - suffix.size(), suffix.size(),
+                       suffix) == 0) {
+      return r.tasks >= min_tasks;
+    }
+  }
+  return false;
+}
+
+TEST(StageMetrics, ShufflesReportMapAndReduceStages) {
+  ExecutionContext ctx(4);
+  std::vector<std::pair<int, int>> records;
+  for (int i = 0; i < 100; ++i) records.emplace_back(i % 7, i);
+  auto ds = Dataset<std::pair<int, int>>::FromVector(&ctx, records, 4);
+
+  GroupByKey(ds).Collect();
+  auto reports = ctx.metrics().StageReports();
+  EXPECT_TRUE(HasStage(reports, "groupByKey:map", 1));
+  EXPECT_TRUE(HasStage(reports, "groupByKey:merge", 1));
+  EXPECT_TRUE(HasStage(reports, "groupByKey:reduce", 1));
+
+  ctx.metrics().Reset();
+  ReduceByKey(ds, [](int a, int b) { return a + b; }).Collect();
+  reports = ctx.metrics().StageReports();
+  EXPECT_TRUE(HasStage(reports, "reduceByKey:map", 1));
+  EXPECT_TRUE(HasStage(reports, "reduceByKey:reduce", 1));
+
+  ctx.metrics().Reset();
+  Join(ds, ds).Collect();
+  EXPECT_TRUE(HasStage(ctx.metrics().StageReports(), "join:probe", 1));
+
+  ctx.metrics().Reset();
+  CoGroup(ds, ds).Collect();
+  EXPECT_TRUE(HasStage(ctx.metrics().StageReports(), "cogroup:merge", 1));
+}
+
+TEST(StageMetrics, ReportsCarryRecordCountsAndJson) {
+  ExecutionContext ctx(2);
+  auto ds = Dataset<int>::FromVector(&ctx, Range(100), 2);
+  ds.Filter([](const int& x) { return x < 40; }).Collect();
+  auto reports = ctx.metrics().StageReports();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].name, "filter");
+  EXPECT_EQ(reports[0].tasks, 2u);
+  EXPECT_EQ(reports[0].records_in, 100u);
+  EXPECT_EQ(reports[0].records_out, 40u);
+  std::string json = ctx.metrics().ToJson();
+  EXPECT_NE(json.find("\"stage_reports\":[{\"name\":\"filter\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"records_in\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"simulated_wall_seconds\":"), std::string::npos);
+}
+
+TEST(StageMetrics, SimulatedWallIncludesReduceSideTime) {
+  // Every key appears exactly once per input partition, so the map-side
+  // combine never invokes the reduce function — ALL reduce work happens in
+  // the reduce-side stage. Before stages ran through the StageExecutor that
+  // time was invisible to SimulatedWallSeconds().
+  const size_t kPartitions = 4;
+  const int kKeys = 64;
+  std::vector<std::vector<std::pair<int, int>>> parts(kPartitions);
+  for (size_t p = 0; p < kPartitions; ++p) {
+    for (int k = 0; k < kKeys; ++k) parts[p].emplace_back(k, 1);
+  }
+  ExecutionContext ctx(1);
+  auto ds = Dataset<std::pair<int, int>>(&ctx, parts);
+  auto heavy = [](int a, int b) {
+    volatile int acc = 0;
+    for (int i = 0; i < 50000; ++i) acc += i;
+    return a + b + (acc - acc);
+  };
+  auto reduced = ReduceByKey(ds, heavy);
+  std::map<int, int> got;
+  for (const auto& [k, v] : reduced.Collect()) got[k] = v;
+  ASSERT_EQ(got.size(), static_cast<size_t>(kKeys));
+  for (const auto& [k, v] : got) EXPECT_EQ(v, 4) << "key " << k;
+
+  double reduce_busy = 0.0;
+  for (const auto& r : ctx.metrics().StageReports()) {
+    if (r.name == "reduceByKey:reduce") reduce_busy = r.busy_seconds;
+  }
+  EXPECT_GT(reduce_busy, 0.0);
+  // One worker: the simulated cluster time is the sum of every task's CPU
+  // time, so it must cover the reduce-side stage entirely.
+  EXPECT_GE(ctx.metrics().SimulatedWallSeconds(), reduce_busy);
+}
+
+TEST(DatasetFusion, RepartitionMatchesDriverSideRoundRobin) {
+  // The parallel repartition must reproduce the seed semantics exactly:
+  // records in global Collect() order dealt round-robin over the new
+  // partitions.
+  std::vector<std::vector<int>> skewed = {Range(41), {}, {100, 99}, Range(7)};
+  ExecutionContext ctx(4);
+  auto ds = Dataset<int>(&ctx, skewed);
+  auto flat = ds.Collect();
+  for (size_t n : {1u, 3u, 8u}) {
+    std::vector<std::vector<int>> expected(n);
+    for (size_t g = 0; g < flat.size(); ++g) {
+      expected[g % n].push_back(flat[g]);
+    }
+    EXPECT_EQ(ds.Repartition(n).partitions(), expected) << n << " targets";
+  }
+}
+
 }  // namespace
 }  // namespace bigdansing
