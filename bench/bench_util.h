@@ -57,6 +57,19 @@ class ResultTable {
 /// `ctx.metrics().ToJson()` as `json`.
 void MaybeEmitStageJson(const std::string& label, const std::string& json);
 
+/// Applies the observability environment variables shared by every bench:
+/// BD_LOG_LEVEL (logger threshold), BD_TRACE_JSON=<path> (enables the
+/// TraceRecorder; the Chrome trace is written to <path> by
+/// FlushObservability) and BD_EXPLAIN=1 (prints the runtime EXPLAIN tree
+/// at exit). Runs automatically before main() in every binary linking this
+/// file; calling it again is harmless.
+void InitObservabilityFromEnv();
+
+/// Writes the Chrome trace (BD_TRACE_JSON) and prints the EXPLAIN tree
+/// (BD_EXPLAIN) if requested. Runs automatically at normal process exit;
+/// benches may also call it directly to snapshot mid-run.
+void FlushObservability();
+
 /// "%.3f" seconds formatting.
 std::string Secs(double seconds);
 

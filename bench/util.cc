@@ -3,8 +3,53 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/trace.h"
+
 namespace bigdansing {
 namespace bench {
+
+namespace {
+
+/// Static-initializer bootstrap: every bench links util.cc, so the
+/// observability env vars take effect without touching each main(). The
+/// destructor flushes at normal exit (after main returns).
+struct ObservabilityBootstrap {
+  ObservabilityBootstrap() { InitObservabilityFromEnv(); }
+  ~ObservabilityBootstrap() { FlushObservability(); }
+};
+ObservabilityBootstrap g_observability_bootstrap;
+
+}  // namespace
+
+void InitObservabilityFromEnv() {
+  InitLoggingFromEnv();
+  const char* trace_path = std::getenv("BD_TRACE_JSON");
+  const char* explain = std::getenv("BD_EXPLAIN");
+  const bool want_explain =
+      explain != nullptr && *explain != '\0' && std::string(explain) != "0";
+  if ((trace_path != nullptr && *trace_path != '\0') || want_explain) {
+    TraceRecorder::Instance().set_enabled(true);
+  }
+}
+
+void FlushObservability() {
+  TraceRecorder& trace = TraceRecorder::Instance();
+  if (!trace.enabled() || trace.SpanCount() == 0) return;
+  const char* trace_path = std::getenv("BD_TRACE_JSON");
+  if (trace_path != nullptr && *trace_path != '\0') {
+    if (!trace.WriteChromeTrace(trace_path)) {
+      BD_LOG(Warning) << "failed to write Chrome trace to " << trace_path;
+    }
+  }
+  const char* explain = std::getenv("BD_EXPLAIN");
+  if (explain != nullptr && *explain != '\0' && std::string(explain) != "0") {
+    std::string tree = trace.ExplainTree();
+    std::fwrite(tree.data(), 1, tree.size(), stdout);
+    std::fflush(stdout);
+  }
+}
 
 double EnvScale() {
   const char* env = std::getenv("BD_SCALE");
@@ -49,7 +94,7 @@ void MaybeEmitStageJson(const std::string& label, const std::string& json) {
   const char* env = std::getenv("BD_STAGE_JSON");
   if (env == nullptr || *env == '\0') return;
   std::string line =
-      "{\"label\":\"" + label + "\",\"metrics\":" + json + "}\n";
+      "{\"label\":\"" + JsonEscape(label) + "\",\"metrics\":" + json + "}\n";
   const std::string target(env);
   if (target == "-" || target == "stdout") {
     std::fwrite(line.data(), 1, line.size(), stdout);

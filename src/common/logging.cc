@@ -1,5 +1,7 @@
 #include "common/logging.h"
 
+#include <cctype>
+
 namespace bigdansing {
 
 namespace {
@@ -28,9 +30,43 @@ Logger& Logger::Instance() {
 }
 
 void Logger::Log(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(min_level_)) return;
+  if (static_cast<int>(level) < static_cast<int>(min_level())) return;
   std::lock_guard<std::mutex> lock(mutex_);
   std::cerr << "[" << LevelName(level) << "] " << message << "\n";
+}
+
+bool ParseLogLevel(std::string_view text, LogLevel* level) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug") {
+    *level = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *level = LogLevel::kInfo;
+  } else if (lower == "warn" || lower == "warning") {
+    *level = LogLevel::kWarning;
+  } else if (lower == "error") {
+    *level = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool InitLoggingFromEnv() {
+  const char* env = std::getenv("BD_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return false;
+  LogLevel level = LogLevel::kInfo;
+  if (!ParseLogLevel(env, &level)) {
+    BD_LOG(Warning) << "BD_LOG_LEVEL='" << env
+                    << "' not recognized (want debug|info|warn|error)";
+    return false;
+  }
+  Logger::Instance().set_min_level(level);
+  return true;
 }
 
 }  // namespace bigdansing

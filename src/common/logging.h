@@ -1,11 +1,13 @@
 #ifndef BIGDANSING_COMMON_LOGGING_H_
 #define BIGDANSING_COMMON_LOGGING_H_
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 #include <mutex>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace bigdansing {
 
@@ -14,22 +16,43 @@ namespace bigdansing {
 /// data errors flow through Status).
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
 
-/// Process-wide logger configuration. Thread-safe.
+/// Process-wide logger configuration. Thread-safe; the level check is one
+/// relaxed atomic load so callers may probe it on hot paths.
 class Logger {
  public:
   static Logger& Instance();
 
-  void set_min_level(LogLevel level) { min_level_ = level; }
-  LogLevel min_level() const { return min_level_; }
+  void set_min_level(LogLevel level) {
+    min_level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel min_level() const {
+    return min_level_.load(std::memory_order_relaxed);
+  }
 
   /// Emits one line `[LEVEL] message` to stderr if `level >= min_level`.
   void Log(LogLevel level, const std::string& message);
 
  private:
   Logger() = default;
-  LogLevel min_level_ = LogLevel::kInfo;
+  std::atomic<LogLevel> min_level_{LogLevel::kInfo};
   std::mutex mutex_;
 };
+
+/// True when a BD_LOG(level) statement would emit. Use to skip building
+/// log messages on hot paths (e.g. per-stage debug events).
+inline bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         static_cast<int>(Logger::Instance().min_level());
+}
+
+/// Parses "debug" / "info" / "warn" / "warning" / "error" (any case) into
+/// `*level`; false (and `*level` untouched) for anything else.
+bool ParseLogLevel(std::string_view text, LogLevel* level);
+
+/// Applies the BD_LOG_LEVEL environment variable to Logger::Instance().
+/// Shared startup helper for benches, tests and tools; returns true when
+/// the variable was set to a recognized level.
+bool InitLoggingFromEnv();
 
 namespace internal_logging {
 

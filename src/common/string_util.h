@@ -28,6 +28,12 @@ bool LooksLikeInt(std::string_view s);
 /// True if `s` (after trimming) parses fully as a floating point number.
 bool LooksLikeDouble(std::string_view s);
 
+/// Escapes `s` for embedding inside a JSON string literal: `"` and `\`
+/// are backslash-escaped, `\n`/`\t`/`\r`/`\b`/`\f` use their two-character
+/// forms, and any other control character becomes `\u00XX`, so every input
+/// round-trips through a standards-conforming JSON parser.
+std::string JsonEscape(std::string_view s);
+
 }  // namespace bigdansing
 
 #endif  // BIGDANSING_COMMON_STRING_UTIL_H_

@@ -1,11 +1,13 @@
 #include "core/bigdansing.h"
 
 #include <cstdio>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "common/trace.h"
 #include "repair/equivalence_class.h"
 #include "repair/hypergraph_repair.h"
 
@@ -53,6 +55,17 @@ Result<CleanReport> BigDansing::Clean(Table* table,
   EquivalenceClassAlgorithm ec;
   HypergraphRepairAlgorithm hg;
 
+  // The whole fix-point run is one job span; each iteration contributes a
+  // detect and a repair phase span underneath it.
+  TraceRecorder& trace = TraceRecorder::Instance();
+  std::optional<ScopedSpan> job_span;
+  if (trace.enabled()) {
+    job_span.emplace("clean", "job");
+    job_span->Annotate("rules", static_cast<uint64_t>(rules.size()));
+    job_span->Annotate("max_iterations",
+                       static_cast<uint64_t>(options_.max_iterations));
+  }
+
   // Cells updated often enough get frozen so oscillating repairs terminate
   // (§2.2: "the algorithm puts a special variable on such units after a
   // fixed number of iterations").
@@ -65,6 +78,15 @@ Result<CleanReport> BigDansing::Clean(Table* table,
 
     Stopwatch detect_timer;
     const bool incremental = options_.incremental_redetection && iter > 0;
+    std::optional<ScopedSpan> detect_span;
+    if (trace.enabled()) {
+      detect_span.emplace("detect:iter" + std::to_string(iter + 1), "phase");
+      if (incremental) {
+        detect_span->Annotate("mode", std::string("incremental"));
+        detect_span->Annotate(
+            "changed_rows", static_cast<uint64_t>(last_changed_rows.size()));
+      }
+    }
     Result<std::vector<DetectionResult>> detections =
         std::vector<DetectionResult>{};
     if (incremental) {
@@ -97,6 +119,7 @@ Result<CleanReport> BigDansing::Clean(Table* table,
     if (!detections.ok()) return detections.status();
     it.detect_seconds = detect_timer.ElapsedSeconds();
     report.total_detect_seconds += it.detect_seconds;
+    detect_span.reset();
 
     // Pool all rules' violations; drop violations whose fixes only touch
     // frozen cells ("violations with no possible fixes" terminate the
@@ -125,6 +148,12 @@ Result<CleanReport> BigDansing::Clean(Table* table,
     }
 
     Stopwatch repair_timer;
+    std::optional<ScopedSpan> repair_span;
+    if (trace.enabled()) {
+      repair_span.emplace("repair:iter" + std::to_string(iter + 1), "phase");
+      repair_span->Annotate("violations",
+                            static_cast<uint64_t>(violations.size()));
+    }
     std::vector<CellAssignment> assignments;
     switch (options_.repair_mode) {
       case RepairMode::kEquivalenceClass:
@@ -142,6 +171,11 @@ Result<CleanReport> BigDansing::Clean(Table* table,
     it.applied_fixes = ApplyAssignments(table, assignments, &frozen);
     it.repair_seconds = repair_timer.ElapsedSeconds();
     report.total_repair_seconds += it.repair_seconds;
+    if (repair_span) {
+      repair_span->Annotate("applied_fixes",
+                            static_cast<uint64_t>(it.applied_fixes));
+      repair_span.reset();
+    }
     report.iterations.push_back(it);
 
     if (it.applied_fixes == 0) {
@@ -157,6 +191,12 @@ Result<CleanReport> BigDansing::Clean(Table* table,
         frozen.insert(a.cell);
       }
     }
+  }
+  if (job_span) {
+    job_span->Annotate("iterations",
+                       static_cast<uint64_t>(report.iterations.size()));
+    job_span->Annotate("converged",
+                       std::string(report.converged ? "true" : "false"));
   }
   return report;
 }

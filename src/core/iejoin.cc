@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/trace.h"
+
 namespace bigdansing {
 
 namespace {
@@ -37,6 +39,10 @@ std::vector<RowPair> IEJoin(ExecutionContext* ctx,
   std::vector<RowPair> results;
   if (stats != nullptr) *stats = local;
   if (!IEJoinApplicable(conditions) || rows.empty()) return results;
+
+  ScopedSpan span("iejoin", "operator");
+  span.Annotate("rows", static_cast<uint64_t>(rows.size()));
+  span.Annotate("conditions", static_cast<uint64_t>(conditions.size()));
 
   const OrderingCondition& c1 = conditions[0];  // t1.A op1 t2.B
   const OrderingCondition& c2 = conditions[1];  // t1.C op2 t2.D
@@ -183,6 +189,12 @@ std::vector<RowPair> IEJoin(ExecutionContext* ctx,
   local.result_pairs = results.size();
   ctx->metrics().AddPairsEnumerated(results.size());
   if (stats != nullptr) *stats = local;
+  if (span.id() != 0) {
+    span.Annotate("rows_joined", static_cast<uint64_t>(local.rows_joined));
+    span.Annotate("bitmap_probes",
+                  static_cast<uint64_t>(local.bitmap_probes));
+    span.Annotate("result_pairs", static_cast<uint64_t>(local.result_pairs));
+  }
   return results;
 }
 

@@ -7,6 +7,7 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "common/trace.h"
 #include "dataflow/stage_executor.h"
 
 namespace bigdansing {
@@ -67,6 +68,10 @@ std::vector<RowPair> OCJoin(ExecutionContext* ctx,
   std::vector<RowPair> results;
   if (stats != nullptr) *stats = local_stats;
   if (rows.empty() || conditions.empty()) return results;
+
+  ScopedSpan span("ocjoin", "operator");
+  span.Annotate("rows", static_cast<uint64_t>(rows.size()));
+  span.Annotate("conditions", static_cast<uint64_t>(conditions.size()));
 
   // --- Optional condition ordering by estimated selectivity (§4.3) ---
   // The first condition drives the merge and determines the candidate
@@ -294,6 +299,19 @@ std::vector<RowPair> OCJoin(ExecutionContext* ctx,
   local_stats.result_pairs = results.size();
   ctx->metrics().AddPairsEnumerated(local_stats.candidate_pairs);
   if (stats != nullptr) *stats = local_stats;
+  if (span.id() != 0) {
+    span.Annotate("num_partitions",
+                  static_cast<uint64_t>(local_stats.num_partitions));
+    span.Annotate("partition_pairs_total",
+                  static_cast<uint64_t>(local_stats.partition_pairs_total));
+    span.Annotate(
+        "partition_pairs_after_pruning",
+        static_cast<uint64_t>(local_stats.partition_pairs_after_pruning));
+    span.Annotate("candidate_pairs",
+                  static_cast<uint64_t>(local_stats.candidate_pairs));
+    span.Annotate("result_pairs",
+                  static_cast<uint64_t>(local_stats.result_pairs));
+  }
   return results;
 }
 

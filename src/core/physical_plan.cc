@@ -1,6 +1,7 @@
 #include "core/physical_plan.h"
 
 #include "common/string_util.h"
+#include "common/trace.h"
 
 namespace bigdansing {
 
@@ -30,6 +31,23 @@ std::string PhysicalRulePlan::ToString() const {
   out += IterateStrategyName(strategy);
   out += " -> detect -> genfix";
   return out;
+}
+
+void PhysicalRulePlan::AnnotateSpan(ScopedSpan* span) const {
+  if (span == nullptr || span->id() == 0) return;
+  span->Annotate("strategy", std::string(IterateStrategyName(strategy)));
+  span->Annotate("scope_columns",
+                 static_cast<uint64_t>(scope_columns.size()));
+  if (block_key_fn) {
+    span->Annotate("blocking", std::string("udf"));
+  } else {
+    span->Annotate("blocking_columns",
+                   static_cast<uint64_t>(blocking_columns.size()));
+  }
+  if (!ocjoin_conditions.empty()) {
+    span->Annotate("ocjoin_conditions",
+                   static_cast<uint64_t>(ocjoin_conditions.size()));
+  }
 }
 
 Result<PhysicalRulePlan> BuildPhysicalPlan(const RulePtr& rule,

@@ -12,6 +12,8 @@
 
 namespace bigdansing {
 
+class ScopedSpan;
+
 /// How the physical Iterate enumerates candidate unit pairs (§4.1/§4.2).
 /// kCrossProduct is the wrapper translation; the others are enhancers.
 enum class IterateStrategy {
@@ -55,6 +57,10 @@ struct PhysicalRulePlan {
 
   /// One-line description for plan tests and EXPLAIN-style output.
   std::string ToString() const;
+
+  /// Attaches the plan's static choices (strategy, scope/blocking columns)
+  /// to a trace span so the runtime EXPLAIN shows plan next to measurement.
+  void AnnotateSpan(ScopedSpan* span) const;
 };
 
 /// Optimizer options; benches toggle these to ablate individual

@@ -1,12 +1,14 @@
 #include "core/rule_engine.h"
 
 #include <atomic>
+#include <optional>
 #include <unordered_map>
 
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 #include "dataflow/dataset.h"
 #include "dataflow/stage_executor.h"
 
@@ -219,6 +221,16 @@ Result<std::vector<DetectionResult>> RuleEngine::DetectAll(
     const Table& table, const std::vector<RulePtr>& rules) const {
   std::vector<DetectionResult> results(rules.size());
 
+  // Tracing: standalone Detect calls (benches driving the engine directly)
+  // become their own job span; when a Clean() fix-point iteration already
+  // opened a phase span, rule spans nest under it instead.
+  TraceRecorder& trace = TraceRecorder::Instance();
+  std::optional<ScopedSpan> job_span;
+  if (trace.enabled() && trace.CurrentSpan() == 0) {
+    job_span.emplace("detect", "job");
+    job_span->Annotate("rules", static_cast<uint64_t>(rules.size()));
+  }
+
   // Build physical plans first so binding errors surface before any work.
   std::vector<PhysicalRulePlan> plans;
   plans.reserve(rules.size());
@@ -243,6 +255,15 @@ Result<std::vector<DetectionResult>> RuleEngine::DetectAll(
     DetectionResult& result = results[r];
     result.plan_description = plan.ToString();
 
+    // Per-rule attribution: every stage this rule forces nests under its
+    // rule span (via the driver thread's scope stack), so the EXPLAIN tree
+    // and Chrome trace break execution down by rule.
+    std::optional<ScopedSpan> rule_span;
+    if (trace.enabled()) {
+      rule_span.emplace(plan.rule->name(), "rule");
+      plan.AnnotateSpan(&*rule_span);
+    }
+
     // PScope (cached across rules with identical column sets).
     std::string scope_sig;
     for (size_t c : plan.scope_columns) {
@@ -258,6 +279,8 @@ Result<std::vector<DetectionResult>> RuleEngine::DetectAll(
 
     // Arity-1 rules: units flow straight to Detect.
     if (plan.strategy == IterateStrategy::kSingle) {
+      std::optional<ScopedSpan> op_span;
+      if (trace.enabled()) op_span.emplace("scope|detect|genfix", "operator");
       const auto& parts = scoped.partitions();
       std::vector<TaskOutput> tasks(parts.size());
       scoped.RunStage("detect:single|genfix", [&](size_t p) {
@@ -281,7 +304,12 @@ Result<std::vector<DetectionResult>> RuleEngine::DetectAll(
     const bool has_blocking =
         !plan.blocking_columns.empty() || static_cast<bool>(plan.block_key_fn);
     if (plan.strategy == IterateStrategy::kOCJoin && !has_blocking) {
-      std::vector<Row> rows = scoped.Collect();
+      std::vector<Row> rows;
+      {
+        std::optional<ScopedSpan> op_span;
+        if (trace.enabled()) op_span.emplace("scope", "operator");
+        rows = scoped.Collect();
+      }
       std::vector<RowPair> pairs;
       if (options_.use_iejoin && IEJoinApplicable(plan.ocjoin_conditions)) {
         pairs = IEJoin(ctx_, rows, plan.ocjoin_conditions,
@@ -293,6 +321,8 @@ Result<std::vector<DetectionResult>> RuleEngine::DetectAll(
         pairs = OCJoin(ctx_, rows, plan.ocjoin_conditions, oc_options,
                        &result.ocjoin_stats);
       }
+      std::optional<ScopedSpan> op_span;
+      if (trace.enabled()) op_span.emplace("detect|genfix", "operator");
       Dataset<RowPair> pair_ds = Dataset<RowPair>::FromVector(ctx_, std::move(pairs));
       const auto& parts = pair_ds.partitions();
       std::vector<TaskOutput> tasks(parts.size());
@@ -315,6 +345,10 @@ Result<std::vector<DetectionResult>> RuleEngine::DetectAll(
           block_sig += std::to_string(c) + ",";
         }
       }
+      std::optional<ScopedSpan> op_span;
+      if (trace.enabled()) {
+        op_span.emplace("scope|block|iterate|detect|genfix", "operator");
+      }
       auto block_it = block_cache.find(block_sig);
       if (block_it == block_cache.end()) {
         auto keyed = scoped.MapPartitions<std::pair<BlockKey, Row>>(
@@ -336,6 +370,10 @@ Result<std::vector<DetectionResult>> RuleEngine::DetectAll(
     }
 
     // No blocking key: whole-dataset enumeration.
+    std::optional<ScopedSpan> op_span;
+    if (trace.enabled()) {
+      op_span.emplace("scope|iterate|detect|genfix", "operator");
+    }
     std::vector<Row> rows = scoped.Collect();
     RunUnblocked(ctx_, plan, rows, &result);
   }
@@ -498,6 +536,13 @@ Result<DetectionResult> RuleEngine::DetectAcross(
     const std::shared_ptr<DcRule>& rule) const {
   DetectionResult result;
   BIGDANSING_RETURN_NOT_OK(rule->BindAcross(left.schema(), right.schema()));
+  TraceRecorder& trace = TraceRecorder::Instance();
+  std::optional<ScopedSpan> job_span;
+  if (trace.enabled() && trace.CurrentSpan() == 0) {
+    job_span.emplace("detect-across", "job");
+  }
+  std::optional<ScopedSpan> rule_span;
+  if (trace.enabled()) rule_span.emplace(rule->name(), "rule");
   auto blocking = rule->BlockingAttributePairs();
   result.plan_description =
       "PhysicalPlan[" + rule->name() + "]: coblock(" +
@@ -508,6 +553,10 @@ Result<DetectionResult> RuleEngine::DetectAcross(
 
   if (blocking.empty()) {
     // No equality link: cross product of the two datasets.
+    std::optional<ScopedSpan> op_span;
+    if (trace.enabled()) {
+      op_span.emplace("iterate|detect|genfix", "operator");
+    }
     auto pairs = left_ds.Cartesian(right_ds);
     const auto& parts = pairs.partitions();
     std::vector<TaskOutput> tasks(parts.size());
@@ -547,6 +596,10 @@ Result<DetectionResult> RuleEngine::DetectAcross(
       return out;
     });
   };
+  std::optional<ScopedSpan> op_span;
+  if (trace.enabled()) {
+    op_span.emplace("coblock|iterate|detect|genfix", "operator");
+  }
   auto coblocks = CoGroup(key_rows(left_ds, left_cols),
                           key_rows(right_ds, right_cols));
   const auto& parts = coblocks.partitions();

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "common/string_util.h"
+
 namespace bigdansing {
 
 /// Per-task counters filled in by stage task bodies and folded into the
@@ -24,6 +26,9 @@ struct TaskContext {
 /// Structured record of one executed stage — the EXPLAIN-style breakdown
 /// the benches export as JSON. `busy_seconds` is the sum of per-task CPU
 /// time; `wall_seconds` is the driver-observed duration of the stage.
+/// `task_seconds` holds each finished task's CPU time (sorted ascending
+/// once the stage is finished), from which the skew accessors derive the
+/// min/p50/max quantiles and the straggler ratio.
 struct StageReport {
   std::string name;
   uint64_t tasks = 0;
@@ -32,6 +37,39 @@ struct StageReport {
   uint64_t shuffled_records = 0;
   double busy_seconds = 0.0;
   double wall_seconds = 0.0;
+  std::vector<double> task_seconds;
+
+  /// Fastest task's CPU seconds (0 when no task finished).
+  double TaskMinSeconds() const {
+    if (task_seconds.empty()) return 0.0;
+    return *std::min_element(task_seconds.begin(), task_seconds.end());
+  }
+
+  /// Median task CPU seconds (lower median; 0 when no task finished).
+  double TaskP50Seconds() const {
+    if (task_seconds.empty()) return 0.0;
+    std::vector<double> sorted = task_seconds;
+    std::sort(sorted.begin(), sorted.end());
+    return sorted[(sorted.size() - 1) / 2];
+  }
+
+  /// Slowest task's CPU seconds (0 when no task finished).
+  double TaskMaxSeconds() const {
+    if (task_seconds.empty()) return 0.0;
+    return *std::max_element(task_seconds.begin(), task_seconds.end());
+  }
+
+  /// Slowest task over mean task time — 1.0 is perfectly balanced, large
+  /// values mean one straggler dominated the stage. 0 when no task
+  /// finished; 1.0 when all tasks took (near) zero time.
+  double StragglerRatio() const {
+    if (task_seconds.empty()) return 0.0;
+    double sum = 0.0;
+    for (double t : task_seconds) sum += t;
+    const double mean = sum / static_cast<double>(task_seconds.size());
+    if (mean <= 0.0) return 1.0;
+    return TaskMaxSeconds() / mean;
+  }
 };
 
 /// Execution counters gathered by the dataflow engine. Because this
@@ -55,31 +93,50 @@ class Metrics {
 
   /// Opens a StageReport for a stage named `name` with `num_tasks` tasks and
   /// returns its handle. Counted into stages()/tasks() immediately.
+  ///
+  /// Handle lifecycle: handles are tagged with a generation that Reset()
+  /// advances, so AccumulateTask/FinishStage with a handle issued before a
+  /// Reset() are safe no-ops instead of corrupting the new epoch's reports.
   size_t BeginStage(const std::string& name, uint64_t num_tasks) {
     ++stages_;
     tasks_ += num_tasks;
     std::lock_guard<std::mutex> lock(stage_mutex_);
-    stage_reports_.push_back(StageReport{name, num_tasks, 0, 0, 0, 0.0, 0.0});
-    return stage_reports_.size() - 1;
+    stage_reports_.push_back(
+        StageReport{name, num_tasks, 0, 0, 0, 0.0, 0.0, {}});
+    return (generation_ << kHandleGenShift) | (stage_reports_.size() - 1);
   }
 
   /// Folds one finished task's counters and CPU time into stage `handle`.
   /// The task's shuffled records also count toward the global total.
+  /// No-op (including the global total) when `handle` is stale.
   void AccumulateTask(size_t handle, const TaskContext& tc,
                       double busy_seconds) {
-    if (tc.shuffled_records > 0) shuffled_records_ += tc.shuffled_records;
     std::lock_guard<std::mutex> lock(stage_mutex_);
-    StageReport& report = stage_reports_[handle];
-    report.records_in += tc.records_in;
-    report.records_out += tc.records_out;
-    report.shuffled_records += tc.shuffled_records;
-    report.busy_seconds += busy_seconds;
+    StageReport* report = LookupLocked(handle);
+    if (report == nullptr) return;
+    if (tc.shuffled_records > 0) shuffled_records_ += tc.shuffled_records;
+    report->records_in += tc.records_in;
+    report->records_out += tc.records_out;
+    report->shuffled_records += tc.shuffled_records;
+    report->busy_seconds += busy_seconds;
+    report->task_seconds.push_back(busy_seconds);
   }
 
-  /// Closes stage `handle` with its driver-observed wall time.
+  /// Closes stage `handle` with its driver-observed wall time and sorts the
+  /// per-task times for quantile reads. No-op when `handle` is stale.
   void FinishStage(size_t handle, double wall_seconds) {
     std::lock_guard<std::mutex> lock(stage_mutex_);
-    stage_reports_[handle].wall_seconds = wall_seconds;
+    StageReport* report = LookupLocked(handle);
+    if (report == nullptr) return;
+    report->wall_seconds = wall_seconds;
+    std::sort(report->task_seconds.begin(), report->task_seconds.end());
+  }
+
+  /// Copy of stage `handle`'s report; a default StageReport when stale.
+  StageReport StageReportFor(size_t handle) const {
+    std::lock_guard<std::mutex> lock(stage_mutex_);
+    const StageReport* report = LookupLocked(handle);
+    return report == nullptr ? StageReport{} : *report;
   }
 
   /// Snapshot of all stage reports recorded so far, in execution order.
@@ -109,6 +166,10 @@ class Metrics {
     return max_busy;
   }
 
+  /// Zeroes every counter and drops all stage reports. Safe while stages
+  /// are still open: outstanding handles become stale (their generation no
+  /// longer matches) and later AccumulateTask/FinishStage calls on them do
+  /// nothing.
   void Reset() {
     shuffled_records_ = 0;
     stages_ = 0;
@@ -118,6 +179,7 @@ class Metrics {
     {
       std::lock_guard<std::mutex> lock(stage_mutex_);
       stage_reports_.clear();
+      ++generation_;
     }
     std::lock_guard<std::mutex> lock(task_time_mutex_);
     worker_busy_seconds_.clear();
@@ -146,6 +208,10 @@ class Metrics {
       out += ",\"shuffled_records\":" + std::to_string(r.shuffled_records);
       out += ",\"busy_seconds\":" + JsonDouble(r.busy_seconds);
       out += ",\"wall_seconds\":" + JsonDouble(r.wall_seconds);
+      out += ",\"task_seconds_min\":" + JsonDouble(r.TaskMinSeconds());
+      out += ",\"task_seconds_p50\":" + JsonDouble(r.TaskP50Seconds());
+      out += ",\"task_seconds_max\":" + JsonDouble(r.TaskMaxSeconds());
+      out += ",\"straggler_ratio\":" + JsonDouble(r.StragglerRatio());
       out += "}";
     }
     out += "]";
@@ -168,15 +234,23 @@ class Metrics {
   }
 
  private:
-  static std::string JsonEscape(const std::string& s) {
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-      if (c == '"' || c == '\\') out.push_back('\\');
-      if (static_cast<unsigned char>(c) < 0x20) continue;
-      out.push_back(c);
-    }
-    return out;
+  /// Stage handles carry the generation in their upper bits so handles
+  /// issued before a Reset() can be recognized as stale.
+  static constexpr size_t kHandleGenShift = 32;
+  static constexpr size_t kHandleIndexMask =
+      (size_t{1} << kHandleGenShift) - 1;
+
+  /// Report addressed by `handle`, or null when the handle predates the
+  /// last Reset() (or is otherwise out of range). Requires stage_mutex_.
+  const StageReport* LookupLocked(size_t handle) const {
+    if ((handle >> kHandleGenShift) != generation_) return nullptr;
+    const size_t index = handle & kHandleIndexMask;
+    if (index >= stage_reports_.size()) return nullptr;
+    return &stage_reports_[index];
+  }
+  StageReport* LookupLocked(size_t handle) {
+    return const_cast<StageReport*>(
+        static_cast<const Metrics*>(this)->LookupLocked(handle));
   }
 
   static std::string JsonDouble(double v) {
@@ -192,6 +266,8 @@ class Metrics {
   std::atomic<uint64_t> records_read_{0};
   mutable std::mutex stage_mutex_;
   std::vector<StageReport> stage_reports_;
+  /// Advanced by Reset(); guarded by stage_mutex_.
+  size_t generation_ = 0;
   mutable std::mutex task_time_mutex_;
   std::vector<double> worker_busy_seconds_;
 };

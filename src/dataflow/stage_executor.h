@@ -2,9 +2,12 @@
 #define BIGDANSING_DATAFLOW_STAGE_EXECUTOR_H_
 
 #include <functional>
+#include <optional>
 #include <string>
 
+#include "common/logging.h"
 #include "common/stopwatch.h"
+#include "common/trace.h"
 #include "dataflow/context.h"
 
 namespace bigdansing {
@@ -30,21 +33,53 @@ class StageExecutor {
   /// Runs `body(t, tc)` for every task index t in [0, num_tasks) on the
   /// context's worker pool and blocks until all tasks finish. `body` must be
   /// safe to invoke concurrently for distinct indices.
+  ///
+  /// When tracing is enabled, the stage gets a span (parented to the calling
+  /// thread's innermost scope — rule/operator/phase) and every task a child
+  /// span on its logical-worker lane; after the stage finishes, the stage
+  /// span is annotated with the StageReport's measured counters so the
+  /// runtime EXPLAIN reconciles exactly with Metrics::StageReports().
   void Run(const std::string& stage_name, size_t num_tasks,
            const TaskBody& body) const {
     Metrics& metrics = ctx_->metrics();
+    TraceRecorder& trace = TraceRecorder::Instance();
+    std::optional<ScopedSpan> stage_span;
+    if (trace.enabled()) stage_span.emplace(stage_name, "stage");
+    if (LogEnabled(LogLevel::kDebug)) {
+      BD_LOG(Debug) << "stage begin: " << stage_name
+                    << " tasks=" << num_tasks;
+    }
     const size_t handle = metrics.BeginStage(stage_name, num_tasks);
     const size_t workers = ctx_->num_workers();
+    const uint64_t stage_span_id = stage_span ? stage_span->id() : 0;
     Stopwatch wall;
     ctx_->pool().ParallelFor(num_tasks, [&](size_t t) {
+      std::optional<ScopedSpan> task_span;
+      if (stage_span_id != 0) {
+        task_span.emplace(stage_name + "#" + std::to_string(t), "task",
+                          stage_span_id,
+                          static_cast<int64_t>(t % workers));
+      }
       ThreadCpuStopwatch timer;
       TaskContext tc;
       body(t, tc);
       const double busy = timer.ElapsedSeconds();
       metrics.RecordTaskTime(t % workers, busy);
       metrics.AccumulateTask(handle, tc, busy);
+      if (task_span) {
+        task_span->Annotate("records_in", tc.records_in);
+        task_span->Annotate("records_out", tc.records_out);
+        task_span->Annotate("busy_seconds", busy);
+      }
     });
     metrics.FinishStage(handle, wall.ElapsedSeconds());
+    if (stage_span) {
+      AnnotateFromReport(*stage_span, metrics.StageReportFor(handle));
+    }
+    if (LogEnabled(LogLevel::kDebug)) {
+      BD_LOG(Debug) << "stage end: " << stage_name
+                    << " wall=" << wall.ElapsedSeconds() << "s";
+    }
   }
 
   /// Convenience overload for bodies that do not report record counts.
@@ -55,6 +90,26 @@ class StageExecutor {
   }
 
  private:
+  /// Copies the finished stage's measured counters onto its span. Record
+  /// counts use exact integers and times the same %.6f formatting as
+  /// Metrics::StageReportsJson(), so EXPLAIN output reconciles with the
+  /// stage reports without rounding drift.
+  static void AnnotateFromReport(ScopedSpan& span, const StageReport& r) {
+    span.Annotate("tasks", r.tasks);
+    span.Annotate("records_in", r.records_in);
+    span.Annotate("records_out", r.records_out);
+    if (r.records_in > 0) {
+      span.Annotate("selectivity", static_cast<double>(r.records_out) /
+                                       static_cast<double>(r.records_in));
+    }
+    span.Annotate("shuffled_records", r.shuffled_records);
+    span.Annotate("busy_seconds", r.busy_seconds);
+    span.Annotate("task_seconds_min", r.TaskMinSeconds());
+    span.Annotate("task_seconds_p50", r.TaskP50Seconds());
+    span.Annotate("task_seconds_max", r.TaskMaxSeconds());
+    span.Annotate("straggler_ratio", r.StragglerRatio());
+  }
+
   ExecutionContext* ctx_;
 };
 

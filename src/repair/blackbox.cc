@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <mutex>
+#include <optional>
 
 #include "common/stopwatch.h"
+#include "common/trace.h"
 #include "dataflow/stage_executor.h"
 #include <unordered_map>
 #include <unordered_set>
@@ -26,11 +28,20 @@ void RepairSplitComponent(ExecutionContext* ctx,
                           const BlackBoxOptions& options,
                           std::vector<CellAssignment>* applied,
                           size_t* num_undone) {
+  // Runs inside a repair:components task, so this span nests under that
+  // task's stage via the pool thread's scope stack.
+  std::optional<ScopedSpan> span;
+  if (TraceRecorder::Instance().enabled()) {
+    span.emplace("repair:kway-split", "operator");
+    span->Annotate("component_edges",
+                   static_cast<uint64_t>(component_edges.size()));
+  }
   std::vector<std::vector<uint64_t>> edge_nodes;
   edge_nodes.reserve(component_edges.size());
   for (size_t e : component_edges) edge_nodes.push_back(graph.edge_nodes(e));
   std::vector<size_t> part_of = GreedyKWayPartition(edge_nodes, options.kway_parts);
   size_t k = 1 + *std::max_element(part_of.begin(), part_of.end());
+  if (span) span->Annotate("parts", static_cast<uint64_t>(k));
 
   std::vector<std::vector<const ViolationWithFixes*>> parts(k);
   for (size_t i = 0; i < component_edges.size(); ++i) {
@@ -73,10 +84,16 @@ RepairPassResult BlackBoxRepair(
   RepairPassResult result;
   if (violations.empty()) return result;
 
+  TraceRecorder& trace = TraceRecorder::Instance();
   if (!options.parallel) {
     // Centralized baseline: one repair instance over everything (the
     // algorithm itself still handles multiple equivalence classes). All
     // work lands on one worker slot.
+    std::optional<ScopedSpan> span;
+    if (trace.enabled()) {
+      span.emplace("repair:centralized", "operator");
+      span->Annotate("violations", static_cast<uint64_t>(violations.size()));
+    }
     ThreadCpuStopwatch timer;
     std::vector<const ViolationWithFixes*> all;
     all.reserve(violations.size());
@@ -92,11 +109,23 @@ RepairPassResult BlackBoxRepair(
   // spread over the worker slots in the simulated-cluster accounting; it is
   // still overhead the centralized repair does not pay, which is why a
   // serial repair can win at very low violation counts (Fig 12(b)).
+  std::optional<ScopedSpan> repair_span;
+  if (trace.enabled()) {
+    repair_span.emplace("repair:blackbox", "operator");
+    repair_span->Annotate("violations",
+                          static_cast<uint64_t>(violations.size()));
+  }
   ThreadCpuStopwatch setup_timer;
+  std::optional<ScopedSpan> cc_span;
+  if (trace.enabled()) cc_span.emplace("repair:hypergraph-cc", "operator");
   ViolationHypergraph graph(violations);
   std::vector<std::vector<size_t>> groups = graph.ConnectedComponentGroups(
       options.use_bsp_connected_components ? ctx : nullptr);
   result.num_components = groups.size();
+  if (cc_span) {
+    cc_span->Annotate("components", static_cast<uint64_t>(groups.size()));
+    cc_span.reset();
+  }
   const double setup_seconds = setup_timer.ElapsedSeconds();
   for (size_t s = 0; s < ctx->num_workers(); ++s) {
     ctx->metrics().RecordTaskTime(
@@ -131,6 +160,16 @@ RepairPassResult BlackBoxRepair(
     result.applied.insert(result.applied.end(),
                           std::make_move_iterator(per_group[g].begin()),
                           std::make_move_iterator(per_group[g].end()));
+  }
+  if (repair_span) {
+    repair_span->Annotate("components",
+                          static_cast<uint64_t>(result.num_components));
+    repair_span->Annotate(
+        "split_components",
+        static_cast<uint64_t>(result.num_split_components));
+    repair_span->Annotate("undone", static_cast<uint64_t>(result.num_undone));
+    repair_span->Annotate("applied",
+                          static_cast<uint64_t>(result.applied.size()));
   }
   return result;
 }

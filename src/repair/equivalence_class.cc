@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <functional>
 #include <map>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/hash.h"
+#include "common/trace.h"
 #include "dataflow/dataset.h"
 #include "repair/connected_components.h"
 
@@ -129,11 +131,24 @@ std::vector<CellAssignment> DistributedEquivalenceClassRepair(
   }
   if (cells.empty()) return {};
 
+  TraceRecorder& trace = TraceRecorder::Instance();
+  std::optional<ScopedSpan> repair_span;
+  if (trace.enabled()) {
+    repair_span.emplace("repair:distributed-ec", "operator");
+    repair_span->Annotate("cells", static_cast<uint64_t>(cells.size()));
+    repair_span->Annotate("edges", static_cast<uint64_t>(edges.size()));
+  }
+
   // Equivalence classes = connected components of the equality graph,
   // computed with the BSP kernel (GraphX role).
   std::vector<uint64_t> nodes(cells.size());
   for (uint64_t i = 0; i < nodes.size(); ++i) nodes[i] = i;
+  std::optional<ScopedSpan> cc_span;
+  if (trace.enabled()) {
+    cc_span.emplace("repair:ec-connected-components", "operator");
+  }
   ComponentLabels labels = BspConnectedComponents(ctx, nodes, edges);
+  cc_span.reset();
 
   // First map-reduce sequence: ((class, value), 1) -> counts.
   // "If an element exists in multiple fixes, we only count its value once":
@@ -158,11 +173,16 @@ std::vector<CellAssignment> DistributedEquivalenceClassRepair(
     if (!seen_constant.insert(key).second) continue;
     votes.emplace_back(CountKey{labels.at(cell_id), value}, 1);
   }
+  std::optional<ScopedSpan> mr1_span;
+  if (trace.enabled()) mr1_span.emplace("repair:ec-mr1-count", "operator");
   auto counted = ReduceByKey<CountKey, uint64_t>(
       Dataset<std::pair<CountKey, uint64_t>>::FromVector(ctx, std::move(votes)),
       [](uint64_t a, uint64_t b) { return a + b; }, 0, KeyHash());
+  mr1_span.reset();
 
   // Second sequence: (class, (value, count)) -> most frequent value.
+  std::optional<ScopedSpan> mr2_span;
+  if (trace.enabled()) mr2_span.emplace("repair:ec-mr2", "operator");
   auto per_class = counted.Map(
       [](const std::pair<CountKey, uint64_t>& rec) {
         return std::make_pair(rec.first.first,
@@ -176,6 +196,7 @@ std::vector<CellAssignment> DistributedEquivalenceClassRepair(
 
   std::unordered_map<uint64_t, Value> target;
   for (const auto& [cls, vc] : best.Collect()) target[cls] = vc.first;
+  mr2_span.reset();
 
   std::vector<CellAssignment> out;
   for (uint64_t i = 0; i < cells.size(); ++i) {

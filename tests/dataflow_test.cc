@@ -343,11 +343,16 @@ TEST(StageMetrics, ReportsCarryRecordCountsAndJson) {
   EXPECT_EQ(reports[0].tasks, 2u);
   EXPECT_EQ(reports[0].records_in, 100u);
   EXPECT_EQ(reports[0].records_out, 40u);
+  EXPECT_EQ(reports[0].task_seconds.size(), 2u);
   std::string json = ctx.metrics().ToJson();
   EXPECT_NE(json.find("\"stage_reports\":[{\"name\":\"filter\""),
             std::string::npos);
   EXPECT_NE(json.find("\"records_in\":100"), std::string::npos);
   EXPECT_NE(json.find("\"simulated_wall_seconds\":"), std::string::npos);
+  EXPECT_NE(json.find("\"task_seconds_min\":"), std::string::npos);
+  EXPECT_NE(json.find("\"task_seconds_p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"task_seconds_max\":"), std::string::npos);
+  EXPECT_NE(json.find("\"straggler_ratio\":"), std::string::npos);
 }
 
 TEST(StageMetrics, SimulatedWallIncludesReduceSideTime) {
