@@ -55,6 +55,16 @@ void Run() {
       std::fprintf(stderr, "BSP/union-find mismatch on %zu nodes!\n",
                    mismatches);
     }
+    bench::BenchRecord record("ablation_cc", "rows=" + std::to_string(rows));
+    record.AddConfig("rows", static_cast<uint64_t>(rows));
+    record.AddConfig("workers", static_cast<uint64_t>(16));
+    record.AddMetric("wall_seconds", bsp);
+    record.AddMetric("union_find_seconds", uf);
+    record.AddMetric("violations",
+                     static_cast<uint64_t>(detection->violations.size()));
+    record.AddMetric("components", static_cast<uint64_t>(components.size()));
+    record.CaptureMetrics(ctx.metrics());
+    record.Emit();
     table.AddRow({bench::WithCommas(rows), bench::WithCommas(edges.size()),
                   bench::WithCommas(nodes.size()), Secs(bsp), Secs(uf),
                   bench::WithCommas(components.size())});

@@ -52,6 +52,16 @@ void Run() {
     for (const auto& r : rules) engine.Detect(data.dirty, r);
   });
 
+  bench::BenchRecord record("ablation_consolidation",
+                            "rows=" + std::to_string(rows));
+  record.AddConfig("rows", static_cast<uint64_t>(rows));
+  record.AddConfig("workers", static_cast<uint64_t>(16));
+  record.AddConfig("rules", static_cast<uint64_t>(rules.size()));
+  record.AddMetric("wall_seconds", shared);
+  record.AddMetric("separate_seconds", separate);
+  record.CaptureMetrics(ctx.metrics());
+  record.Emit();
+
   ResultTable table(
       "Ablation: plan consolidation (shared scans) on TaxA, 3 rules",
       {"rows", "consolidated DetectAll (s)", "separate Detect calls (s)",

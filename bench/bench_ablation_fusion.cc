@@ -116,6 +116,15 @@ void Run() {
               eager_ctx.metrics().StageReportsJson().c_str());
   bench::MaybeEmitStageJson("ablation_fusion:fused",
                             fused_ctx.metrics().ToJson());
+  bench::BenchRecord record("ablation_fusion", "rows=" + std::to_string(rows));
+  record.AddConfig("rows", static_cast<uint64_t>(rows));
+  record.AddConfig("partitions", static_cast<uint64_t>(kPartitions));
+  record.AddMetric("wall_seconds", fused_wall);
+  record.AddMetric("eager_seconds", eager_wall);
+  record.AddMetric("fused_stages", fused_stages);
+  record.AddMetric("eager_stages", eager_stages);
+  record.CaptureMetrics(fused_ctx.metrics());
+  record.Emit();
   std::printf(
       "\nExpected shape: the fused chain records 1 stage where the eager "
       "chain records 3, skips two intermediate materializations, and is "

@@ -52,6 +52,18 @@ void Run() {
       if (r.ok()) ie_violations = r->violations.size();
     });
 
+    bench::BenchRecord record("ablation_iejoin",
+                              "rows=" + std::to_string(rows));
+    record.AddConfig("rule", kRule);
+    record.AddConfig("rows", static_cast<uint64_t>(rows));
+    record.AddConfig("workers", static_cast<uint64_t>(16));
+    record.AddMetric("wall_seconds", iejoin);
+    record.AddMetric("ocjoin_seconds", ocjoin);
+    record.AddMetric("candidate_pairs", static_cast<uint64_t>(candidates));
+    record.AddMetric("violations", static_cast<uint64_t>(ie_violations));
+    record.CaptureMetrics(ctx.metrics());
+    record.Emit();
+
     table.AddRow({bench::WithCommas(rows), Secs(ocjoin),
                   bench::WithCommas(candidates), Secs(iejoin),
                   oc_violations == ie_violations ? "yes" : "NO"});

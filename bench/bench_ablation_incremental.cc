@@ -49,6 +49,17 @@ void RunOperation() {
     double incremental = TimeSeconds([&] {
       engine.DetectIncremental(data.dirty, *ParseRule(kRule), changed);
     });
+    bench::BenchRecord record(
+        "ablation_incremental",
+        "changed=" + std::to_string(changed.size()));
+    record.AddConfig("rule", kRule);
+    record.AddConfig("rows", static_cast<uint64_t>(rows));
+    record.AddConfig("workers", static_cast<uint64_t>(16));
+    record.AddConfig("changed_rows", static_cast<uint64_t>(changed.size()));
+    record.AddMetric("wall_seconds", incremental);
+    record.AddMetric("full_detect_seconds", full);
+    record.CaptureMetrics(ctx.metrics());
+    record.Emit();
     char speedup[16];
     std::snprintf(speedup, sizeof(speedup), "%.1fx",
                   incremental > 0 ? full / incremental : 0.0);

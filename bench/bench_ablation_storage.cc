@@ -48,6 +48,19 @@ void Run() {
       push_violations = r.ok() ? r->violations.size() : 0;
     });
 
+    bench::BenchRecord record("ablation_storage",
+                              "rows=" + std::to_string(rows));
+    record.AddConfig("rule", rule_text);
+    record.AddConfig("rows", static_cast<uint64_t>(rows));
+    record.AddConfig("workers", static_cast<uint64_t>(16));
+    record.AddMetric("wall_seconds", pushed);
+    record.AddMetric("plain_seconds", plain);
+    record.AddMetric("violations", static_cast<uint64_t>(push_violations));
+    record.AddMetric("plain_shuffled_records",
+                     plain_ctx.metrics().shuffled_records());
+    record.CaptureMetrics(push_ctx.metrics());
+    record.Emit();
+
     table.AddRow({bench::WithCommas(rows), Secs(plain),
                   bench::WithCommas(plain_ctx.metrics().shuffled_records()),
                   Secs(pushed),

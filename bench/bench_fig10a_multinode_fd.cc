@@ -44,6 +44,17 @@ void Run() {
       violations = r.ok() ? r->violations.size() : 0;
     });
 
+    bench::BenchRecord record("fig10a_multinode_fd",
+                              "rows=" + std::to_string(rows));
+    record.AddConfig("rule", kRule);
+    record.AddConfig("rows", static_cast<uint64_t>(rows));
+    record.AddConfig("workers", static_cast<uint64_t>(kWorkers));
+    record.AddConfig("backend", "spark");
+    record.AddMetric("wall_seconds", spark);
+    record.AddMetric("violations", static_cast<uint64_t>(violations));
+    record.CaptureMetrics(spark_ctx.metrics());
+    record.Emit();
+
     // BigDansing-Hadoop: the real MapReduce backend (Appendix G) — rows
     // are serialized into spill blobs between phases and the shuffle is
     // sort-based, which is where Hadoop pays.

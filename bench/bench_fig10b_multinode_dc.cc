@@ -52,6 +52,16 @@ void Run() {
       }
     });
 
+    bench::BenchRecord record("fig10b_multinode_dc",
+                              "rows=" + std::to_string(rows));
+    record.AddConfig("rule", kRule);
+    record.AddConfig("rows", static_cast<uint64_t>(rows));
+    record.AddConfig("workers", static_cast<uint64_t>(kWorkers));
+    record.AddMetric("wall_seconds", bigdansing);
+    record.AddMetric("violations", static_cast<uint64_t>(violations));
+    record.CaptureMetrics(ctx.metrics());
+    record.Emit();
+
     size_t capped = std::min(rows, kQuadraticCap);
     auto capped_data =
         capped == rows ? data : GenerateTaxB(capped, 0.1, /*seed=*/capped);

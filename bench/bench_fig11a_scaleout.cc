@@ -43,6 +43,14 @@ void Run() {
     double sim = ctx.metrics().SimulatedWallSeconds();
     bench::MaybeEmitStageJson("fig11a:workers=" + std::to_string(workers),
                               ctx.metrics().ToJson());
+    bench::BenchRecord record("fig11a_scaleout",
+                              "workers=" + std::to_string(workers));
+    record.AddConfig("rule", kRule);
+    record.AddConfig("rows", static_cast<uint64_t>(rows));
+    record.AddConfig("workers", static_cast<uint64_t>(workers));
+    record.AddMetric("wall_seconds", wall);
+    record.CaptureMetrics(ctx.metrics());
+    record.Emit();
     double sparksql = TimeSeconds([&] {
       SqlBaselineDetect(&ctx, data.dirty, *ParseRule(kRule),
                         SqlEngine::kSparkSql);

@@ -65,6 +65,15 @@ void RunOne(ResultTable* table, const char* label, const Table& data,
     found = r.ok() ? r->violations.size() : 0;
   });
 
+  bench::BenchRecord record("fig11b_dedup", std::string("dataset=") + label);
+  record.AddConfig("dataset", label);
+  record.AddConfig("rows", static_cast<uint64_t>(rows));
+  record.AddConfig("workers", static_cast<uint64_t>(16));
+  record.AddMetric("wall_seconds", bigdansing);
+  record.AddMetric("violations", static_cast<uint64_t>(found));
+  record.CaptureMetrics(ctx.metrics());
+  record.Emit();
+
   // Shark: UDF over a cross product (no blocking, pair materialization).
   size_t capped_rows = std::min(rows, kQuadraticCap);
   Table capped(data.schema());

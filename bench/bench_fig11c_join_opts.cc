@@ -52,6 +52,17 @@ void Run() {
     });
     bench::MaybeEmitStageJson("fig11c:rows=" + std::to_string(rows),
                               ctx.metrics().ToJson());
+    bench::BenchRecord record("fig11c_join_opts",
+                              "rows=" + std::to_string(rows));
+    record.AddConfig("rule", kRule);
+    record.AddConfig("rows", static_cast<uint64_t>(rows));
+    record.AddConfig("workers", static_cast<uint64_t>(16));
+    record.AddMetric("wall_seconds", ocjoin);
+    record.AddMetric("cross_product_seconds", cross);
+    record.AddMetric("ucross_product_seconds", ucross);
+    record.AddMetric("violations", static_cast<uint64_t>(violations));
+    record.CaptureMetrics(ctx.metrics());
+    record.Emit();
 
     char factor[16];
     std::snprintf(factor, sizeof(factor), "%.0fx",

@@ -76,6 +76,17 @@ void Run() {
     only_calls = r.ok() ? r->detect_calls : 0;
   });
 
+  bench::BenchRecord record("fig12a_abstraction",
+                            "rows=" + std::to_string(rows));
+  record.AddConfig("rows", static_cast<uint64_t>(rows));
+  record.AddConfig("workers", static_cast<uint64_t>(8));
+  record.AddMetric("wall_seconds", full);
+  record.AddMetric("detect_only_seconds", only);
+  record.AddMetric("detect_calls_full", full_calls);
+  record.AddMetric("detect_calls_only", only_calls);
+  record.CaptureMetrics(ctx.metrics());
+  record.Emit();
+
   char factor[16];
   std::snprintf(factor, sizeof(factor), "%.0fx", full > 0 ? only / full : 0.0);
   table.AddRow({bench::WithCommas(rows), Secs(full), Secs(only), factor,

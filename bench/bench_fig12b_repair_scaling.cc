@@ -47,6 +47,19 @@ void Run() {
     bench::MaybeEmitStageJson(
         "fig12b:rate=" + std::to_string(static_cast<int>(rate * 100)),
         ctx.metrics().ToJson());
+    bench::BenchRecord record(
+        "fig12b_repair_scaling",
+        "error_rate=" + std::to_string(static_cast<int>(rate * 100)) + "%");
+    record.AddConfig("rule", "phi1: FD: zipcode -> city");
+    record.AddConfig("rows", static_cast<uint64_t>(rows));
+    record.AddConfig("error_rate", rate);
+    record.AddConfig("workers", static_cast<uint64_t>(16));
+    record.AddMetric("wall_seconds", parallel);
+    record.AddMetric("components", static_cast<uint64_t>(components));
+    record.AddMetric("violations", static_cast<uint64_t>(violations.size()));
+    record.AddMetric("fixes", static_cast<uint64_t>(r.applied.size()));
+    record.CaptureMetrics(ctx.metrics());
+    record.Emit();
 
     ctx.metrics().Reset();
     BlackBoxOptions serial_options;

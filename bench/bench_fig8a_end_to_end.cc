@@ -57,15 +57,30 @@ void Run() {
       BigDansing system(&ctx, options);
       Table working = data.dirty;
       size_t violations = 0;
+      size_t fixes = 0;
       double bigdansing = TimeSeconds([&] {
         auto report = system.Clean(&working, {*ParseRule(s.rule)});
         if (report.ok() && !report->iterations.empty()) {
           violations = report->iterations[0].violations;
+          for (const auto& iter : report->iterations) {
+            fixes += iter.applied_fixes;
+          }
         }
       });
       bench::MaybeEmitStageJson(
           "fig8a:" + std::string(s.label) + ":rows=" + std::to_string(rows),
           ctx.metrics().ToJson());
+      bench::BenchRecord record(
+          "fig8a_end_to_end",
+          std::string(s.label) + ":rows=" + std::to_string(rows));
+      record.AddConfig("rule", s.rule);
+      record.AddConfig("rows", static_cast<uint64_t>(rows));
+      record.AddConfig("workers", static_cast<uint64_t>(8));
+      record.AddMetric("wall_seconds", bigdansing);
+      record.AddMetric("violations", static_cast<uint64_t>(violations));
+      record.AddMetric("fixes", static_cast<uint64_t>(fixes));
+      record.CaptureMetrics(ctx.metrics());
+      record.Emit();
 
       // NADEEF: centralized, pair-at-a-time, capped + extrapolated.
       size_t capped = std::min(rows, kNadeefCap);

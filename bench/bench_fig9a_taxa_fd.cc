@@ -51,6 +51,15 @@ void Run() {
     });
     bench::MaybeEmitStageJson("fig9a:rows=" + std::to_string(rows),
                               ctx.metrics().ToJson());
+    bench::BenchRecord record("fig9a_taxa_fd",
+                              "rows=" + std::to_string(rows));
+    record.AddConfig("rule", rule_text);
+    record.AddConfig("rows", static_cast<uint64_t>(rows));
+    record.AddConfig("workers", static_cast<uint64_t>(kWorkers));
+    record.AddMetric("wall_seconds", bigdansing);
+    record.AddMetric("violations", static_cast<uint64_t>(violations));
+    record.CaptureMetrics(ctx.metrics());
+    record.Emit();
 
     double sparksql = TimeSeconds([&] {
       SqlBaselineDetect(&ctx, data.dirty, *ParseRule(rule_text),

@@ -48,6 +48,14 @@ void Run() {
       auto r = engine.Detect(data.dirty, *ParseRule(kRule));
       violations = r.ok() ? r->violations.size() : 0;
     });
+    bench::BenchRecord record("fig9b_taxb_dc", "rows=" + std::to_string(rows));
+    record.AddConfig("rule", kRule);
+    record.AddConfig("rows", static_cast<uint64_t>(rows));
+    record.AddConfig("workers", static_cast<uint64_t>(8));
+    record.AddMetric("wall_seconds", bigdansing);
+    record.AddMetric("violations", static_cast<uint64_t>(violations));
+    record.CaptureMetrics(ctx.metrics());
+    record.Emit();
 
     size_t capped = std::min(rows, kQuadraticCap);
     auto capped_data =

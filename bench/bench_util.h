@@ -4,9 +4,12 @@
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/json_writer.h"
 #include "common/stopwatch.h"
+#include "dataflow/metrics.h"
 
 namespace bigdansing {
 namespace bench {
@@ -56,6 +59,58 @@ class ResultTable {
 /// call this after each measured configuration, passing
 /// `ctx.metrics().ToJson()` as `json`.
 void MaybeEmitStageJson(const std::string& label, const std::string& json);
+
+/// One standardized bench result: every bench emits one BenchRecord per
+/// measured configuration, so all 20 binaries produce machine-readable
+/// output with identical field names (the regression checker and the CI
+/// baseline both key on them — do not invent per-bench variants).
+///
+/// The record renders as ONE line of strict JSON:
+///
+///   {"bench":"fig9a_taxa_fd","label":"rows=10000",
+///    "config":{...},"metrics":{...},"registry":{...}}
+///
+/// `config` holds the knobs of the run (row counts, workers, mode flags);
+/// `metrics` the measured outcomes. CaptureMetrics() fills the standardized
+/// dataflow fields (simulated_wall_seconds, shuffled_records, stages,
+/// tasks, pairs_enumerated); wall_seconds / violations / fixes are added by
+/// the bench via AddMetric with exactly those names. `registry` is the
+/// process-wide MetricsRegistry snapshot taken at Emit() time.
+///
+/// Emit() appends the line to BENCH_<bench>.json in the directory named by
+/// BD_BENCH_JSON_DIR (default: current directory; "-" or "stdout" sends
+/// lines to stdout instead). The first Emit() for a given file in a process
+/// truncates it, so re-runs do not accumulate stale records.
+class BenchRecord {
+ public:
+  /// `bench` is the binary's stable short name ("fig9a_taxa_fd");
+  /// `label` distinguishes configurations within it ("rows=10000").
+  BenchRecord(std::string bench, std::string label);
+
+  void AddConfig(std::string_view key, const std::string& value);
+  void AddConfig(std::string_view key, const char* value);
+  void AddConfig(std::string_view key, uint64_t value);
+  void AddConfig(std::string_view key, double value);
+  void AddConfig(std::string_view key, bool value);
+
+  void AddMetric(std::string_view key, uint64_t value);
+  void AddMetric(std::string_view key, double value);
+  void AddMetric(std::string_view key, const std::string& value);
+
+  /// Standardized dataflow counters from one run's Metrics:
+  /// simulated_wall_seconds, shuffled_records, stages, tasks,
+  /// pairs_enumerated, records_read.
+  void CaptureMetrics(const Metrics& metrics);
+
+  /// Writes the record as one line; returns false on I/O failure.
+  bool Emit();
+
+ private:
+  std::string bench_;
+  std::string label_;
+  JsonObjectBuilder config_;
+  JsonObjectBuilder metrics_;
+};
 
 /// Applies the observability environment variables shared by every bench:
 /// BD_LOG_LEVEL (logger threshold), BD_TRACE_JSON=<path> (enables the

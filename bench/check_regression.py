@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json records and gate on simulated-wall regressions.
+
+Every bench binary emits one-line JSON records (bench/bench_util.h,
+BenchRecord) into a directory named by BD_BENCH_JSON_DIR. This script
+
+ 1. checks that every line of every BENCH_*.json file in --dir is valid
+    JSON with the standardized fields (bench, label, config, metrics, and
+    metrics.simulated_wall_seconds), and
+ 2. compares metrics.simulated_wall_seconds per (bench, label) against the
+    committed baseline (bench/baselines/baseline.json); a result more than
+    --threshold (default 25%) slower than baseline is a regression.
+
+Exit status: 0 when everything validates and no regression (or --advisory
+was given); 1 on malformed records; 2 on regressions without --advisory.
+
+Updating the baseline: run the bench subset with the same BD_SCALE as CI,
+then  python3 bench/check_regression.py --dir <dir> --write-baseline \
+      bench/baselines/baseline.json
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+REQUIRED_TOP_LEVEL = ("bench", "label", "config", "metrics", "registry")
+WALL_KEY = "simulated_wall_seconds"
+
+
+def load_records(directory):
+    """Parses every line of every BENCH_*.json file; returns (records, errors)."""
+    records, errors = [], []
+    paths = sorted(glob.glob(os.path.join(directory, "BENCH_*.json")))
+    if not paths:
+        errors.append(f"no BENCH_*.json files found in {directory!r}")
+    for path in paths:
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, start=1):
+                line = line.strip()
+                if not line:
+                    errors.append(f"{path}:{lineno}: blank line")
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    errors.append(f"{path}:{lineno}: invalid JSON: {exc}")
+                    continue
+                missing = [k for k in REQUIRED_TOP_LEVEL if k not in rec]
+                if missing:
+                    errors.append(f"{path}:{lineno}: missing fields {missing}")
+                    continue
+                if WALL_KEY not in rec["metrics"]:
+                    errors.append(f"{path}:{lineno}: metrics.{WALL_KEY} missing")
+                    continue
+                records.append(rec)
+    return records, errors
+
+
+def key_of(record):
+    return f"{record['bench']}|{record['label']}"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dir", default=".", help="directory with BENCH_*.json")
+    parser.add_argument("--baseline", help="committed baseline JSON to compare against")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional slowdown (0.25 = 25%%)")
+    parser.add_argument("--advisory", action="store_true",
+                        help="report regressions but exit 0 (first-run mode)")
+    parser.add_argument("--write-baseline",
+                        help="write the current results as a new baseline and exit")
+    args = parser.parse_args()
+
+    records, errors = load_records(args.dir)
+    for e in errors:
+        print(f"MALFORMED: {e}", file=sys.stderr)
+    if errors:
+        return 1
+    print(f"validated {len(records)} record(s) from {args.dir}")
+
+    current = {}
+    for rec in records:
+        # A bench emitting the same (bench, label) twice in one run keeps
+        # the last record, matching the append semantics of BenchRecord.
+        current[key_of(rec)] = rec["metrics"][WALL_KEY]
+
+    if args.write_baseline:
+        baseline = {k: {WALL_KEY: v} for k, v in sorted(current.items())}
+        with open(args.write_baseline, "w", encoding="utf-8") as f:
+            json.dump(baseline, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {len(baseline)} baseline entries to {args.write_baseline}")
+        return 0
+
+    if not args.baseline:
+        print("no --baseline given; validation-only run")
+        return 0
+
+    with open(args.baseline, encoding="utf-8") as f:
+        baseline = json.load(f)
+
+    regressions = []
+    for key, base in sorted(baseline.items()):
+        base_wall = base[WALL_KEY]
+        if key not in current:
+            print(f"WARNING: baseline entry {key!r} not produced by this run")
+            continue
+        wall = current[key]
+        ratio = wall / base_wall if base_wall > 0 else float("inf")
+        status = "ok"
+        if ratio > 1.0 + args.threshold:
+            status = "REGRESSION"
+            regressions.append((key, base_wall, wall, ratio))
+        print(f"{status:>10}  {key}: baseline {base_wall:.6f}s -> {wall:.6f}s "
+              f"({ratio:.2f}x)")
+    for key in sorted(set(current) - set(baseline)):
+        print(f"NOTE: {key} has no baseline entry (new bench/label?)")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0%} threshold", file=sys.stderr)
+        return 0 if args.advisory else 2
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <mutex>
+#include <set>
 
+#include "common/lineage.h"
 #include "common/logging.h"
+#include "common/metrics_registry.h"
 #include "common/string_util.h"
 #include "common/trace.h"
 
@@ -23,6 +27,34 @@ ObservabilityBootstrap g_observability_bootstrap;
 
 }  // namespace
 
+namespace {
+
+/// Env var set to a non-empty value.
+const char* EnvPath(const char* name) {
+  const char* value = std::getenv(name);
+  return (value != nullptr && *value != '\0') ? value : nullptr;
+}
+
+/// Writes `text` to `path` ("-"/"stdout" -> stdout); warns on failure.
+void WriteTextFile(const char* path, const std::string& text,
+                   const char* what) {
+  const std::string target(path);
+  if (target == "-" || target == "stdout") {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    std::fflush(stdout);
+    return;
+  }
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    BD_LOG(Warning) << "failed to write " << what << " to " << path;
+    return;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+}
+
+}  // namespace
+
 void InitObservabilityFromEnv() {
   InitLoggingFromEnv();
   const char* trace_path = std::getenv("BD_TRACE_JSON");
@@ -32,9 +64,39 @@ void InitObservabilityFromEnv() {
   if ((trace_path != nullptr && *trace_path != '\0') || want_explain) {
     TraceRecorder::Instance().set_enabled(true);
   }
+  // BD_LINEAGE_JSONL=<path> turns the repair lineage ledger on; the ledger
+  // is written to <path> by FlushObservability.
+  if (EnvPath("BD_LINEAGE_JSONL") != nullptr) {
+    LineageRecorder::Instance().set_enabled(true);
+  }
 }
 
 void FlushObservability() {
+  // Lineage ledger and metrics-registry snapshots flush independently of
+  // the trace recorder (each has its own enabling env var).
+  const char* lineage_path = EnvPath("BD_LINEAGE_JSONL");
+  LineageRecorder& lineage = LineageRecorder::Instance();
+  if (lineage_path != nullptr && lineage.enabled()) {
+    const std::string target(lineage_path);
+    if (target == "-" || target == "stdout") {
+      const std::string text = lineage.ToJsonl();
+      std::fwrite(text.data(), 1, text.size(), stdout);
+      std::fflush(stdout);
+    } else if (!lineage.WriteJsonl(target)) {
+      BD_LOG(Warning) << "failed to write lineage ledger to " << target;
+    }
+  }
+  const char* metrics_path = EnvPath("BD_METRICS_JSON");
+  if (metrics_path != nullptr) {
+    WriteTextFile(metrics_path, MetricsRegistry::Instance().ToJson() + "\n",
+                  "metrics registry snapshot");
+  }
+  const char* prom_path = EnvPath("BD_METRICS_PROM");
+  if (prom_path != nullptr) {
+    WriteTextFile(prom_path, MetricsRegistry::Instance().ToPrometheusText(),
+                  "metrics registry text exposition");
+  }
+
   TraceRecorder& trace = TraceRecorder::Instance();
   if (!trace.enabled() || trace.SpanCount() == 0) return;
   const char* trace_path = std::getenv("BD_TRACE_JSON");
@@ -105,6 +167,81 @@ void MaybeEmitStageJson(const std::string& label, const std::string& json) {
   if (f == nullptr) return;
   std::fwrite(line.data(), 1, line.size(), f);
   std::fclose(f);
+}
+
+BenchRecord::BenchRecord(std::string bench, std::string label)
+    : bench_(std::move(bench)), label_(std::move(label)) {}
+
+void BenchRecord::AddConfig(std::string_view key, const std::string& value) {
+  config_.Add(key, value);
+}
+void BenchRecord::AddConfig(std::string_view key, const char* value) {
+  config_.Add(key, value);
+}
+void BenchRecord::AddConfig(std::string_view key, uint64_t value) {
+  config_.Add(key, value);
+}
+void BenchRecord::AddConfig(std::string_view key, double value) {
+  config_.Add(key, value);
+}
+void BenchRecord::AddConfig(std::string_view key, bool value) {
+  config_.Add(key, value);
+}
+
+void BenchRecord::AddMetric(std::string_view key, uint64_t value) {
+  metrics_.Add(key, value);
+}
+void BenchRecord::AddMetric(std::string_view key, double value) {
+  metrics_.Add(key, value);
+}
+void BenchRecord::AddMetric(std::string_view key, const std::string& value) {
+  metrics_.Add(key, value);
+}
+
+void BenchRecord::CaptureMetrics(const Metrics& metrics) {
+  metrics_.Add("simulated_wall_seconds", metrics.SimulatedWallSeconds());
+  metrics_.Add("shuffled_records", metrics.shuffled_records());
+  metrics_.Add("stages", metrics.stages());
+  metrics_.Add("tasks", metrics.tasks());
+  metrics_.Add("pairs_enumerated", metrics.pairs_enumerated());
+  metrics_.Add("records_read", metrics.records_read());
+}
+
+bool BenchRecord::Emit() {
+  JsonObjectBuilder record;
+  record.Add("bench", bench_);
+  record.Add("label", label_);
+  record.AddRaw("config", config_.Build());
+  record.AddRaw("metrics", metrics_.Build());
+  record.AddRaw("registry", MetricsRegistry::Instance().ToJson());
+  const std::string line = record.Build() + "\n";
+
+  const char* dir = std::getenv("BD_BENCH_JSON_DIR");
+  std::string target;
+  if (dir != nullptr && *dir != '\0') {
+    const std::string d(dir);
+    if (d == "-" || d == "stdout") {
+      std::fwrite(line.data(), 1, line.size(), stdout);
+      std::fflush(stdout);
+      return true;
+    }
+    target = d + "/";
+  }
+  target += "BENCH_" + bench_ + ".json";
+
+  // First write to a file in this process truncates it, so a re-run never
+  // mixes records with a previous invocation's.
+  static std::mutex mu;
+  static std::set<std::string>* truncated = new std::set<std::string>();
+  std::lock_guard<std::mutex> lock(mu);
+  const bool fresh = truncated->insert(target).second;
+  std::FILE* f = std::fopen(target.c_str(), fresh ? "w" : "a");
+  if (f == nullptr) {
+    BD_LOG(Warning) << "failed to open bench record file " << target;
+    return false;
+  }
+  const size_t written = std::fwrite(line.data(), 1, line.size(), f);
+  return std::fclose(f) == 0 && written == line.size();
 }
 
 std::string Secs(double seconds) {

@@ -1,0 +1,65 @@
+#include "common/json_writer.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace bigdansing {
+
+void JsonObjectBuilder::Key(std::string_view key) {
+  if (!body_.empty()) body_ += ",";
+  body_ += "\"";
+  body_ += JsonEscape(key);
+  body_ += "\":";
+}
+
+JsonObjectBuilder& JsonObjectBuilder::Add(std::string_view key,
+                                          std::string_view value) {
+  Key(key);
+  body_ += "\"";
+  body_ += JsonEscape(value);
+  body_ += "\"";
+  return *this;
+}
+
+JsonObjectBuilder& JsonObjectBuilder::Add(std::string_view key,
+                                          uint64_t value) {
+  Key(key);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonObjectBuilder& JsonObjectBuilder::Add(std::string_view key, int64_t value) {
+  Key(key);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonObjectBuilder& JsonObjectBuilder::Add(std::string_view key, double value) {
+  Key(key);
+  body_ += JsonDouble(value);
+  return *this;
+}
+
+JsonObjectBuilder& JsonObjectBuilder::Add(std::string_view key, bool value) {
+  Key(key);
+  body_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonObjectBuilder& JsonObjectBuilder::AddRaw(std::string_view key,
+                                             std::string_view json) {
+  Key(key);
+  body_ += json;
+  return *this;
+}
+
+std::string JsonObjectBuilder::Build() const { return "{" + body_ + "}"; }
+
+std::string JsonDouble(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", value);
+  return buf;
+}
+
+}  // namespace bigdansing

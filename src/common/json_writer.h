@@ -1,0 +1,46 @@
+#ifndef BIGDANSING_COMMON_JSON_WRITER_H_
+#define BIGDANSING_COMMON_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace bigdansing {
+
+/// Minimal ordered JSON object builder used by every machine-readable
+/// emitter in the repo (metrics registry snapshot, lineage JSONL, bench
+/// records). Keys render in insertion order; string values go through
+/// JsonEscape, so output always satisfies the strict-parser tests.
+class JsonObjectBuilder {
+ public:
+  /// String value (escaped).
+  JsonObjectBuilder& Add(std::string_view key, std::string_view value);
+  JsonObjectBuilder& Add(std::string_view key, const char* value) {
+    return Add(key, std::string_view(value));
+  }
+  JsonObjectBuilder& Add(std::string_view key, uint64_t value);
+  JsonObjectBuilder& Add(std::string_view key, int64_t value);
+  JsonObjectBuilder& Add(std::string_view key, double value);
+  JsonObjectBuilder& Add(std::string_view key, bool value);
+
+  /// Pre-rendered JSON fragment (nested object/array); inserted verbatim.
+  JsonObjectBuilder& AddRaw(std::string_view key, std::string_view json);
+
+  bool empty() const { return body_.empty(); }
+
+  /// "{...}" with the fields added so far.
+  std::string Build() const;
+
+ private:
+  void Key(std::string_view key);
+
+  std::string body_;
+};
+
+/// "%.6f" double rendering shared by all JSON emitters (no exponents, so
+/// output diffs cleanly and the strict mini parser's expectations hold).
+std::string JsonDouble(double value);
+
+}  // namespace bigdansing
+
+#endif  // BIGDANSING_COMMON_JSON_WRITER_H_

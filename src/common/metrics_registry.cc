@@ -1,0 +1,185 @@
+#include "common/metrics_registry.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/json_writer.h"
+
+namespace bigdansing {
+
+double Histogram::BucketBound(size_t i) {
+  return kBase * std::ldexp(1.0, static_cast<int>(i));
+}
+
+size_t Histogram::BucketIndex(double value) {
+  if (!(value > kBase)) return 0;  // NaN, negatives and tiny samples.
+  // First i with value <= kBase * 2^i, i.e. ceil(log2(value / kBase)).
+  int exp = static_cast<int>(std::ceil(std::log2(value / kBase)));
+  if (exp < 0) exp = 0;
+  if (exp > static_cast<int>(kNumBuckets) - 1) exp = kNumBuckets - 1;
+  // log2 rounding can land one bucket off either way; settle on the first
+  // bucket whose bound covers the value.
+  while (exp > 0 && value <= BucketBound(static_cast<size_t>(exp - 1))) --exp;
+  while (exp < static_cast<int>(kNumBuckets) - 1 &&
+         value > BucketBound(static_cast<size_t>(exp))) {
+    ++exp;
+  }
+  return static_cast<size_t>(exp);
+}
+
+void Histogram::Observe(double value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t bits = sum_bits_.load(std::memory_order_relaxed);
+  while (true) {
+    double sum = std::bit_cast<double>(bits) + value;
+    if (sum_bits_.compare_exchange_weak(bits, std::bit_cast<uint64_t>(sum),
+                                        std::memory_order_relaxed)) {
+      break;
+    }
+  }
+}
+
+double Histogram::Sum() const {
+  return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::Quantile(double q) const {
+  const uint64_t count = Count();
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the sample the quantile refers to (1-based, ceil semantics so
+  // Quantile(0.5) of {a} is a's bucket and of {a,b} is a's bucket).
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    cumulative += BucketCount(i);
+    if (cumulative >= rank) return BucketBound(i);
+  }
+  return BucketBound(kNumBuckets - 1);
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonObjectBuilder counters;
+  for (const auto& [name, c] : counters_) counters.Add(name, c->Value());
+  JsonObjectBuilder gauges;
+  for (const auto& [name, g] : gauges_) gauges.Add(name, g->Value());
+  JsonObjectBuilder histograms;
+  for (const auto& [name, h] : histograms_) {
+    JsonObjectBuilder one;
+    one.Add("count", h->Count());
+    one.Add("sum", h->Sum());
+    one.Add("p50", h->Quantile(0.5));
+    one.Add("p99", h->Quantile(0.99));
+    one.Add("max", h->Quantile(1.0));
+    std::string bounds = "[";
+    std::string counts = "[";
+    bool first = true;
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (h->BucketCount(i) == 0) continue;
+      if (!first) {
+        bounds += ",";
+        counts += ",";
+      }
+      first = false;
+      bounds += JsonDouble(Histogram::BucketBound(i));
+      counts += std::to_string(h->BucketCount(i));
+    }
+    bounds += "]";
+    counts += "]";
+    one.AddRaw("bucket_bounds", bounds);
+    one.AddRaw("bucket_counts", counts);
+    histograms.AddRaw(name, one.Build());
+  }
+  JsonObjectBuilder out;
+  out.AddRaw("counters", counters.Build());
+  out.AddRaw("gauges", gauges.Build());
+  out.AddRaw("histograms", histograms.Build());
+  return out.Build();
+}
+
+namespace {
+
+std::string PromName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '.' || c == '-') c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(c->Value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + std::to_string(g->Value()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (h->BucketCount(i) == 0) continue;
+      cumulative += h->BucketCount(i);
+      out += prom + "_bucket{le=\"" + JsonDouble(Histogram::BucketBound(i)) +
+             "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(h->Count()) + "\n";
+    out += prom + "_sum " + JsonDouble(h->Sum()) + "\n";
+    out += prom + "_count " + std::to_string(h->Count()) + "\n";
+  }
+  return out;
+}
+
+}  // namespace bigdansing

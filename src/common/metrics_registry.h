@@ -1,0 +1,129 @@
+#ifndef BIGDANSING_COMMON_METRICS_REGISTRY_H_
+#define BIGDANSING_COMMON_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bigdansing {
+
+/// Monotonic event counter. All operations are single relaxed atomics, so
+/// counters are safe to bump from task bodies without measurable cost.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous signed level (queue depth, active workers) with a
+/// high-watermark variant (UpdateMax) for peak tracking.
+class Gauge {
+ public:
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  /// Raises the gauge to `v` if `v` exceeds the current value.
+  void UpdateMax(int64_t v) {
+    int64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Log-bucketed histogram of non-negative samples. Bucket i spans
+/// (BucketBound(i-1), BucketBound(i)] with BucketBound(i) = kBase * 2^i;
+/// bucket 0 additionally absorbs everything <= kBase (including zero and
+/// negatives), and the last bucket is unbounded above. Observe() is two
+/// relaxed atomic adds plus a CAS loop for the running sum, so it is cheap
+/// enough for per-task call sites (never per-record).
+class Histogram {
+ public:
+  /// 64 buckets starting at 1 microsecond cover ~18 orders of magnitude —
+  /// enough for both second-scale timings and byte counts.
+  static constexpr size_t kNumBuckets = 64;
+  static constexpr double kBase = 1e-6;
+
+  /// Upper bound of bucket `i` (inclusive). The last bucket reports its
+  /// nominal bound but accepts any larger sample.
+  static double BucketBound(size_t i);
+
+  /// Index of the bucket that receives `value`.
+  static size_t BucketIndex(double value);
+
+  void Observe(double value);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const;
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Smallest bucket upper bound b such that at least q * Count() samples
+  /// fall in buckets up to b. q is clamped to [0, 1]. Returns 0 for an
+  /// empty histogram. For a single sample every quantile is the bound of
+  /// the bucket holding it.
+  double Quantile(double q) const;
+
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  /// Bit-cast accumulator: fetch_add on atomic<double> is not universally
+  /// lock-free, so the sum is maintained with a CAS loop over the bits.
+  std::atomic<uint64_t> sum_bits_{0};
+};
+
+/// Process-wide registry of named counters, gauges and histograms — the
+/// metrics the per-stage StageReports cannot see (thread-pool queue depth,
+/// shuffle buffer bytes, violation/fix totals across engines). Lookup
+/// returns stable pointers, so hot sites resolve a metric once and cache
+/// the pointer. Snapshots export as strict JSON (BD_METRICS_JSON) and as
+/// Prometheus text exposition.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Instance();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  /// Zeroes every registered metric (names stay registered; pointers stay
+  /// valid). Tests use this to isolate themselves from earlier activity.
+  void ResetAll();
+
+  /// {"counters":{...},"gauges":{...},"histograms":{...}} with names in
+  /// sorted order. Histograms carry count/sum/p50/p99/max plus the
+  /// non-empty buckets as parallel bound/count arrays.
+  std::string ToJson() const;
+
+  /// Prometheus-style text exposition ('.' in names becomes '_';
+  /// histograms render as cumulative _bucket series plus _sum/_count).
+  std::string ToPrometheusText() const;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace bigdansing
+
+#endif  // BIGDANSING_COMMON_METRICS_REGISTRY_H_

@@ -4,9 +4,15 @@
 #include <atomic>
 #include <memory>
 
+#include "common/metrics_registry.h"
+
 namespace bigdansing {
 
 ThreadPool::ThreadPool(size_t num_threads) {
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  queue_depth_gauge_ = &registry.GetGauge("threadpool.queue_depth");
+  active_workers_gauge_ = &registry.GetGauge("threadpool.active_workers");
+  tasks_counter_ = &registry.GetCounter("threadpool.tasks_executed");
   if (num_threads == 0) num_threads = 1;
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
@@ -28,6 +34,9 @@ void ThreadPool::Submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
     ++in_flight_;
+    // Inside the lock so the matching decrement (issued after the pop,
+    // which also needs the lock) can never be observed first.
+    queue_depth_gauge_->Add(1);
   }
   task_available_.notify_one();
 }
@@ -89,7 +98,13 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    queue_depth_gauge_->Add(-1);
+    active_workers_gauge_->Add(1);
     task();
+    // Gauge updates precede the in_flight_ decrement: once WaitIdle()
+    // observes zero in-flight tasks, both gauges already net to zero.
+    tasks_counter_->Add(1);
+    active_workers_gauge_->Add(-1);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (--in_flight_ == 0) all_done_.notify_all();

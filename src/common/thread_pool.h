@@ -12,10 +12,19 @@
 
 namespace bigdansing {
 
+class Counter;
+class Gauge;
+
 /// Fixed-size worker pool used by the dataflow engine to execute per-partition
 /// tasks. Tasks are void() closures; ParallelFor blocks until every index has
 /// been processed. A pool of size 1 still runs tasks on its worker thread so
 /// behaviour is uniform regardless of hardware parallelism.
+///
+/// Feeds three process-wide registry metrics (all pools share them; the
+/// accounting nets to zero per task, so the gauges read zero whenever every
+/// pool is idle): `threadpool.queue_depth`, `threadpool.active_workers`,
+/// `threadpool.tasks_executed`. Updates sit outside the worker-timed task
+/// body and cost one relaxed atomic each.
 class ThreadPool {
  public:
   /// Creates `num_threads` workers (clamped to >= 1).
@@ -41,6 +50,11 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> threads_;
+  // Registry handles resolved once at construction (stable for the process
+  // lifetime) so the per-task updates are plain atomic ops, no map lookups.
+  Gauge* queue_depth_gauge_ = nullptr;
+  Gauge* active_workers_gauge_ = nullptr;
+  Counter* tasks_counter_ = nullptr;
   std::deque<std::function<void()>> queue_;
   std::mutex mutex_;
   std::condition_variable task_available_;

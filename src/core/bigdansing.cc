@@ -1,17 +1,70 @@
 #include "core/bigdansing.h"
 
 #include <cstdio>
+#include <map>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/lineage.h"
 #include "common/logging.h"
+#include "common/metrics_registry.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
 #include "repair/equivalence_class.h"
 #include "repair/hypergraph_repair.h"
 
 namespace bigdansing {
+
+namespace {
+
+/// Lineage-aware twin of ApplyAssignments: applies the assignments and, for
+/// each cell actually changed, appends a ledger entry carrying the old/new
+/// value plus the provenance the repair pass attached (when `provenance` is
+/// shorter than `assignments` — lineage was toggled mid-run — missing
+/// entries fall back to empty provenance). Violations whose fixes produced
+/// at least one applied change are inserted into `resolved`.
+size_t ApplyAssignmentsWithLineage(
+    Table* table, const std::vector<CellAssignment>& assignments,
+    const std::vector<FixProvenance>& provenance,
+    const std::unordered_set<CellRef, CellRefHash>* frozen, size_t iteration,
+    std::unordered_set<uint64_t>* resolved,
+    std::map<std::string, LineageSummary>* by_rule) {
+  LineageRecorder& lineage = LineageRecorder::Instance();
+  const Schema& schema = table->schema();
+  size_t changed = 0;
+  for (size_t i = 0; i < assignments.size(); ++i) {
+    const auto& a = assignments[i];
+    if (frozen != nullptr && frozen->count(a.cell) > 0) continue;
+    Row* row = table->FindMutableRowById(a.cell.row_id);
+    if (row == nullptr || a.cell.column >= row->size()) continue;
+    if (row->value(a.cell.column) == a.value) continue;
+    LineageEntry entry;
+    entry.row_id = a.cell.row_id;
+    entry.column = a.cell.column;
+    if (a.cell.column < schema.num_attributes()) {
+      entry.attribute = schema.attribute(a.cell.column);
+    }
+    entry.old_value = row->value(a.cell.column);
+    entry.new_value = a.value;
+    entry.iteration = iteration;
+    if (i < provenance.size()) {
+      const FixProvenance& p = provenance[i];
+      entry.rule = p.rule;
+      entry.violation_id = p.violation_id;
+      entry.strategy = p.strategy;
+      entry.component = p.component;
+      resolved->insert(p.violation_id);
+    }
+    ++(*by_rule)[entry.rule].applied_fixes;
+    row->set_value(a.cell.column, a.value);
+    ++changed;
+    lineage.RecordFix(std::move(entry));
+  }
+  return changed;
+}
+
+}  // namespace
 
 std::string CleanReport::ToString() const {
   std::string out = "CleanReport: iterations=" +
@@ -71,6 +124,11 @@ Result<CleanReport> BigDansing::Clean(Table* table,
   // fixed number of iterations").
   std::unordered_map<CellRef, size_t, CellRefHash> update_counts;
   std::unordered_set<CellRef, CellRefHash> frozen;
+
+  // Per-rule lineage tally for THIS run (the recorder is process-global, so
+  // its summaries may span several Clean calls; the EXPLAIN annotations must
+  // only reflect this job).
+  std::map<std::string, LineageSummary> lineage_by_rule;
 
   std::unordered_set<RowId> last_changed_rows;
   for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
@@ -154,21 +212,47 @@ Result<CleanReport> BigDansing::Clean(Table* table,
       repair_span->Annotate("violations",
                             static_cast<uint64_t>(violations.size()));
     }
+    const bool lineage_on = LineageRecorder::Instance().enabled();
     std::vector<CellAssignment> assignments;
+    std::vector<FixProvenance> provenance;
     switch (options_.repair_mode) {
-      case RepairMode::kEquivalenceClass:
-        assignments =
-            BlackBoxRepair(ctx_, violations, ec, options_.repair).applied;
+      case RepairMode::kEquivalenceClass: {
+        RepairPassResult pass =
+            BlackBoxRepair(ctx_, violations, ec, options_.repair);
+        assignments = std::move(pass.applied);
+        provenance = std::move(pass.provenance);
         break;
-      case RepairMode::kHypergraph:
-        assignments =
-            BlackBoxRepair(ctx_, violations, hg, options_.repair).applied;
+      }
+      case RepairMode::kHypergraph: {
+        RepairPassResult pass =
+            BlackBoxRepair(ctx_, violations, hg, options_.repair);
+        assignments = std::move(pass.applied);
+        provenance = std::move(pass.provenance);
         break;
+      }
       case RepairMode::kDistributedEquivalenceClass:
-        assignments = DistributedEquivalenceClassRepair(ctx_, violations);
+        assignments = DistributedEquivalenceClassRepair(
+            ctx_, violations, lineage_on ? &provenance : nullptr);
         break;
     }
-    it.applied_fixes = ApplyAssignments(table, assignments, &frozen);
+    if (lineage_on) {
+      std::unordered_set<uint64_t> resolved;
+      it.applied_fixes = ApplyAssignmentsWithLineage(
+          table, assignments, provenance, &frozen, iter + 1, &resolved,
+          &lineage_by_rule);
+      // Every pooled violation with no applied fix this iteration survives
+      // into the next detect pass (or the end of the run) unresolved.
+      LineageRecorder& lineage = LineageRecorder::Instance();
+      for (uint64_t vid = 0; vid < violations.size(); ++vid) {
+        if (resolved.count(vid) == 0) {
+          lineage.RecordUnresolved(violations[vid].violation.rule_name, vid,
+                                   iter + 1);
+          ++lineage_by_rule[violations[vid].violation.rule_name].unresolved;
+        }
+      }
+    } else {
+      it.applied_fixes = ApplyAssignments(table, assignments, &frozen);
+    }
     it.repair_seconds = repair_timer.ElapsedSeconds();
     report.total_repair_seconds += it.repair_seconds;
     if (repair_span) {
@@ -192,11 +276,36 @@ Result<CleanReport> BigDansing::Clean(Table* table,
       }
     }
   }
+  size_t total_fixes = 0;
+  size_t total_violations = 0;
+  for (const auto& i : report.iterations) {
+    total_fixes += i.applied_fixes;
+    total_violations += i.violations;
+  }
+  size_t total_unresolved = 0;
+  for (const auto& [rule, s] : lineage_by_rule) total_unresolved += s.unresolved;
+
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  registry.GetCounter("clean.iterations")
+      .Add(static_cast<uint64_t>(report.iterations.size()));
+  registry.GetCounter("clean.fixes_applied")
+      .Add(static_cast<uint64_t>(total_fixes));
+  registry.GetCounter("clean.violations_pooled")
+      .Add(static_cast<uint64_t>(total_violations));
+  registry.GetCounter("clean.unresolved_violations")
+      .Add(static_cast<uint64_t>(total_unresolved));
+
   if (job_span) {
     job_span->Annotate("iterations",
                        static_cast<uint64_t>(report.iterations.size()));
     job_span->Annotate("converged",
                        std::string(report.converged ? "true" : "false"));
+    // Fold the ledger rollup of this run into the EXPLAIN tree: one pair of
+    // annotations per rule with at least one applied fix or survivor.
+    for (const auto& [rule, s] : lineage_by_rule) {
+      job_span->Annotate("lineage." + rule + ".fixes", s.applied_fixes);
+      job_span->Annotate("lineage." + rule + ".unresolved", s.unresolved);
+    }
   }
   return report;
 }

@@ -6,6 +6,7 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "common/metrics_registry.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "common/trace.h"
@@ -118,16 +119,25 @@ void IterateBlock(const PhysicalRulePlan& plan, const std::vector<Row>& block,
   for (const auto& [a, b] : pairs) Probe(rule, *a, *b, out);
 }
 
-/// Merges per-task outputs into a DetectionResult.
+/// Merges per-task outputs into a DetectionResult. Driver-side (one call
+/// per detection stage), so the registry bookkeeping here is off the
+/// worker-timed hot path.
 void MergeOutputs(std::vector<TaskOutput>* tasks, DetectionResult* result) {
   size_t total = 0;
   for (const auto& t : *tasks) total += t.violations.size();
   result->violations.reserve(result->violations.size() + total);
+  uint64_t fixes = 0;
   for (auto& t : *tasks) {
     result->detect_calls += t.detect_calls;
     for (auto& v : t.violations) {
+      fixes += v.fixes.size();
       result->violations.push_back(std::move(v));
     }
+  }
+  if (total > 0) {
+    MetricsRegistry& registry = MetricsRegistry::Instance();
+    registry.GetCounter("rules.violations_detected").Add(total);
+    registry.GetCounter("rules.fixes_proposed").Add(fixes);
   }
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/metrics_registry.h"
 #include "common/stopwatch.h"
 #include "dataflow/context.h"
 #include "dataflow/stage_executor.h"
@@ -218,6 +219,10 @@ class Dataset {
       offset[p + 1] = offset[p] + parts[p].size();
     }
     StageExecutor executor(ctx);
+    Counter& shuffle_bytes =
+        MetricsRegistry::Instance().GetCounter("dataflow.shuffle_bytes");
+    Gauge& peak_partition_bytes = MetricsRegistry::Instance().GetGauge(
+        "dataflow.peak_partition_bytes");
     // buckets[input_partition][output_partition]
     std::vector<std::vector<std::vector<T>>> buckets(
         parts.size(), std::vector<std::vector<T>>(n));
@@ -229,6 +234,7 @@ class Dataset {
                    tc.records_in = parts[p].size();
                    tc.records_out = parts[p].size();
                    tc.shuffled_records = parts[p].size();
+                   shuffle_bytes.Add(parts[p].size() * sizeof(T));
                  });
     std::vector<std::vector<T>> out(n);
     executor.Run("repartition:merge", n, [&](size_t q, TaskContext& tc) {
@@ -242,6 +248,7 @@ class Dataset {
       }
       tc.records_in = total;
       tc.records_out = total;
+      peak_partition_bytes.UpdateMax(static_cast<int64_t>(total * sizeof(T)));
     });
     return Dataset<T>(ctx, std::move(out));
   }
@@ -427,6 +434,12 @@ std::vector<std::vector<std::pair<K, V>>> ShuffleByKey(
   ExecutionContext* ctx = ds.context();
   const size_t num_in = ds.num_partitions();
   StageExecutor executor(ctx);
+  // Registry handles resolved driver-side; the per-task cost below is one
+  // relaxed atomic on the map side and one CAS on the merge side.
+  Counter& shuffle_bytes =
+      MetricsRegistry::Instance().GetCounter("dataflow.shuffle_bytes");
+  Gauge& peak_partition_bytes =
+      MetricsRegistry::Instance().GetGauge("dataflow.peak_partition_bytes");
   // buckets[input_partition][output_partition]
   std::vector<std::vector<std::vector<std::pair<K, V>>>> buckets(
       num_in, std::vector<std::vector<std::pair<K, V>>>(num_out));
@@ -442,6 +455,7 @@ std::vector<std::vector<std::pair<K, V>>> ShuffleByKey(
     });
     tc.records_in = ds.InputSize(p);
     tc.shuffled_records = tc.records_out;
+    shuffle_bytes.Add(tc.records_out * sizeof(std::pair<K, V>));
     ctx->ChargeMaterialization(tc.records_out);
   });
   std::vector<std::vector<std::pair<K, V>>> out(num_out);
@@ -458,6 +472,8 @@ std::vector<std::vector<std::pair<K, V>>> ShuffleByKey(
                  }
                  tc.records_in = total;
                  tc.records_out = total;
+                 peak_partition_bytes.UpdateMax(static_cast<int64_t>(
+                     total * sizeof(std::pair<K, V>)));
                });
   return out;
 }

@@ -4,6 +4,7 @@
 #include <mutex>
 #include <optional>
 
+#include "common/lineage.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
 #include "dataflow/stage_executor.h"
@@ -16,6 +17,35 @@
 namespace bigdansing {
 
 namespace {
+
+/// Attributes each assignment of one repaired component to the first
+/// violation (by input index) whose fixes mention the assigned cell —
+/// deterministic and exact for equality-fix repairs, where every assigned
+/// cell appears in some fix of its component. `edge_of` maps hyperedge
+/// position to the violation's index in the repair pass's input.
+void AttributeAssignments(const std::vector<const ViolationWithFixes*>& edges,
+                          const std::vector<size_t>& edge_of,
+                          const std::vector<CellAssignment>& assignments,
+                          uint64_t component, const std::string& strategy,
+                          std::vector<FixProvenance>* provenance) {
+  std::unordered_map<CellRef, size_t, CellRefHash> owner;
+  for (size_t e = 0; e < edges.size(); ++e) {
+    for (const Fix& fix : edges[e]->fixes) {
+      owner.emplace(fix.left.ref, e);
+      if (fix.right.is_cell) owner.emplace(fix.right.cell.ref, e);
+    }
+  }
+  for (const CellAssignment& a : assignments) {
+    auto it = owner.find(a.cell);
+    const size_t e = it != owner.end() ? it->second : 0;
+    FixProvenance p;
+    p.rule = edges[e]->violation.rule_name;
+    p.violation_id = edge_of[e];
+    p.component = component;
+    p.strategy = strategy;
+    provenance->push_back(std::move(p));
+  }
+}
 
 /// Repairs one oversized component under the master/slave protocol:
 /// the component's hyperedges are split k-way; part 0 (master) repairs
@@ -101,6 +131,12 @@ RepairPassResult BlackBoxRepair(
     result.applied = algorithm.RepairComponent(all);
     result.num_components = 1;
     ctx->metrics().RecordTaskTime(0, timer.ElapsedSeconds());
+    if (LineageRecorder::Instance().enabled()) {
+      std::vector<size_t> edge_of(all.size());
+      for (size_t e = 0; e < all.size(); ++e) edge_of[e] = e;
+      AttributeAssignments(all, edge_of, result.applied, /*component=*/0,
+                           algorithm.name(), &result.provenance);
+    }
     return result;
   }
 
@@ -154,9 +190,18 @@ RepairPassResult BlackBoxRepair(
     tc.records_out = per_group[g].size();
   });
 
+  const bool lineage_on = LineageRecorder::Instance().enabled();
   for (size_t g = 0; g < groups.size(); ++g) {
     result.num_split_components += split[g] ? 1 : 0;
     result.num_undone += undone[g];
+    if (lineage_on) {
+      std::vector<const ViolationWithFixes*> edges;
+      edges.reserve(groups[g].size());
+      for (size_t e : groups[g]) edges.push_back(&graph.edge(e));
+      AttributeAssignments(edges, groups[g], per_group[g],
+                           static_cast<uint64_t>(g), algorithm.name(),
+                           &result.provenance);
+    }
     result.applied.insert(result.applied.end(),
                           std::make_move_iterator(per_group[g].begin()),
                           std::make_move_iterator(per_group[g].end()));

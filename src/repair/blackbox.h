@@ -36,6 +36,9 @@ struct RepairPassResult {
   /// Cell updates actually applied (conflicting slave updates are undone
   /// per the master/slave protocol and not included).
   std::vector<CellAssignment> applied;
+  /// Aligned with `applied` while the LineageRecorder is enabled (which
+  /// rule/violation/component each assignment came from); empty otherwise.
+  std::vector<FixProvenance> provenance;
   size_t num_components = 0;
   size_t num_split_components = 0;
   /// Slave assignments undone because they touched a master-immutable cell.

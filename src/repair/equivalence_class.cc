@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "common/hash.h"
+#include "common/lineage.h"
 #include "common/trace.h"
 #include "dataflow/dataset.h"
 #include "repair/connected_components.h"
@@ -102,23 +103,32 @@ std::vector<CellAssignment> EquivalenceClassAlgorithm::RepairComponent(
 }
 
 std::vector<CellAssignment> DistributedEquivalenceClassRepair(
-    ExecutionContext* ctx, const std::vector<ViolationWithFixes>& violations) {
+    ExecutionContext* ctx, const std::vector<ViolationWithFixes>& violations,
+    std::vector<FixProvenance>* provenance) {
+  const bool track_provenance =
+      provenance != nullptr && LineageRecorder::Instance().enabled();
   // Collect the equality-fix graph: nodes are cells, edges link the two
   // sides of `cell = cell` fixes. Cell identity is its dense id.
   std::unordered_map<CellRef, uint64_t, CellRefHash> ids;
   std::vector<CellRef> cells;
   std::vector<Value> current;
+  // First violation (input index) mentioning each interned cell.
+  std::vector<uint64_t> first_violation;
+  uint64_t interning_violation = 0;
   auto intern = [&](const Cell& c) {
     auto [it, inserted] = ids.emplace(c.ref, cells.size());
     if (inserted) {
       cells.push_back(c.ref);
       current.push_back(c.value);
+      if (track_provenance) first_violation.push_back(interning_violation);
     }
     return it->second;
   };
   std::vector<std::pair<uint64_t, uint64_t>> edges;
   std::vector<std::pair<uint64_t, Value>> constant_votes;
-  for (const auto& vf : violations) {
+  for (size_t v = 0; v < violations.size(); ++v) {
+    const auto& vf = violations[v];
+    interning_violation = v;
     for (const Fix& fix : vf.fixes) {
       if (fix.op != FixOp::kEq) continue;
       uint64_t left = intern(fix.left);
@@ -201,7 +211,17 @@ std::vector<CellAssignment> DistributedEquivalenceClassRepair(
   std::vector<CellAssignment> out;
   for (uint64_t i = 0; i < cells.size(); ++i) {
     const Value& t = target.at(labels.at(i));
-    if (current[i] != t) out.push_back(CellAssignment{cells[i], t});
+    if (current[i] != t) {
+      out.push_back(CellAssignment{cells[i], t});
+      if (track_provenance) {
+        FixProvenance p;
+        p.rule = violations[first_violation[i]].violation.rule_name;
+        p.violation_id = first_violation[i];
+        p.component = labels.at(i);
+        p.strategy = "distributed-equivalence-class";
+        provenance->push_back(std::move(p));
+      }
+    }
   }
   return out;
 }

@@ -34,8 +34,15 @@ class EquivalenceClassAlgorithm : public RepairAlgorithm {
 /// with the BSP connected-components kernel (the GraphX substitute). The
 /// target value is then assigned to every member cell whose current value
 /// differs.
+///
+/// When `provenance` is non-null and the LineageRecorder is enabled, one
+/// FixProvenance per returned assignment is appended to it (aligned by
+/// index): the violation that first mentioned the assigned cell, the
+/// equivalence-class label as the component id, and strategy
+/// "distributed-equivalence-class".
 std::vector<CellAssignment> DistributedEquivalenceClassRepair(
-    ExecutionContext* ctx, const std::vector<ViolationWithFixes>& violations);
+    ExecutionContext* ctx, const std::vector<ViolationWithFixes>& violations,
+    std::vector<FixProvenance>* provenance = nullptr);
 
 }  // namespace bigdansing
 

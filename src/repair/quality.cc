@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <map>
+#include <utility>
 
 namespace bigdansing {
 
@@ -42,6 +44,45 @@ Result<RepairQuality> EvaluateRepair(const Table& dirty, const Table& repaired,
         if (p == t) ++q.correct_updates;
       }
     }
+  }
+  q.precision = q.updates == 0
+                    ? 1.0
+                    : static_cast<double>(q.correct_updates) /
+                          static_cast<double>(q.updates);
+  q.recall = q.errors == 0 ? 1.0
+                           : static_cast<double>(q.correct_updates) /
+                                 static_cast<double>(q.errors);
+  return q;
+}
+
+Result<RepairQuality> EvaluateRepairFromLineage(
+    const std::vector<LineageEntry>& entries, const Table& dirty,
+    const Table& truth) {
+  BIGDANSING_RETURN_NOT_OK(CheckAligned(dirty, truth, "dirty/truth"));
+  RepairQuality q;
+  const size_t cols = dirty.schema().num_attributes();
+  for (size_t r = 0; r < dirty.num_rows(); ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      if (dirty.row(r).value(c) != truth.row(r).value(c)) ++q.errors;
+    }
+  }
+  // Entries are in application order, so a later entry for the same cell
+  // supersedes an earlier one (fix-point iterations may rewrite a cell).
+  std::map<std::pair<RowId, size_t>, Value> final_value;
+  for (const LineageEntry& e : entries) {
+    if (!e.applied) continue;
+    final_value[{e.row_id, e.column}] = e.new_value;
+  }
+  for (const auto& [cell, value] : final_value) {
+    const Row* dirty_row = dirty.FindRowById(cell.first);
+    const Row* truth_row = truth.FindRowById(cell.first);
+    if (dirty_row == nullptr || truth_row == nullptr ||
+        cell.second >= dirty_row->size()) {
+      continue;
+    }
+    if (value == dirty_row->value(cell.second)) continue;  // Net no-op.
+    ++q.updates;
+    if (value == truth_row->value(cell.second)) ++q.correct_updates;
   }
   q.precision = q.updates == 0
                     ? 1.0

@@ -2,7 +2,9 @@
 #define BIGDANSING_REPAIR_QUALITY_H_
 
 #include <string>
+#include <vector>
 
+#include "common/lineage.h"
 #include "common/status.h"
 #include "data/table.h"
 
@@ -26,6 +28,18 @@ struct RepairQuality {
 /// row-aligned with identical schemas (generator output guarantees this).
 Result<RepairQuality> EvaluateRepair(const Table& dirty, const Table& repaired,
                                      const Table& truth);
+
+/// Same precision/recall computed from the repair lineage ledger instead of
+/// a materialized repaired table: each cell's final value is the new value
+/// of its LAST applied ledger entry (entries are recorded in application
+/// order), so updates / correct_updates come straight from the ledger and
+/// errors from a dirty-vs-truth scan. Given the ledger of one Clean() run
+/// on `dirty`, this equals EvaluateRepair(dirty, repaired, truth) — cells
+/// rewritten back to their dirty value are not counted as updates by either
+/// path. Unresolved entries are ignored.
+Result<RepairQuality> EvaluateRepairFromLineage(
+    const std::vector<LineageEntry>& entries, const Table& dirty,
+    const Table& truth);
 
 /// Distance-based quality for numeric repairs (the paper's hypergraph /
 /// TaxB measurement): total and per-error Euclidean distance between the

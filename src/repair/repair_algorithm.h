@@ -16,6 +16,21 @@ struct CellAssignment {
   bool operator==(const CellAssignment& other) const = default;
 };
 
+/// Provenance of one proposed assignment, filled by the repair schemes only
+/// while the LineageRecorder is enabled (kept beside CellAssignment, not
+/// inside it, so the repair fast path and equality semantics are
+/// untouched when lineage is off).
+struct FixProvenance {
+  /// Rule whose violation proposed a fix touching the assigned cell.
+  std::string rule;
+  /// Index of that violation within the repair pass's input vector.
+  uint64_t violation_id = 0;
+  /// Connected-component id (or equivalence-class label) repaired under.
+  uint64_t component = 0;
+  /// Repair algorithm name.
+  std::string strategy;
+};
+
 /// Interface of a centralized repair algorithm, invoked by the black-box
 /// distribution scheme of §5.1 on one connected component (or one k-way
 /// part of an oversized component) at a time. Implementations must be

@@ -1,0 +1,242 @@
+// MetricsRegistry tests: histogram bucketing at exact boundaries, empty
+// and single-sample quantiles, counter/gauge semantics, strict-JSON and
+// Prometheus exports, and the wiring into the ThreadPool (gauges net to
+// zero once WaitIdle returns) and the shuffle path (byte counters move
+// when a GroupByKey runs).
+#include "common/metrics_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "dataflow/dataset.h"
+#include "strict_json_test_util.h"
+
+namespace bigdansing {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Histogram bucketing: bucket i spans (BucketBound(i-1), BucketBound(i)].
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, BucketBoundsDoubleFromBase) {
+  EXPECT_DOUBLE_EQ(Histogram::BucketBound(0), Histogram::kBase);
+  EXPECT_DOUBLE_EQ(Histogram::BucketBound(1), Histogram::kBase * 2);
+  EXPECT_DOUBLE_EQ(Histogram::BucketBound(10), Histogram::kBase * 1024);
+}
+
+TEST(Histogram, BucketIndexAtExactBoundaries) {
+  // Upper bounds are inclusive: a sample equal to BucketBound(i) lands in
+  // bucket i, and the smallest value above it lands in bucket i + 1.
+  for (size_t i : {size_t{0}, size_t{1}, size_t{5}, size_t{20}, size_t{40}}) {
+    const double bound = Histogram::BucketBound(i);
+    EXPECT_EQ(Histogram::BucketIndex(bound), i) << "bound of bucket " << i;
+    EXPECT_EQ(Histogram::BucketIndex(bound * 1.0000001), i + 1)
+        << "just above bucket " << i;
+  }
+  // Bucket 0 absorbs everything at or below the base, including zero and
+  // (defensively) negative samples.
+  EXPECT_EQ(Histogram::BucketIndex(0.0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(-1.0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(Histogram::kBase / 2), 0u);
+  // The last bucket is unbounded above.
+  EXPECT_EQ(Histogram::BucketIndex(1e300), Histogram::kNumBuckets - 1);
+}
+
+TEST(Histogram, EmptyHistogramQuantilesAreZero) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 0.0);
+}
+
+TEST(Histogram, SingleSampleQuantilesAreItsBucketBound) {
+  Histogram h;
+  const double sample = 0.005;  // 5 ms.
+  h.Observe(sample);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_DOUBLE_EQ(h.Sum(), sample);
+  const double bound = Histogram::BucketBound(Histogram::BucketIndex(sample));
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.Quantile(q), bound) << "q=" << q;
+  }
+  // Out-of-range q is clamped, not undefined behaviour.
+  EXPECT_DOUBLE_EQ(h.Quantile(-1.0), h.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.Quantile(2.0), h.Quantile(1.0));
+}
+
+TEST(Histogram, QuantilesSeparateWellSpacedSamples) {
+  Histogram h;
+  // 9 samples at ~1 ms, 1 sample at ~1 s: p50 must report the small
+  // bucket's bound, p99/max the big one's.
+  for (int i = 0; i < 9; ++i) h.Observe(0.001);
+  h.Observe(1.0);
+  EXPECT_EQ(h.Count(), 10u);
+  EXPECT_NEAR(h.Sum(), 1.009, 1e-9);
+  const double small = Histogram::BucketBound(Histogram::BucketIndex(0.001));
+  const double big = Histogram::BucketBound(Histogram::BucketIndex(1.0));
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), small);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.9), small);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), big);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), big);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Counter / Gauge semantics.
+// ---------------------------------------------------------------------------
+
+TEST(CounterGauge, BasicOperations) {
+  Counter c;
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+
+  Gauge g;
+  g.Add(5);
+  g.Add(-2);
+  EXPECT_EQ(g.Value(), 3);
+  g.Set(-7);
+  EXPECT_EQ(g.Value(), -7);
+  g.Set(10);
+  g.UpdateMax(4);  // Smaller value must not lower the gauge.
+  EXPECT_EQ(g.Value(), 10);
+  g.UpdateMax(25);
+  EXPECT_EQ(g.Value(), 25);
+}
+
+// ---------------------------------------------------------------------------
+// Registry: stable handles, strict JSON, Prometheus text.
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, HandlesAreStableAcrossLookupsAndReset) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  Counter& c1 = reg.GetCounter("test.stable_counter");
+  Counter& c2 = reg.GetCounter("test.stable_counter");
+  EXPECT_EQ(&c1, &c2);
+  c1.Add(3);
+  EXPECT_EQ(c2.Value(), 3u);
+  reg.ResetAll();
+  EXPECT_EQ(c1.Value(), 0u);  // Reset zeroes, pointer stays valid.
+  EXPECT_EQ(&reg.GetCounter("test.stable_counter"), &c1);
+}
+
+TEST(MetricsRegistry, ToJsonIsStrictAndCarriesValues) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  reg.ResetAll();
+  reg.GetCounter("test.json_counter").Add(7);
+  reg.GetGauge("test.json_gauge").Set(-3);
+  reg.GetHistogram("test.json_histogram").Observe(0.5);
+
+  JsonValue doc;
+  StrictJsonParser parser(reg.ToJson());
+  ASSERT_TRUE(parser.Parse(&doc)) << parser.error();
+  const JsonValue* counters = doc.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->Find("test.json_counter"), nullptr);
+  EXPECT_EQ(counters->Find("test.json_counter")->number, 7.0);
+  const JsonValue* gauges = doc.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_EQ(gauges->Find("test.json_gauge")->number, -3.0);
+  const JsonValue* histograms = doc.Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const JsonValue* hist = histograms->Find("test.json_histogram");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->Find("count")->number, 1.0);
+  EXPECT_NEAR(hist->Find("sum")->number, 0.5, 1e-6);
+  ASSERT_NE(hist->Find("bucket_bounds"), nullptr);
+  ASSERT_NE(hist->Find("bucket_counts"), nullptr);
+  EXPECT_EQ(hist->Find("bucket_bounds")->array.size(),
+            hist->Find("bucket_counts")->array.size());
+}
+
+TEST(MetricsRegistry, PrometheusTextRenamesDotsAndRendersSeries) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  reg.ResetAll();
+  reg.GetCounter("test.prom_counter").Add(2);
+  reg.GetHistogram("test.prom_histogram").Observe(0.25);
+  const std::string text = reg.ToPrometheusText();
+  EXPECT_NE(text.find("test_prom_counter 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("test_prom_histogram_count 1"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_histogram_sum"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_histogram_bucket"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_EQ(text.find("test.prom_counter"), std::string::npos)
+      << "dots must be rewritten for Prometheus";
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool wiring: the gauges net to zero once the pool drains.
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, ThreadPoolGaugesReadZeroAfterWaitIdle) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  reg.ResetAll();
+  Gauge& queue_depth = reg.GetGauge("threadpool.queue_depth");
+  Gauge& active = reg.GetGauge("threadpool.active_workers");
+  Counter& executed = reg.GetCounter("threadpool.tasks_executed");
+
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(ran.load(), 64);
+  // Gauge updates happen before the in-flight count that WaitIdle watches
+  // is decremented, so by the time WaitIdle returns both levels are zero.
+  EXPECT_EQ(queue_depth.Value(), 0);
+  EXPECT_EQ(active.Value(), 0);
+  EXPECT_GE(executed.Value(), 64u);
+
+  // ParallelFor may batch indices into fewer task closures; the counter
+  // tracks executed closures, so just require it to have moved. It can
+  // also return while unclaimed helper closures still sit in the queue
+  // (all indices are done; the helpers will find nothing to do), so the
+  // zero-gauge guarantee is, as documented, only after WaitIdle().
+  const uint64_t executed_before = executed.Value();
+  pool.ParallelFor(32, [&ran](size_t) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+  });
+  pool.WaitIdle();
+  EXPECT_EQ(ran.load(), 96);
+  EXPECT_EQ(queue_depth.Value(), 0);
+  EXPECT_EQ(active.Value(), 0);
+  EXPECT_GT(executed.Value(), executed_before);
+}
+
+// ---------------------------------------------------------------------------
+// Dataflow wiring: shuffle byte counters move when a shuffle runs.
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, ShuffleBytesCountedDuringGroupByKey) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  reg.ResetAll();
+  Counter& shuffle_bytes = reg.GetCounter("dataflow.shuffle_bytes");
+  Gauge& peak_partition = reg.GetGauge("dataflow.peak_partition_bytes");
+
+  ExecutionContext ctx(4);
+  std::vector<std::pair<int, int>> records;
+  for (int i = 0; i < 1000; ++i) records.emplace_back(i % 13, i);
+  auto ds = Dataset<std::pair<int, int>>::FromVector(&ctx, records, 4);
+  auto grouped = GroupByKey(ds).Collect();
+  EXPECT_EQ(grouped.size(), 13u);
+  // Every record crossed the shuffle, so at least records * pair-size bytes
+  // were charged, and some partition held at least one record's worth.
+  EXPECT_GE(shuffle_bytes.Value(), 1000 * sizeof(std::pair<int, int>));
+  EXPECT_GE(peak_partition.Value(),
+            static_cast<int64_t>(sizeof(std::pair<int, int>)));
+}
+
+}  // namespace
+}  // namespace bigdansing

@@ -1,7 +1,7 @@
 // Observability tests: the TraceRecorder span hierarchy, Chrome-trace and
 // EXPLAIN exports, JSON escaping, stage-handle lifecycle across Reset(),
 // task-skew quantiles, and the BD_LOG_LEVEL wiring. JSON outputs are
-// checked with a strict mini parser (no trailing commas, valid escapes) so
+// checked with the shared strict mini parser (strict_json_test_util.h) so
 // a malformed emitter cannot hide behind substring assertions.
 #include "common/trace.h"
 
@@ -19,289 +19,10 @@
 #include "datagen/datagen.h"
 #include "dataflow/dataset.h"
 #include "rules/parser.h"
+#include "strict_json_test_util.h"
 
 namespace bigdansing {
 namespace {
-
-// ---------------------------------------------------------------------------
-// Strict mini JSON parser. Rejects trailing commas, unquoted keys, invalid
-// escapes, and trailing garbage. Numbers are kept as doubles plus raw text.
-// ---------------------------------------------------------------------------
-
-struct JsonValue {
-  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string raw_number;
-  std::string str;
-  std::vector<JsonValue> array;
-  std::vector<std::pair<std::string, JsonValue>> object;
-
-  const JsonValue* Find(const std::string& key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-class StrictJsonParser {
- public:
-  explicit StrictJsonParser(std::string text) : text_(std::move(text)) {}
-
-  bool Parse(JsonValue* out) {
-    *out = JsonValue{};
-    pos_ = 0;
-    if (!ParseValue(out)) return false;
-    SkipWs();
-    return pos_ == text_.size();  // Trailing garbage is an error.
-  }
-
-  const std::string& error() const { return error_; }
-
- private:
-  bool Fail(const std::string& message) {
-    error_ = message + " at offset " + std::to_string(pos_);
-    return false;
-  }
-
-  void SkipWs() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
-            text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  bool ParseValue(JsonValue* out) {
-    SkipWs();
-    if (pos_ >= text_.size()) return Fail("unexpected end");
-    switch (text_[pos_]) {
-      case '{':
-        return ParseObject(out);
-      case '[':
-        return ParseArray(out);
-      case '"':
-        out->kind = JsonValue::kString;
-        return ParseString(&out->str);
-      case 't':
-        out->kind = JsonValue::kBool;
-        out->boolean = true;
-        return Literal("true");
-      case 'f':
-        out->kind = JsonValue::kBool;
-        out->boolean = false;
-        return Literal("false");
-      case 'n':
-        out->kind = JsonValue::kNull;
-        return Literal("null");
-      default:
-        return ParseNumber(out);
-    }
-  }
-
-  bool Literal(const std::string& word) {
-    if (text_.compare(pos_, word.size(), word) != 0) {
-      return Fail("bad literal");
-    }
-    pos_ += word.size();
-    return true;
-  }
-
-  bool ParseObject(JsonValue* out) {
-    out->kind = JsonValue::kObject;
-    ++pos_;  // '{'
-    SkipWs();
-    if (pos_ < text_.size() && text_[pos_] == '}') {
-      ++pos_;
-      return true;
-    }
-    while (true) {
-      SkipWs();
-      if (pos_ >= text_.size() || text_[pos_] != '"') {
-        return Fail("expected key string");
-      }
-      std::string key;
-      if (!ParseString(&key)) return false;
-      SkipWs();
-      if (pos_ >= text_.size() || text_[pos_] != ':') return Fail("expected :");
-      ++pos_;
-      JsonValue value;
-      if (!ParseValue(&value)) return false;
-      out->object.emplace_back(std::move(key), std::move(value));
-      SkipWs();
-      if (pos_ >= text_.size()) return Fail("unterminated object");
-      if (text_[pos_] == ',') {
-        ++pos_;
-        SkipWs();
-        if (pos_ < text_.size() && text_[pos_] == '}') {
-          return Fail("trailing comma in object");
-        }
-        continue;
-      }
-      if (text_[pos_] == '}') {
-        ++pos_;
-        return true;
-      }
-      return Fail("expected , or }");
-    }
-  }
-
-  bool ParseArray(JsonValue* out) {
-    out->kind = JsonValue::kArray;
-    ++pos_;  // '['
-    SkipWs();
-    if (pos_ < text_.size() && text_[pos_] == ']') {
-      ++pos_;
-      return true;
-    }
-    while (true) {
-      JsonValue value;
-      if (!ParseValue(&value)) return false;
-      out->array.push_back(std::move(value));
-      SkipWs();
-      if (pos_ >= text_.size()) return Fail("unterminated array");
-      if (text_[pos_] == ',') {
-        ++pos_;
-        SkipWs();
-        if (pos_ < text_.size() && text_[pos_] == ']') {
-          return Fail("trailing comma in array");
-        }
-        continue;
-      }
-      if (text_[pos_] == ']') {
-        ++pos_;
-        return true;
-      }
-      return Fail("expected , or ]");
-    }
-  }
-
-  bool ParseString(std::string* out) {
-    ++pos_;  // opening quote
-    out->clear();
-    while (pos_ < text_.size()) {
-      char c = text_[pos_];
-      if (c == '"') {
-        ++pos_;
-        return true;
-      }
-      if (static_cast<unsigned char>(c) < 0x20) {
-        return Fail("raw control character in string");
-      }
-      if (c == '\\') {
-        ++pos_;
-        if (pos_ >= text_.size()) return Fail("dangling escape");
-        char e = text_[pos_];
-        switch (e) {
-          case '"':
-            out->push_back('"');
-            break;
-          case '\\':
-            out->push_back('\\');
-            break;
-          case '/':
-            out->push_back('/');
-            break;
-          case 'b':
-            out->push_back('\b');
-            break;
-          case 'f':
-            out->push_back('\f');
-            break;
-          case 'n':
-            out->push_back('\n');
-            break;
-          case 'r':
-            out->push_back('\r');
-            break;
-          case 't':
-            out->push_back('\t');
-            break;
-          case 'u': {
-            if (pos_ + 4 >= text_.size()) return Fail("short \\u escape");
-            unsigned int code = 0;
-            for (int i = 1; i <= 4; ++i) {
-              char h = text_[pos_ + i];
-              code <<= 4;
-              if (h >= '0' && h <= '9') {
-                code |= static_cast<unsigned>(h - '0');
-              } else if (h >= 'a' && h <= 'f') {
-                code |= static_cast<unsigned>(h - 'a' + 10);
-              } else if (h >= 'A' && h <= 'F') {
-                code |= static_cast<unsigned>(h - 'A' + 10);
-              } else {
-                return Fail("bad \\u hex digit");
-              }
-            }
-            pos_ += 4;
-            // The emitter only produces \u00XX (control chars); decode
-            // those back to bytes so round-trip tests compare equal.
-            if (code > 0xFF) return Fail("unexpected wide \\u escape");
-            out->push_back(static_cast<char>(code));
-            break;
-          }
-          default:
-            return Fail("invalid escape");
-        }
-        ++pos_;
-        continue;
-      }
-      out->push_back(c);
-      ++pos_;
-    }
-    return Fail("unterminated string");
-  }
-
-  bool ParseNumber(JsonValue* out) {
-    size_t start = pos_;
-    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
-    if (pos_ >= text_.size() ||
-        !(text_[pos_] >= '0' && text_[pos_] <= '9')) {
-      return Fail("bad number");
-    }
-    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
-      ++pos_;
-    }
-    if (pos_ < text_.size() && text_[pos_] == '.') {
-      ++pos_;
-      if (pos_ >= text_.size() ||
-          !(text_[pos_] >= '0' && text_[pos_] <= '9')) {
-        return Fail("bad fraction");
-      }
-      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
-        ++pos_;
-      }
-    }
-    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
-        ++pos_;
-      }
-      if (pos_ >= text_.size() ||
-          !(text_[pos_] >= '0' && text_[pos_] <= '9')) {
-        return Fail("bad exponent");
-      }
-      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
-        ++pos_;
-      }
-    }
-    out->kind = JsonValue::kNumber;
-    out->raw_number = text_.substr(start, pos_ - start);
-    out->number = std::atof(out->raw_number.c_str());
-    return true;
-  }
-
-  std::string text_;
-  size_t pos_ = 0;
-  std::string error_;
-};
-
-bool ParsesStrictly(const std::string& text, JsonValue* out) {
-  StrictJsonParser parser(text);
-  return parser.Parse(out);
-}
 
 /// RAII guard: enables the recorder for one test and restores the
 /// disabled-and-empty state afterwards so tests stay order-independent.
