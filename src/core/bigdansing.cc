@@ -6,13 +6,13 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/fault.h"
 #include "common/lineage.h"
 #include "common/logging.h"
 #include "common/metrics_registry.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
-#include "repair/equivalence_class.h"
-#include "repair/hypergraph_repair.h"
+#include "repair/strategy.h"
 
 namespace bigdansing {
 
@@ -105,8 +105,15 @@ Result<CleanReport> BigDansing::Clean(Table* table,
                                       const std::vector<RulePtr>& rules) const {
   CleanReport report;
   RuleEngine engine(ctx_, options_.planner);
-  EquivalenceClassAlgorithm ec;
-  HypergraphRepairAlgorithm hg;
+  const RepairStrategy& repair_strategy =
+      RepairStrategyFor(options_.repair_mode);
+
+  // Per-run fault policy: scoped so nested detect/repair stages all see it
+  // and the context is restored when Clean returns.
+  std::optional<ScopedFaultPolicy> scoped_policy;
+  if (options_.fault_policy.has_value()) {
+    scoped_policy.emplace(ctx_, *options_.fault_policy);
+  }
 
   // The whole fix-point run is one job span; each iteration contributes a
   // detect and a repair phase span underneath it.
@@ -131,6 +138,11 @@ Result<CleanReport> BigDansing::Clean(Table* table,
   std::map<std::string, LineageSummary> lineage_by_rule;
 
   std::unordered_set<RowId> last_changed_rows;
+  // Defensive boundary: the detect and repair entry points already map
+  // StageError to Status, but Clean is the outermost public API of the
+  // system — a stage failure escaping a future code path must still
+  // surface as a Status here, never as a crash.
+  try {
   for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
     IterationReport it;
 
@@ -213,28 +225,10 @@ Result<CleanReport> BigDansing::Clean(Table* table,
                             static_cast<uint64_t>(violations.size()));
     }
     const bool lineage_on = LineageRecorder::Instance().enabled();
-    std::vector<CellAssignment> assignments;
-    std::vector<FixProvenance> provenance;
-    switch (options_.repair_mode) {
-      case RepairMode::kEquivalenceClass: {
-        RepairPassResult pass =
-            BlackBoxRepair(ctx_, violations, ec, options_.repair);
-        assignments = std::move(pass.applied);
-        provenance = std::move(pass.provenance);
-        break;
-      }
-      case RepairMode::kHypergraph: {
-        RepairPassResult pass =
-            BlackBoxRepair(ctx_, violations, hg, options_.repair);
-        assignments = std::move(pass.applied);
-        provenance = std::move(pass.provenance);
-        break;
-      }
-      case RepairMode::kDistributedEquivalenceClass:
-        assignments = DistributedEquivalenceClassRepair(
-            ctx_, violations, lineage_on ? &provenance : nullptr);
-        break;
-    }
+    auto pass = repair_strategy.Repair(ctx_, violations, options_.repair);
+    if (!pass.ok()) return pass.status();
+    std::vector<CellAssignment> assignments = std::move(pass->applied);
+    std::vector<FixProvenance> provenance = std::move(pass->provenance);
     if (lineage_on) {
       std::unordered_set<uint64_t> resolved;
       it.applied_fixes = ApplyAssignmentsWithLineage(
@@ -275,6 +269,9 @@ Result<CleanReport> BigDansing::Clean(Table* table,
         frozen.insert(a.cell);
       }
     }
+  }
+  } catch (const StageError& e) {
+    return e.status();
   }
   size_t total_fixes = 0;
   size_t total_violations = 0;

@@ -2,30 +2,21 @@
 #define BIGDANSING_CORE_BIGDANSING_H_
 
 #include <memory>
+#include <optional>
 #include <unordered_set>
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/status.h"
 #include "core/rule_engine.h"
 #include "data/table.h"
 #include "dataflow/context.h"
 #include "repair/blackbox.h"
 #include "repair/repair_algorithm.h"
+#include "repair/strategy.h"  // RepairMode + the strategy factory.
 
 namespace bigdansing {
-
-/// Which repair implementation drives the repair step.
-enum class RepairMode {
-  /// Black-box scheme (§5.1) around the centralized equivalence-class
-  /// algorithm. Default — matches the paper's main configuration.
-  kEquivalenceClass,
-  /// Black-box scheme around the hypergraph algorithm (for DCs with
-  /// inequality fixes).
-  kHypergraph,
-  /// Natively distributed equivalence class (§5.2, two map-reduce rounds).
-  kDistributedEquivalenceClass,
-};
 
 /// Options for a full cleanse run.
 struct CleanOptions {
@@ -44,6 +35,11 @@ struct CleanOptions {
   /// full detection pass still verifies convergence before the loop ends,
   /// so the result is identical — later iterations are just cheaper.
   bool incremental_redetection = false;
+  /// Fault-tolerance knobs (retry budgets, speculation) applied to every
+  /// stage of the run — detection, repair, and shuffles alike. Unset
+  /// inherits the ExecutionContext policy (itself seeded from
+  /// BD_FAULT_SPEC / BD_SPECULATION at construction).
+  std::optional<FaultPolicy> fault_policy;
 };
 
 /// Per-iteration record of a cleanse run.

@@ -3,6 +3,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/fault.h"
 #include "dataflow/dataset.h"
 
 namespace bigdansing {
@@ -75,7 +76,8 @@ std::vector<RowPair> DefaultIterate2(const std::vector<Row>& left,
 }
 
 /// Runs Detect + GenFix over the candidate pairs of one chain and merges
-/// per-partition outputs into `result`.
+/// per-partition outputs into `result`. Each task accumulates into its own
+/// returned buffer, so a retried attempt never double-appends.
 template <typename Entry>
 void DetectOverPairs(ExecutionContext* ctx, const ResolvedChain& chain,
                      const Dataset<Entry>& blocks,
@@ -86,24 +88,27 @@ void DetectOverPairs(ExecutionContext* ctx, const ResolvedChain& chain,
     std::vector<ViolationWithFixes> violations;
     uint64_t detect_calls = 0;
   };
-  std::vector<TaskOut> tasks(parts.size());
-  blocks.RunStage("iterate|detect|genfix:job", [&](size_t p) {
-    for (const auto& entry : parts[p]) {
-      for (const RowPair& pair : expand(entry)) {
-        ++tasks[p].detect_calls;
-        std::vector<Violation> found;
-        chain.detect(pair, &found);
-        for (auto& v : found) {
-          if (v.rule_name.empty()) v.rule_name = chain.rule_name;
-          ViolationWithFixes vf;
-          vf.violation = std::move(v);
-          if (chain.gen_fix) chain.gen_fix(vf.violation, &vf.fixes);
-          tasks[p].violations.push_back(std::move(vf));
+  std::vector<TaskOut> tasks = blocks.template RunStageProducing<TaskOut>(
+      "iterate|detect|genfix:job", [&](size_t p, TaskContext& tc) {
+        TaskOut out;
+        for (const auto& entry : parts[p]) {
+          for (const RowPair& pair : expand(entry)) {
+            ++out.detect_calls;
+            std::vector<Violation> found;
+            chain.detect(pair, &found);
+            for (auto& v : found) {
+              if (v.rule_name.empty()) v.rule_name = chain.rule_name;
+              ViolationWithFixes vf;
+              vf.violation = std::move(v);
+              if (chain.gen_fix) chain.gen_fix(vf.violation, &vf.fixes);
+              out.violations.push_back(std::move(vf));
+            }
+          }
         }
-      }
-    }
-    ctx->metrics().AddPairsEnumerated(tasks[p].detect_calls);
-  });
+        ctx->metrics().AddPairsEnumerated(out.detect_calls);
+        tc.records_out = out.violations.size();
+        return out;
+      });
   for (auto& t : tasks) {
     result->detect_calls += t.detect_calls;
     for (auto& v : t.violations) result->violations.push_back(std::move(v));
@@ -322,6 +327,9 @@ Result<DetectionResult> Job::Run(ExecutionContext* ctx) const {
   std::unordered_map<std::string, const Table*> input_map;
   for (const auto& [label, table] : inputs_) input_map[label] = table;
 
+  // Dataflow stages below surface retry-budget exhaustion as StageError;
+  // Job::Run is the Status boundary of the job-level API.
+  try {
   for (const auto& detect : detects_) {
     // Resolve the chain feeding this Detect (§3.2, Figure 3: find the
     // matching Iterate, then Blocks, then Scopes by label).
@@ -389,6 +397,9 @@ Result<DetectionResult> Job::Run(ExecutionContext* ctx) const {
           },
           &result);
     }
+  }
+  } catch (const StageError& e) {
+    return e.status();
   }
   return result;
 }

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/fault.h"
 #include "common/hash.h"
 #include "common/string_util.h"
 #include "dataflow/dataset.h"
@@ -236,6 +237,9 @@ Result<std::vector<ViolationWithFixes>> DetectThreeTuple(
     t3_col = rule->right_columns_[rule->third_link_];
   }
 
+  // Everything below runs dataflow stages, which surface retry-budget
+  // exhaustion as a StageError; this function is the Status boundary.
+  try {
   // Stage 1 (left side of the bushy plan): self co-block of the pair table
   // on the t1-t2 equality link, evaluating pair-only predicates early.
   Dataset<Row> pair_rows =
@@ -276,31 +280,35 @@ Result<std::vector<ViolationWithFixes>> DetectThreeTuple(
     return EvalOp(left, p.op, *right, p.similarity_threshold);
   };
 
-  // Candidate pairs keyed by their t3 join value.
+  // Candidate pairs keyed by their t3 join value. Each task returns its
+  // buffer (retry/speculation-safe: one commit per task).
   const auto& cparts = coblocks.partitions();
-  std::vector<std::vector<std::pair<uint64_t, RowPair>>> per_part(
-      cparts.size());
-  coblocks.RunStage("iterate:3dc-pairs", [&](size_t p) {
-    for (const auto& kv : cparts[p]) {
-      for (const Row& a : kv.second.first) {
-        for (const Row& b : kv.second.second) {
-          if (a.id() == b.id()) continue;
-          bool ok = true;
-          for (size_t i : pair_only) {
-            if (!eval_pred(i, a, b, nullptr)) {
-              ok = false;
-              break;
+  std::vector<std::vector<std::pair<uint64_t, RowPair>>> per_part =
+      coblocks.RunStageProducing<std::vector<std::pair<uint64_t, RowPair>>>(
+          "iterate:3dc-pairs", [&](size_t p, TaskContext& tc) {
+            std::vector<std::pair<uint64_t, RowPair>> out;
+            for (const auto& kv : cparts[p]) {
+              for (const Row& a : kv.second.first) {
+                for (const Row& b : kv.second.second) {
+                  if (a.id() == b.id()) continue;
+                  bool ok = true;
+                  for (size_t i : pair_only) {
+                    if (!eval_pred(i, a, b, nullptr)) {
+                      ok = false;
+                      break;
+                    }
+                  }
+                  if (!ok) continue;
+                  const Row& join_row = pair_side_tuple == 1 ? a : b;
+                  const Value& jv = join_row.value(pair_side_col);
+                  if (jv.is_null()) continue;
+                  out.emplace_back(jv.Hash(), RowPair{a, b});
+                }
+              }
             }
-          }
-          if (!ok) continue;
-          const Row& join_row = pair_side_tuple == 1 ? a : b;
-          const Value& jv = join_row.value(pair_side_col);
-          if (jv.is_null()) continue;
-          per_part[p].emplace_back(jv.Hash(), RowPair{a, b});
-        }
-      }
-    }
-  });
+            tc.records_out = out.size();
+            return out;
+          });
   std::vector<std::pair<uint64_t, RowPair>> keyed_pairs;
   for (auto& part : per_part) {
     keyed_pairs.insert(keyed_pairs.end(),
@@ -342,40 +350,50 @@ Result<std::vector<ViolationWithFixes>> DetectThreeTuple(
 
   auto joined = CoGroup(pairs_ds, third_keyed);
   const auto& jparts = joined.partitions();
-  std::vector<std::vector<ViolationWithFixes>> outputs(jparts.size());
-  std::vector<uint64_t> task_probes(jparts.size(), 0);
-  joined.RunStage("detect|genfix:3dc", [&](size_t p) {
-    for (const auto& kv : jparts[p]) {
-      for (const RowPair& pair : kv.second.first) {
-        for (const Row& t3 : kv.second.second) {
-          ++task_probes[p];
-          bool ok = true;
-          for (size_t i : with_third) {
-            if (!eval_pred(i, pair.left, pair.right, &t3)) {
-              ok = false;
-              break;
+  struct ThirdOut {
+    std::vector<ViolationWithFixes> violations;
+    uint64_t probes = 0;
+  };
+  std::vector<ThirdOut> outputs = joined.RunStageProducing<ThirdOut>(
+      "detect|genfix:3dc", [&](size_t p, TaskContext& tc) {
+        ThirdOut out;
+        for (const auto& kv : jparts[p]) {
+          for (const RowPair& pair : kv.second.first) {
+            for (const Row& t3 : kv.second.second) {
+              ++out.probes;
+              bool ok = true;
+              for (size_t i : with_third) {
+                if (!eval_pred(i, pair.left, pair.right, &t3)) {
+                  ok = false;
+                  break;
+                }
+              }
+              if (!ok) continue;
+              ViolationWithFixes vf;
+              vf.violation = rule->MakeViolation(pair.left, pair.right, t3);
+              vf.fixes = rule->GenFixes(vf.violation);
+              out.violations.push_back(std::move(vf));
             }
           }
-          if (!ok) continue;
-          ViolationWithFixes vf;
-          vf.violation = rule->MakeViolation(pair.left, pair.right, t3);
-          vf.fixes = rule->GenFixes(vf.violation);
-          outputs[p].push_back(std::move(vf));
         }
-      }
-    }
-    ctx->metrics().AddPairsEnumerated(task_probes[p]);
-  });
+        ctx->metrics().AddPairsEnumerated(out.probes);
+        tc.records_out = out.violations.size();
+        return out;
+      });
 
   std::vector<ViolationWithFixes> result;
   uint64_t total_probes = 0;
-  for (size_t p = 0; p < outputs.size(); ++p) {
-    total_probes += task_probes[p];
-    result.insert(result.end(), std::make_move_iterator(outputs[p].begin()),
-                  std::make_move_iterator(outputs[p].end()));
+  for (auto& out : outputs) {
+    total_probes += out.probes;
+    result.insert(result.end(),
+                  std::make_move_iterator(out.violations.begin()),
+                  std::make_move_iterator(out.violations.end()));
   }
   if (probes != nullptr) *probes = total_probes;
   return result;
+  } catch (const StageError& e) {
+    return e.status();
+  }
 }
 
 }  // namespace bigdansing

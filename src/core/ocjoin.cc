@@ -159,7 +159,7 @@ std::vector<RowPair> OCJoin(ExecutionContext* ctx,
   // --- Sorting phase (lines 4-5): local, one sorted list per condition
   // attribute per partition. ---
   StageExecutor executor(ctx);
-  executor.Run("ocjoin:sort", np, [&](size_t p, TaskContext& tc) {
+  Status sort_status = executor.Run("ocjoin:sort", np, [&](size_t p, TaskContext& tc) {
     PartitionState& part = parts[p];
     tc.records_in = part.rows.size();
     for (size_t col : columns) {
@@ -180,6 +180,7 @@ std::vector<RowPair> OCJoin(ExecutionContext* ctx,
     }
     ctx->ChargeMaterialization(part.rows.size());
   });
+  if (!sort_status.ok()) throw StageError(std::move(sort_status));
 
   // --- Pruning phase (line 7): drop partition pairs whose min/max ranges
   // cannot satisfy some condition. ---
@@ -214,7 +215,7 @@ std::vector<RowPair> OCJoin(ExecutionContext* ctx,
   std::vector<std::vector<RowPair>> task_results(surviving.size());
   std::atomic<size_t> candidate_pairs{0};
   const OrderingCondition& c0 = conds[0];
-  executor.Run("ocjoin:join", surviving.size(), [&](size_t t, TaskContext& tc) {
+  Status join_status = executor.Run("ocjoin:join", surviving.size(), [&](size_t t, TaskContext& tc) {
     const PartitionState& p1 = parts[surviving[t].t1];
     const PartitionState& p2 = parts[surviving[t].t2];
     const auto& s1 = p1.sorted.at(c0.left_column);    // t1 side, ascending.
@@ -287,6 +288,7 @@ std::vector<RowPair> OCJoin(ExecutionContext* ctx,
     tc.records_in = p1.rows.size() + p2.rows.size();
     tc.records_out = out.size();
   });
+  if (!join_status.ok()) throw StageError(std::move(join_status));
 
   size_t total = 0;
   for (const auto& tr : task_results) total += tr.size();

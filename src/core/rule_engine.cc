@@ -4,6 +4,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "common/fault.h"
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/metrics_registry.h"
@@ -142,17 +143,23 @@ void MergeOutputs(std::vector<TaskOutput>* tasks, DetectionResult* result) {
 }
 
 /// Executes the blocked pipeline: Iterate within blocks -> Detect -> GenFix.
+/// The task body accumulates into a per-attempt TaskOutput and returns it,
+/// so a retried or speculative attempt never double-appends (the executor
+/// commits exactly one buffer per task).
 void RunBlocked(ExecutionContext* ctx, const PhysicalRulePlan& plan,
                 const Dataset<std::pair<BlockKey, std::vector<Row>>>& blocks,
                 DetectionResult* result) {
   const auto& parts = blocks.partitions();
-  std::vector<TaskOutput> tasks(parts.size());
-  blocks.RunStage("iterate|detect|genfix", [&](size_t p) {
-    for (const auto& block : parts[p]) {
-      IterateBlock(plan, block.second, &tasks[p]);
-    }
-    ctx->metrics().AddPairsEnumerated(tasks[p].detect_calls);
-  });
+  std::vector<TaskOutput> tasks = blocks.RunStageProducing<TaskOutput>(
+      "iterate|detect|genfix", [&](size_t p, TaskContext& tc) {
+        TaskOutput out;
+        for (const auto& block : parts[p]) {
+          IterateBlock(plan, block.second, &out);
+        }
+        ctx->metrics().AddPairsEnumerated(out.detect_calls);
+        tc.records_out = out.violations.size();
+        return out;
+      });
   MergeOutputs(&tasks, result);
 }
 
@@ -177,8 +184,7 @@ void RunUnblocked(ExecutionContext* ctx, const PhysicalRulePlan& plan,
     for (size_t j = i; j < num_chunks; ++j) chunk_pairs.push_back({i, j});
   }
   const bool materialize = plan.strategy == IterateStrategy::kCrossProduct;
-  std::vector<TaskOutput> tasks(chunk_pairs.size());
-  StageExecutor(ctx).Run(
+  auto tasks = StageExecutor(ctx).RunProducing<TaskOutput>(
       "iterate|detect|genfix:unblocked", chunk_pairs.size(),
       [&](size_t t, TaskContext& tc) {
     auto [ci, cj] = chunk_pairs[t];
@@ -186,7 +192,8 @@ void RunUnblocked(ExecutionContext* ctx, const PhysicalRulePlan& plan,
     size_t iend = std::min(rows.size(), ibegin + chunk);
     size_t jbegin = cj * chunk;
     size_t jend = std::min(rows.size(), jbegin + chunk);
-    TaskOutput* out = &tasks[t];
+    TaskOutput task_out;
+    TaskOutput* out = &task_out;
     const Rule& rule = *plan.rule;
     if (materialize) {
       // Wrapper semantics: PIterate materializes the candidate pair list,
@@ -210,9 +217,12 @@ void RunUnblocked(ExecutionContext* ctx, const PhysicalRulePlan& plan,
       }
     }
     ctx->metrics().AddPairsEnumerated(out->detect_calls);
+    tc.records_in = iend - ibegin;
     tc.records_out = out->violations.size();
+    return task_out;
   });
-  MergeOutputs(&tasks, result);
+  if (!tasks.ok()) throw StageError(tasks.status());
+  MergeOutputs(&*tasks, result);
 }
 
 }  // namespace
@@ -220,14 +230,170 @@ void RunUnblocked(ExecutionContext* ctx, const PhysicalRulePlan& plan,
 RuleEngine::RuleEngine(ExecutionContext* ctx, PlannerOptions options)
     : ctx_(ctx), options_(options) {}
 
+Result<std::vector<DetectionResult>> RuleEngine::Detect(
+    const DetectRequest& request) const {
+  // --- Shape validation: reject malformed requests before any stage runs.
+  // Zero rules is trivially valid for plain in-memory detection (nothing to
+  // detect, empty result) — Clean() with an empty rule list relies on it.
+  if (request.rules.empty()) {
+    if (request.storage != nullptr || request.right != nullptr ||
+        request.changed_rows != nullptr) {
+      return Status::InvalidArgument(
+          "DetectRequest: at least one rule required");
+    }
+    if (request.table == nullptr) {
+      return Status::InvalidArgument(
+          "DetectRequest: a table (or storage + dataset) is required");
+    }
+    return std::vector<DetectionResult>{};
+  }
+  for (const auto& rule : request.rules) {
+    if (rule == nullptr) {
+      return Status::InvalidArgument("DetectRequest: null rule");
+    }
+  }
+  const bool storage_backed = request.storage != nullptr;
+  const bool across = request.right != nullptr;
+  const bool incremental = request.changed_rows != nullptr;
+  if (storage_backed) {
+    if (request.table != nullptr || across || incremental) {
+      return Status::InvalidArgument(
+          "DetectRequest: storage-backed detection takes no table, right "
+          "table, or changed-row set");
+    }
+    if (request.dataset.empty()) {
+      return Status::InvalidArgument(
+          "DetectRequest: storage-backed detection requires a dataset name");
+    }
+    if (request.rules.size() != 1) {
+      return Status::InvalidArgument(
+          "DetectRequest: storage-backed detection takes exactly one rule");
+    }
+  } else {
+    if (request.table == nullptr) {
+      return Status::InvalidArgument(
+          "DetectRequest: a table (or storage + dataset) is required");
+    }
+    if (!request.dataset.empty()) {
+      return Status::InvalidArgument(
+          "DetectRequest: dataset name requires a storage manager");
+    }
+  }
+  std::shared_ptr<DcRule> across_rule;
+  if (across) {
+    if (incremental) {
+      return Status::InvalidArgument(
+          "DetectRequest: two-table detection cannot be incremental");
+    }
+    if (request.rules.size() != 1) {
+      return Status::InvalidArgument(
+          "DetectRequest: two-table detection takes exactly one rule");
+    }
+    across_rule = std::dynamic_pointer_cast<DcRule>(request.rules[0]);
+    if (across_rule == nullptr) {
+      return Status::InvalidArgument(
+          "DetectRequest: two-table detection requires a denial-constraint "
+          "rule");
+    }
+  }
+  if (incremental && request.rules.size() != 1) {
+    return Status::InvalidArgument(
+        "DetectRequest: incremental detection takes exactly one rule");
+  }
+
+  // --- Scoped fault policy + the single StageError -> Status boundary of
+  // the detection API: everything below may throw when a stage exhausts
+  // its retry budget.
+  std::optional<ScopedFaultPolicy> scoped_policy;
+  if (request.fault_policy.has_value()) {
+    scoped_policy.emplace(ctx_, *request.fault_policy);
+  }
+  try {
+    if (storage_backed) {
+      auto result = DetectWithStorageImpl(*request.storage, request.dataset,
+                                          request.rules[0]);
+      if (!result.ok()) return result.status();
+      std::vector<DetectionResult> out;
+      out.push_back(std::move(*result));
+      return out;
+    }
+    if (across) {
+      auto result = DetectAcrossImpl(*request.table, *request.right,
+                                     across_rule);
+      if (!result.ok()) return result.status();
+      std::vector<DetectionResult> out;
+      out.push_back(std::move(*result));
+      return out;
+    }
+    if (incremental) {
+      auto result = DetectIncrementalImpl(*request.table, request.rules[0],
+                                          *request.changed_rows);
+      if (!result.ok()) return result.status();
+      std::vector<DetectionResult> out;
+      out.push_back(std::move(*result));
+      return out;
+    }
+    return DetectAllImpl(*request.table, request.rules);
+  } catch (const StageError& e) {
+    return e.status();
+  }
+}
+
 Result<DetectionResult> RuleEngine::Detect(const Table& table,
                                            const RulePtr& rule) const {
-  auto results = DetectAll(table, {rule});
+  DetectRequest request;
+  request.table = &table;
+  request.rules = {rule};
+  auto results = Detect(request);
   if (!results.ok()) return results.status();
   return std::move((*results)[0]);
 }
 
 Result<std::vector<DetectionResult>> RuleEngine::DetectAll(
+    const Table& table, const std::vector<RulePtr>& rules) const {
+  DetectRequest request;
+  request.table = &table;
+  request.rules = rules;
+  return Detect(request);
+}
+
+Result<DetectionResult> RuleEngine::DetectAcross(
+    const Table& left, const Table& right,
+    const std::shared_ptr<DcRule>& rule) const {
+  DetectRequest request;
+  request.table = &left;
+  request.right = &right;
+  request.rules = {rule};
+  auto results = Detect(request);
+  if (!results.ok()) return results.status();
+  return std::move((*results)[0]);
+}
+
+Result<DetectionResult> RuleEngine::DetectIncremental(
+    const Table& table, const RulePtr& rule,
+    const std::unordered_set<RowId>& changed_rows) const {
+  DetectRequest request;
+  request.table = &table;
+  request.rules = {rule};
+  request.changed_rows = &changed_rows;
+  auto results = Detect(request);
+  if (!results.ok()) return results.status();
+  return std::move((*results)[0]);
+}
+
+Result<DetectionResult> RuleEngine::DetectWithStorage(
+    const StorageManager& storage, const std::string& name,
+    const RulePtr& rule) const {
+  DetectRequest request;
+  request.storage = &storage;
+  request.dataset = name;
+  request.rules = {rule};
+  auto results = Detect(request);
+  if (!results.ok()) return results.status();
+  return std::move((*results)[0]);
+}
+
+Result<std::vector<DetectionResult>> RuleEngine::DetectAllImpl(
     const Table& table, const std::vector<RulePtr>& rules) const {
   std::vector<DetectionResult> results(rules.size());
 
@@ -292,20 +458,23 @@ Result<std::vector<DetectionResult>> RuleEngine::DetectAll(
       std::optional<ScopedSpan> op_span;
       if (trace.enabled()) op_span.emplace("scope|detect|genfix", "operator");
       const auto& parts = scoped.partitions();
-      std::vector<TaskOutput> tasks(parts.size());
-      scoped.RunStage("detect:single|genfix", [&](size_t p) {
-        for (const Row& row : parts[p]) {
-          ++tasks[p].detect_calls;
-          std::vector<Violation> found;
-          plan.rule->DetectSingle(row, &found);
-          for (auto& v : found) {
-            ViolationWithFixes vf;
-            vf.violation = std::move(v);
-            plan.rule->GenFix(vf.violation, &vf.fixes);
-            tasks[p].violations.push_back(std::move(vf));
-          }
-        }
-      });
+      std::vector<TaskOutput> tasks = scoped.RunStageProducing<TaskOutput>(
+          "detect:single|genfix", [&](size_t p, TaskContext& tc) {
+            TaskOutput out;
+            for (const Row& row : parts[p]) {
+              ++out.detect_calls;
+              std::vector<Violation> found;
+              plan.rule->DetectSingle(row, &found);
+              for (auto& v : found) {
+                ViolationWithFixes vf;
+                vf.violation = std::move(v);
+                plan.rule->GenFix(vf.violation, &vf.fixes);
+                out.violations.push_back(std::move(vf));
+              }
+            }
+            tc.records_out = out.violations.size();
+            return out;
+          });
       MergeOutputs(&tasks, &result);
       continue;
     }
@@ -335,12 +504,15 @@ Result<std::vector<DetectionResult>> RuleEngine::DetectAll(
       if (trace.enabled()) op_span.emplace("detect|genfix", "operator");
       Dataset<RowPair> pair_ds = Dataset<RowPair>::FromVector(ctx_, std::move(pairs));
       const auto& parts = pair_ds.partitions();
-      std::vector<TaskOutput> tasks(parts.size());
-      pair_ds.RunStage("detect|genfix:ocjoin-pairs", [&](size_t p) {
-        for (const RowPair& pr : parts[p]) {
-          Probe(*plan.rule, pr.left, pr.right, &tasks[p]);
-        }
-      });
+      std::vector<TaskOutput> tasks = pair_ds.RunStageProducing<TaskOutput>(
+          "detect|genfix:ocjoin-pairs", [&](size_t p, TaskContext& tc) {
+            TaskOutput out;
+            for (const RowPair& pr : parts[p]) {
+              Probe(*plan.rule, pr.left, pr.right, &out);
+            }
+            tc.records_out = out.violations.size();
+            return out;
+          });
       MergeOutputs(&tasks, &result);
       continue;
     }
@@ -390,7 +562,7 @@ Result<std::vector<DetectionResult>> RuleEngine::DetectAll(
   return results;
 }
 
-Result<DetectionResult> RuleEngine::DetectIncremental(
+Result<DetectionResult> RuleEngine::DetectIncrementalImpl(
     const Table& table, const RulePtr& rule,
     const std::unordered_set<RowId>& changed_rows) const {
   auto plan = BuildPhysicalPlan(rule, table.schema(), options_);
@@ -407,21 +579,24 @@ Result<DetectionResult> RuleEngine::DetectIncremental(
   // Arity-1: only the changed units can have new violations.
   if (plan->strategy == IterateStrategy::kSingle) {
     const auto& parts = scoped.partitions();
-    std::vector<TaskOutput> tasks(parts.size());
-    scoped.RunStage("detect:single|genfix", [&](size_t p) {
-      for (const Row& row : parts[p]) {
-        if (changed_rows.count(row.id()) == 0) continue;
-        ++tasks[p].detect_calls;
-        std::vector<Violation> found;
-        plan->rule->DetectSingle(row, &found);
-        for (auto& v : found) {
-          ViolationWithFixes vf;
-          vf.violation = std::move(v);
-          plan->rule->GenFix(vf.violation, &vf.fixes);
-          tasks[p].violations.push_back(std::move(vf));
-        }
-      }
-    });
+    std::vector<TaskOutput> tasks = scoped.RunStageProducing<TaskOutput>(
+        "detect:single|genfix", [&](size_t p, TaskContext& tc) {
+          TaskOutput out;
+          for (const Row& row : parts[p]) {
+            if (changed_rows.count(row.id()) == 0) continue;
+            ++out.detect_calls;
+            std::vector<Violation> found;
+            plan->rule->DetectSingle(row, &found);
+            for (auto& v : found) {
+              ViolationWithFixes vf;
+              vf.violation = std::move(v);
+              plan->rule->GenFix(vf.violation, &vf.fixes);
+              out.violations.push_back(std::move(vf));
+            }
+          }
+          tc.records_out = out.violations.size();
+          return out;
+        });
     MergeOutputs(&tasks, &result);
     return result;
   }
@@ -433,17 +608,20 @@ Result<DetectionResult> RuleEngine::DetectIncremental(
     // First pass: the changed rows' block keys (a small driver-side set);
     // second pass: key and group only the rows landing in those blocks, so
     // the shuffle moves a fraction of the data.
-    std::vector<std::vector<BlockKey>> per_part_keys(
-        scoped.num_partitions());
-    scoped.RunStage("block:dirty-keys", [&](size_t p) {
-      BlockKey key = 0;
-      for (const Row& row : scoped.partitions()[p]) {
-        if (changed_rows.count(row.id()) > 0 &&
-            ComputeBlockKey(*plan, row, &key)) {
-          per_part_keys[p].push_back(key);
-        }
-      }
-    });
+    std::vector<std::vector<BlockKey>> per_part_keys =
+        scoped.RunStageProducing<std::vector<BlockKey>>(
+            "block:dirty-keys", [&](size_t p, TaskContext& tc) {
+              std::vector<BlockKey> keys;
+              BlockKey key = 0;
+              for (const Row& row : scoped.partitions()[p]) {
+                if (changed_rows.count(row.id()) > 0 &&
+                    ComputeBlockKey(*plan, row, &key)) {
+                  keys.push_back(key);
+                }
+              }
+              tc.records_out = keys.size();
+              return keys;
+            });
     std::unordered_set<BlockKey> dirty_keys;
     for (const auto& keys : per_part_keys) {
       dirty_keys.insert(keys.begin(), keys.end());
@@ -474,26 +652,29 @@ Result<DetectionResult> RuleEngine::DetectIncremental(
   }
   Dataset<Row> changed_ds = Dataset<Row>::FromVector(ctx_, std::move(changed));
   const auto& parts = changed_ds.partitions();
-  std::vector<TaskOutput> tasks(parts.size());
-  changed_ds.RunStage("iterate|detect:incremental", [&](size_t p) {
-    for (const Row& c : parts[p]) {
-      for (const Row& r : rows) {
-        if (r.id() == c.id()) continue;
-        // Each unordered pair {c, r} is owned by exactly one loop
-        // iteration: by c when r is unchanged, else by the smaller id —
-        // so both-changed pairs are not probed twice.
-        if (changed_rows.count(r.id()) > 0 && r.id() < c.id()) continue;
-        Probe(*plan->rule, c, r, &tasks[p]);
-        Probe(*plan->rule, r, c, &tasks[p]);
-      }
-    }
-    ctx_->metrics().AddPairsEnumerated(tasks[p].detect_calls);
-  });
+  std::vector<TaskOutput> tasks = changed_ds.RunStageProducing<TaskOutput>(
+      "iterate|detect:incremental", [&](size_t p, TaskContext& tc) {
+        TaskOutput out;
+        for (const Row& c : parts[p]) {
+          for (const Row& r : rows) {
+            if (r.id() == c.id()) continue;
+            // Each unordered pair {c, r} is owned by exactly one loop
+            // iteration: by c when r is unchanged, else by the smaller id —
+            // so both-changed pairs are not probed twice.
+            if (changed_rows.count(r.id()) > 0 && r.id() < c.id()) continue;
+            Probe(*plan->rule, c, r, &out);
+            Probe(*plan->rule, r, c, &out);
+          }
+        }
+        ctx_->metrics().AddPairsEnumerated(out.detect_calls);
+        tc.records_out = out.violations.size();
+        return out;
+      });
   MergeOutputs(&tasks, &result);
   return result;
 }
 
-Result<DetectionResult> RuleEngine::DetectWithStorage(
+Result<DetectionResult> RuleEngine::DetectWithStorageImpl(
     const StorageManager& storage, const std::string& name,
     const RulePtr& rule) const {
   auto schema = storage.GetSchema(name);
@@ -513,7 +694,9 @@ Result<DetectionResult> RuleEngine::DetectWithStorage(
     // No matching replica: ordinary path over the reassembled table.
     auto table = storage.Load(name);
     if (!table.ok()) return table.status();
-    return Detect(*table, rule);
+    auto results = DetectAllImpl(*table, {rule});
+    if (!results.ok()) return results.status();
+    return std::move((*results)[0]);
   }
 
   DetectionResult result;
@@ -541,7 +724,7 @@ Result<DetectionResult> RuleEngine::DetectWithStorage(
   return result;
 }
 
-Result<DetectionResult> RuleEngine::DetectAcross(
+Result<DetectionResult> RuleEngine::DetectAcrossImpl(
     const Table& left, const Table& right,
     const std::shared_ptr<DcRule>& rule) const {
   DetectionResult result;
@@ -569,12 +752,15 @@ Result<DetectionResult> RuleEngine::DetectAcross(
     }
     auto pairs = left_ds.Cartesian(right_ds);
     const auto& parts = pairs.partitions();
-    std::vector<TaskOutput> tasks(parts.size());
-    pairs.RunStage("detect|genfix:cartesian", [&](size_t p) {
-      for (const auto& pr : parts[p]) {
-        Probe(*rule, pr.first, pr.second, &tasks[p]);
-      }
-    });
+    std::vector<TaskOutput> tasks = pairs.RunStageProducing<TaskOutput>(
+        "detect|genfix:cartesian", [&](size_t p, TaskContext& tc) {
+          TaskOutput out;
+          for (const auto& pr : parts[p]) {
+            Probe(*rule, pr.first, pr.second, &out);
+          }
+          tc.records_out = out.violations.size();
+          return out;
+        });
     MergeOutputs(&tasks, &result);
     return result;
   }
@@ -613,18 +799,21 @@ Result<DetectionResult> RuleEngine::DetectAcross(
   auto coblocks = CoGroup(key_rows(left_ds, left_cols),
                           key_rows(right_ds, right_cols));
   const auto& parts = coblocks.partitions();
-  std::vector<TaskOutput> tasks(parts.size());
-  coblocks.RunStage("iterate|detect|genfix:coblock", [&](size_t p) {
-    for (const auto& kv : parts[p]) {
-      const auto& [lbag, rbag] = kv.second;
-      for (const Row& a : lbag) {
-        for (const Row& b : rbag) {
-          Probe(*rule, a, b, &tasks[p]);
+  std::vector<TaskOutput> tasks = coblocks.RunStageProducing<TaskOutput>(
+      "iterate|detect|genfix:coblock", [&](size_t p, TaskContext& tc) {
+        TaskOutput out;
+        for (const auto& kv : parts[p]) {
+          const auto& [lbag, rbag] = kv.second;
+          for (const Row& a : lbag) {
+            for (const Row& b : rbag) {
+              Probe(*rule, a, b, &out);
+            }
+          }
         }
-      }
-    }
-    ctx_->metrics().AddPairsEnumerated(tasks[p].detect_calls);
-  });
+        ctx_->metrics().AddPairsEnumerated(out.detect_calls);
+        tc.records_out = out.violations.size();
+        return out;
+      });
   MergeOutputs(&tasks, &result);
   return result;
 }

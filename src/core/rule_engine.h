@@ -3,9 +3,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/status.h"
 #include "core/iejoin.h"
 #include "core/ocjoin.h"
@@ -34,6 +37,43 @@ struct DetectionResult {
   std::string plan_description;
 };
 
+/// One detection job, whatever its flavor. The unified entry point
+/// RuleEngine::Detect(const DetectRequest&) replaces the historical family
+/// of Detect/DetectAll/DetectAcross/DetectIncremental/DetectWithStorage
+/// overloads: callers describe *what* to detect and the engine picks the
+/// dispatch path from which fields are set.
+///
+/// Exactly one input source must be given:
+///   - `table` alone            -> in-memory detection (all `rules`).
+///   - `table` + `right`        -> two-table detection (one DcRule).
+///   - `table` + `changed_rows` -> incremental re-detection (one rule).
+///   - `storage` + `dataset`    -> storage-backed detection with Block
+///                                 pushdown (one rule).
+/// Field combinations outside these shapes are rejected with
+/// InvalidArgument before any work runs.
+struct DetectRequest {
+  /// Base table (t1's range). Required unless `storage` is set.
+  const Table* table = nullptr;
+  /// Second table for two-table rules (t2's range). When set, `rules` must
+  /// hold exactly one rule and it must be a DcRule bound across both
+  /// schemas.
+  const Table* right = nullptr;
+  /// Rules to evaluate. Multi-rule requests share scans via plan
+  /// consolidation (§4.2); results align with this vector by index.
+  std::vector<RulePtr> rules;
+  /// Storage manager owning `dataset`; enables Block pushdown to a
+  /// partitioned replica (Appendix F).
+  const StorageManager* storage = nullptr;
+  /// Name of the stored dataset when `storage` is set.
+  std::string dataset;
+  /// When set, restricts detection to violations involving at least one of
+  /// these rows (incremental re-detection after a repair pass).
+  const std::unordered_set<RowId>* changed_rows = nullptr;
+  /// Fault-tolerance knobs (retry budgets, speculation) scoped to this
+  /// request; unset inherits the ExecutionContext policy.
+  std::optional<FaultPolicy> fault_policy;
+};
+
 /// The RuleEngine (§2.2): translates rules through the logical and physical
 /// layers and executes the resulting plan on the dataflow engine, producing
 /// violations and possible fixes. Thread-compatible: one engine may be used
@@ -45,13 +85,23 @@ class RuleEngine {
 
   const PlannerOptions& options() const { return options_; }
 
+  /// Unified detection entry point. Validates the request shape, applies
+  /// the request's fault policy for the duration of the run, dispatches to
+  /// the matching execution path, and maps any internal stage failure
+  /// (retry-budget exhaustion included) to a non-OK Status — this is the
+  /// single throw/catch boundary of the detection API. Results align with
+  /// `request.rules` by index.
+  Result<std::vector<DetectionResult>> Detect(const DetectRequest& request) const;
+
   /// Detects violations of `rule` in `table`.
+  /// Deprecated convenience wrapper over Detect(DetectRequest).
   Result<DetectionResult> Detect(const Table& table, const RulePtr& rule) const;
 
   /// Detects violations of several rules with shared scans: rules whose
   /// consolidated plans read the same scoped/blocked data reuse one pass
   /// (the plan-consolidation optimization of §4.2). Results align with
   /// `rules` by index.
+  /// Deprecated convenience wrapper over Detect(DetectRequest).
   Result<std::vector<DetectionResult>> DetectAll(
       const Table& table, const std::vector<RulePtr>& rules) const;
 
@@ -59,6 +109,7 @@ class RuleEngine {
   /// `left`, t2 over `right`) using the CoBlock enhancer when the rule has
   /// equality predicates t1.X = t2.Y. Used for rules like the paper's DC (1)
   /// joining customers and suppliers.
+  /// Deprecated convenience wrapper over Detect(DetectRequest).
   Result<DetectionResult> DetectAcross(const Table& left, const Table& right,
                                        const std::shared_ptr<DcRule>& rule) const;
 
@@ -70,6 +121,7 @@ class RuleEngine {
   /// detection [Fan et al., ICDE'12] as related work). For blocked rules
   /// only the blocks containing changed rows are iterated; for unblocked
   /// rules the changed rows are paired against the whole dataset.
+  /// Deprecated convenience wrapper over Detect(DetectRequest).
   Result<DetectionResult> DetectIncremental(
       const Table& table, const RulePtr& rule,
       const std::unordered_set<RowId>& changed_rows) const;
@@ -80,11 +132,26 @@ class RuleEngine {
   /// attribute, rows sharing a blocking key are already co-located and the
   /// blocking shuffle is skipped entirely (metrics record zero shuffled
   /// records for the pass). Falls back to the ordinary path otherwise.
+  /// Deprecated convenience wrapper over Detect(DetectRequest).
   Result<DetectionResult> DetectWithStorage(const StorageManager& storage,
                                             const std::string& name,
                                             const RulePtr& rule) const;
 
  private:
+  /// Dispatch bodies behind the Detect boundary. These may throw StageError
+  /// (stage retry budget exhausted); Detect(DetectRequest) catches it.
+  Result<std::vector<DetectionResult>> DetectAllImpl(
+      const Table& table, const std::vector<RulePtr>& rules) const;
+  Result<DetectionResult> DetectAcrossImpl(
+      const Table& left, const Table& right,
+      const std::shared_ptr<DcRule>& rule) const;
+  Result<DetectionResult> DetectIncrementalImpl(
+      const Table& table, const RulePtr& rule,
+      const std::unordered_set<RowId>& changed_rows) const;
+  Result<DetectionResult> DetectWithStorageImpl(const StorageManager& storage,
+                                                const std::string& name,
+                                                const RulePtr& rule) const;
+
   ExecutionContext* ctx_;
   PlannerOptions options_;
 };

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <memory>
 
+#include "common/fault.h"
 #include "common/hash.h"
 #include "common/thread_pool.h"
 #include "dataflow/metrics.h"
@@ -38,6 +39,13 @@ class ExecutionContext {
   /// Default partition count for new datasets (2 waves per worker).
   size_t default_partitions() const { return num_workers_ * 2; }
 
+  /// Recovery policy every stage launched on this context runs under
+  /// (retry attempts, backoff, speculation). Defaults from the environment
+  /// (BD_SPECULATION); override per request via DetectRequest::fault_policy
+  /// or CleanOptions::fault_policy (see ScopedFaultPolicy).
+  const FaultPolicy& fault_policy() const { return fault_policy_; }
+  void set_fault_policy(const FaultPolicy& policy) { fault_policy_ = policy; }
+
   /// Per-record cost charged at stage boundaries in Hadoop mode; emulates
   /// serializing each stage's output to a distributed file system and
   /// re-reading it (MapReduce materializes between jobs; Spark keeps RDDs
@@ -60,6 +68,25 @@ class ExecutionContext {
   Backend backend_;
   std::unique_ptr<ThreadPool> pool_;
   Metrics metrics_;
+  FaultPolicy fault_policy_ = FaultPolicy::FromEnv();
+};
+
+/// RAII override of a context's fault policy for the extent of one request
+/// (a DetectRequest or a whole Clean). Restores the previous policy on
+/// scope exit, so nested overrides compose.
+class ScopedFaultPolicy {
+ public:
+  ScopedFaultPolicy(ExecutionContext* ctx, const FaultPolicy& policy)
+      : ctx_(ctx), saved_(ctx->fault_policy()) {
+    ctx_->set_fault_policy(policy);
+  }
+  ~ScopedFaultPolicy() { ctx_->set_fault_policy(saved_); }
+  ScopedFaultPolicy(const ScopedFaultPolicy&) = delete;
+  ScopedFaultPolicy& operator=(const ScopedFaultPolicy&) = delete;
+
+ private:
+  ExecutionContext* ctx_;
+  FaultPolicy saved_;
 };
 
 }  // namespace bigdansing

@@ -10,8 +10,10 @@
 #include <utility>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/metrics_registry.h"
+#include "common/status.h"
 #include "common/stopwatch.h"
 #include "dataflow/context.h"
 #include "dataflow/stage_executor.h"
@@ -223,34 +225,42 @@ class Dataset {
         MetricsRegistry::Instance().GetCounter("dataflow.shuffle_bytes");
     Gauge& peak_partition_bytes = MetricsRegistry::Instance().GetGauge(
         "dataflow.peak_partition_bytes");
-    // buckets[input_partition][output_partition]
-    std::vector<std::vector<std::vector<T>>> buckets(
-        parts.size(), std::vector<std::vector<T>>(n));
-    executor.Run("repartition:map", parts.size(),
-                 [&](size_t p, TaskContext& tc) {
-                   for (size_t i = 0; i < parts[p].size(); ++i) {
-                     buckets[p][(offset[p] + i) % n].push_back(parts[p][i]);
-                   }
-                   tc.records_in = parts[p].size();
-                   tc.records_out = parts[p].size();
-                   tc.shuffled_records = parts[p].size();
-                   shuffle_bytes.Add(parts[p].size() * sizeof(T));
-                 });
-    std::vector<std::vector<T>> out(n);
-    executor.Run("repartition:merge", n, [&](size_t q, TaskContext& tc) {
-      size_t total = 0;
-      for (size_t p = 0; p < parts.size(); ++p) total += buckets[p][q].size();
-      out[q].reserve(total);
-      for (size_t p = 0; p < parts.size(); ++p) {
-        auto& b = buckets[p][q];
-        out[q].insert(out[q].end(), std::make_move_iterator(b.begin()),
-                      std::make_move_iterator(b.end()));
-      }
-      tc.records_in = total;
-      tc.records_out = total;
-      peak_partition_bytes.UpdateMax(static_cast<int64_t>(total * sizeof(T)));
-    });
-    return Dataset<T>(ctx, std::move(out));
+    // buckets[input_partition][output_partition]; map tasks produce their
+    // bucket row as the attempt's output buffer, so retries and speculative
+    // duplicates never interleave writes.
+    auto buckets_result = executor.RunProducing<std::vector<std::vector<T>>>(
+        "repartition:map", parts.size(), [&](size_t p, TaskContext& tc) {
+          std::vector<std::vector<T>> row(n);
+          for (size_t i = 0; i < parts[p].size(); ++i) {
+            row[(offset[p] + i) % n].push_back(parts[p][i]);
+          }
+          tc.records_in = parts[p].size();
+          tc.records_out = parts[p].size();
+          tc.shuffled_records = parts[p].size();
+          shuffle_bytes.Add(parts[p].size() * sizeof(T));
+          return row;
+        });
+    if (!buckets_result.ok()) throw StageError(buckets_result.status());
+    auto& buckets = *buckets_result;
+    auto merged = executor.RunProducing<std::vector<T>>(
+        "repartition:merge", n, [&](size_t q, TaskContext& tc) {
+          size_t total = 0;
+          for (size_t p = 0; p < parts.size(); ++p) {
+            total += buckets[p][q].size();
+          }
+          std::vector<T> slot;
+          slot.reserve(total);
+          for (size_t p = 0; p < parts.size(); ++p) {
+            const auto& b = buckets[p][q];
+            slot.insert(slot.end(), b.begin(), b.end());
+          }
+          tc.records_in = total;
+          tc.records_out = total;
+          peak_partition_bytes.UpdateMax(static_cast<int64_t>(total * sizeof(T)));
+          return slot;
+        });
+    if (!merged.ok()) throw StageError(merged.status());
+    return Dataset<T>(ctx, std::move(*merged));
   }
 
   /// Concatenation (no shuffle; partitions are appended). Deferred when
@@ -296,42 +306,68 @@ class Dataset {
     std::vector<U> right = other.Collect();
     const auto& parts = partitions();
     ctx->metrics().AddShuffledRecords(right.size() * parts.size());
-    std::vector<std::vector<std::pair<T, U>>> out(parts.size());
-    StageExecutor(ctx).Run(
+    auto out = StageExecutor(ctx).RunProducing<std::vector<std::pair<T, U>>>(
         "cartesian", parts.size(), [&](size_t p, TaskContext& tc) {
+          std::vector<std::pair<T, U>> slot;
+          slot.reserve(parts[p].size() * right.size());
           uint64_t pairs = 0;
           for (const auto& a : parts[p]) {
             for (const auto& b : right) {
-              out[p].emplace_back(a, b);
+              slot.emplace_back(a, b);
               ++pairs;
             }
           }
           tc.records_in = parts[p].size();
           tc.records_out = pairs;
           ctx->metrics().AddPairsEnumerated(pairs);
+          return slot;
         });
-    return Dataset<std::pair<T, U>>(ctx, std::move(out));
+    if (!out.ok()) throw StageError(out.status());
+    return Dataset<std::pair<T, U>>(ctx, std::move(*out));
   }
 
   /// Schedules `body(p)` for every partition index and waits, as one named
   /// stage on the StageExecutor. Forces the pipeline first. Exposed for
   /// operators built on top of the engine (e.g. OCJoin) that need custom
-  /// per-partition logic.
+  /// per-partition logic. The body writes caller memory in place, so this
+  /// form never speculates; a stage failure surfaces as a StageError
+  /// (caught at the public API boundaries and returned as a Status).
   template <typename F>
   void RunStage(const std::string& name, F body) const {
     const auto& parts = partitions();
     ExecutionContext* ctx = context();
     if (ctx == nullptr) return;
-    StageExecutor(ctx).Run(name, parts.size(), [&](size_t p, TaskContext& tc) {
-      body(p);
-      tc.records_in = parts[p].size();
-    });
+    Status st = StageExecutor(ctx).Run(
+        name, parts.size(), [&](size_t p, TaskContext& tc) {
+          body(p);
+          tc.records_in = parts[p].size();
+        });
+    if (!st.ok()) throw StageError(std::move(st));
   }
 
   /// Back-compat overload: unnamed stage.
   template <typename F>
   void RunStage(F body) const {
     RunStage("stage", std::move(body));
+  }
+
+  /// Like RunStage, but each task returns its result (`body`: size_t ->
+  /// U, or (size_t, TaskContext&) -> U via the executor's buffering), and
+  /// the per-partition results come back as a vector indexed by partition.
+  /// Buffered outputs make the stage retryable and speculation-capable.
+  /// Throws StageError when the stage fails (caught at public boundaries).
+  template <typename U, typename F>
+  std::vector<U> RunStageProducing(const std::string& name, F body) const {
+    const auto& parts = partitions();
+    ExecutionContext* ctx = context();
+    if (ctx == nullptr) return {};
+    auto result = StageExecutor(ctx).RunProducing<U>(
+        name, parts.size(), [&](size_t p, TaskContext& tc) {
+          tc.records_in = parts[p].size();
+          return body(p, tc);
+        });
+    if (!result.ok()) throw StageError(result.status());
+    return std::move(*result);
   }
 
  private:
@@ -397,21 +433,27 @@ class Dataset {
   }
 
   /// Executes the fused pipeline as one stage and caches the result.
+  /// Pipelines are pure (functors over immutable parents), so attempts are
+  /// re-runnable: each buffers into its own output vector and the executor
+  /// publishes exactly one per partition. Throws StageError on stage
+  /// failure (caught at the public API boundaries).
   void Force() const {
     State& s = *state_;
     if (s.materialized) return;
-    std::vector<std::vector<T>> out(s.num_partitions);
-    StageExecutor(s.ctx).Run(
+    auto produced = StageExecutor(s.ctx).RunProducing<std::vector<T>>(
         s.label.empty() ? "stage" : s.label, s.num_partitions,
         [&](size_t p, TaskContext& tc) {
-          s.produce(p, [&](T&& x) { out[p].push_back(std::move(x)); });
+          std::vector<T> slot;
+          s.produce(p, [&](T&& x) { slot.push_back(std::move(x)); });
           tc.records_in = s.input_size ? s.input_size(p) : 0;
-          tc.records_out = out[p].size();
+          tc.records_out = slot.size();
           // One stage boundary per fused pipeline: Hadoop mode charges the
           // materialization once, however many steps were fused.
-          s.ctx->ChargeMaterialization(out[p].size());
+          s.ctx->ChargeMaterialization(slot.size());
+          return slot;
         });
-    s.parts = std::move(out);
+    if (!produced.ok()) throw StageError(produced.status());
+    s.parts = std::move(*produced);
     s.produce = nullptr;
     s.input_size = nullptr;
     s.materialized = true;
@@ -440,42 +482,48 @@ std::vector<std::vector<std::pair<K, V>>> ShuffleByKey(
       MetricsRegistry::Instance().GetCounter("dataflow.shuffle_bytes");
   Gauge& peak_partition_bytes =
       MetricsRegistry::Instance().GetGauge("dataflow.peak_partition_bytes");
-  // buckets[input_partition][output_partition]
-  std::vector<std::vector<std::vector<std::pair<K, V>>>> buckets(
-      num_in, std::vector<std::vector<std::pair<K, V>>>(num_out));
+  // buckets[input_partition][output_partition]; each map task returns its
+  // bucket row as the attempt's private buffer (pipelines are pure, so a
+  // retried or duplicated attempt re-streams the same records).
   const std::string map_label =
       ds.materialized() || ds.pipeline_label().empty()
           ? stage_prefix + ":map"
           : ds.pipeline_label() + "|" + stage_prefix + ":map";
-  executor.Run(map_label, num_in, [&](size_t p, TaskContext& tc) {
-    ds.StreamPartition(p, [&](std::pair<K, V>&& kv) {
-      size_t target = hash(kv.first) % num_out;
-      buckets[p][target].push_back(std::move(kv));
-      ++tc.records_out;
-    });
-    tc.records_in = ds.InputSize(p);
-    tc.shuffled_records = tc.records_out;
-    shuffle_bytes.Add(tc.records_out * sizeof(std::pair<K, V>));
-    ctx->ChargeMaterialization(tc.records_out);
-  });
-  std::vector<std::vector<std::pair<K, V>>> out(num_out);
-  executor.Run(stage_prefix + ":merge", num_out,
-               [&](size_t q, TaskContext& tc) {
-                 size_t total = 0;
-                 for (size_t p = 0; p < num_in; ++p) total += buckets[p][q].size();
-                 out[q].reserve(total);
-                 for (size_t p = 0; p < num_in; ++p) {
-                   auto& b = buckets[p][q];
-                   out[q].insert(out[q].end(),
-                                 std::make_move_iterator(b.begin()),
-                                 std::make_move_iterator(b.end()));
-                 }
-                 tc.records_in = total;
-                 tc.records_out = total;
-                 peak_partition_bytes.UpdateMax(static_cast<int64_t>(
-                     total * sizeof(std::pair<K, V>)));
-               });
-  return out;
+  auto buckets_result =
+      executor.RunProducing<std::vector<std::vector<std::pair<K, V>>>>(
+          map_label, num_in, [&](size_t p, TaskContext& tc) {
+            std::vector<std::vector<std::pair<K, V>>> row(num_out);
+            ds.StreamPartition(p, [&](std::pair<K, V>&& kv) {
+              size_t target = hash(kv.first) % num_out;
+              row[target].push_back(std::move(kv));
+              ++tc.records_out;
+            });
+            tc.records_in = ds.InputSize(p);
+            tc.shuffled_records = tc.records_out;
+            shuffle_bytes.Add(tc.records_out * sizeof(std::pair<K, V>));
+            ctx->ChargeMaterialization(tc.records_out);
+            return row;
+          });
+  if (!buckets_result.ok()) throw StageError(buckets_result.status());
+  auto& buckets = *buckets_result;
+  auto merged = executor.RunProducing<std::vector<std::pair<K, V>>>(
+      stage_prefix + ":merge", num_out, [&](size_t q, TaskContext& tc) {
+        size_t total = 0;
+        for (size_t p = 0; p < num_in; ++p) total += buckets[p][q].size();
+        std::vector<std::pair<K, V>> slot;
+        slot.reserve(total);
+        for (size_t p = 0; p < num_in; ++p) {
+          const auto& b = buckets[p][q];
+          slot.insert(slot.end(), b.begin(), b.end());
+        }
+        tc.records_in = total;
+        tc.records_out = total;
+        peak_partition_bytes.UpdateMax(static_cast<int64_t>(
+            total * sizeof(std::pair<K, V>)));
+        return slot;
+      });
+  if (!merged.ok()) throw StageError(merged.status());
+  return std::move(*merged);
 }
 
 }  // namespace dataflow_internal
@@ -490,21 +538,26 @@ Dataset<std::pair<K, std::vector<V>>> GroupByKey(
   if (num_partitions == 0) num_partitions = std::max<size_t>(1, ds.num_partitions());
   auto shuffled =
       dataflow_internal::ShuffleByKey(ds, num_partitions, hash, "groupByKey");
-  std::vector<std::vector<std::pair<K, std::vector<V>>>> out(num_partitions);
-  StageExecutor(ctx).Run(
+  // Shuffle outputs are treated as immutable blocks (read-only below), so
+  // a retried or speculative attempt re-reads the same input.
+  auto out = StageExecutor(ctx).RunProducing<
+      std::vector<std::pair<K, std::vector<V>>>>(
       "groupByKey:reduce", num_partitions, [&](size_t q, TaskContext& tc) {
         std::unordered_map<K, std::vector<V>, Hash> groups(16, hash);
         tc.records_in = shuffled[q].size();
-        for (auto& kv : shuffled[q]) {
-          groups[kv.first].push_back(std::move(kv.second));
+        for (const auto& kv : shuffled[q]) {
+          groups[kv.first].push_back(kv.second);
         }
-        out[q].reserve(groups.size());
+        std::vector<std::pair<K, std::vector<V>>> slot;
+        slot.reserve(groups.size());
         for (auto& g : groups) {
-          out[q].emplace_back(g.first, std::move(g.second));
+          slot.emplace_back(g.first, std::move(g.second));
         }
-        tc.records_out = out[q].size();
+        tc.records_out = slot.size();
+        return slot;
       });
-  return Dataset<std::pair<K, std::vector<V>>>(ctx, std::move(out));
+  if (!out.ok()) throw StageError(out.status());
+  return Dataset<std::pair<K, std::vector<V>>>(ctx, std::move(*out));
 }
 
 /// Combines values per key with `reduce`: Spark's reduceByKey. `reduce`
@@ -537,24 +590,26 @@ Dataset<std::pair<K, V>> ReduceByKey(const Dataset<std::pair<K, V>>& ds,
   if (num_partitions == 0) num_partitions = std::max<size_t>(1, ds.num_partitions());
   auto shuffled = dataflow_internal::ShuffleByKey(combined, num_partitions,
                                                   hash, "reduceByKey");
-  std::vector<std::vector<std::pair<K, V>>> out(num_partitions);
-  StageExecutor(ctx).Run(
+  auto out = StageExecutor(ctx).RunProducing<std::vector<std::pair<K, V>>>(
       "reduceByKey:reduce", num_partitions, [&](size_t q, TaskContext& tc) {
         std::unordered_map<K, V, Hash> acc(16, hash);
         tc.records_in = shuffled[q].size();
-        for (auto& kv : shuffled[q]) {
+        for (const auto& kv : shuffled[q]) {
           auto it = acc.find(kv.first);
           if (it == acc.end()) {
-            acc.emplace(std::move(kv.first), std::move(kv.second));
+            acc.emplace(kv.first, kv.second);
           } else {
             it->second = reduce(it->second, kv.second);
           }
         }
-        out[q].reserve(acc.size());
-        for (auto& kv : acc) out[q].emplace_back(kv.first, std::move(kv.second));
-        tc.records_out = out[q].size();
+        std::vector<std::pair<K, V>> slot;
+        slot.reserve(acc.size());
+        for (auto& kv : acc) slot.emplace_back(kv.first, std::move(kv.second));
+        tc.records_out = slot.size();
+        return slot;
       });
-  return Dataset<std::pair<K, V>>(ctx, std::move(out));
+  if (!out.ok()) throw StageError(out.status());
+  return Dataset<std::pair<K, V>>(ctx, std::move(*out));
 }
 
 /// Inner hash join on key: Spark's join. A shuffle boundary on both inputs.
@@ -567,22 +622,25 @@ Dataset<std::pair<K, std::pair<V, W>>> Join(const Dataset<std::pair<K, V>>& a,
   if (num_partitions == 0) num_partitions = std::max<size_t>(1, a.num_partitions());
   auto left = dataflow_internal::ShuffleByKey(a, num_partitions, hash, "join");
   auto right = dataflow_internal::ShuffleByKey(b, num_partitions, hash, "join");
-  std::vector<std::vector<std::pair<K, std::pair<V, W>>>> out(num_partitions);
-  StageExecutor(ctx).Run(
+  auto out = StageExecutor(ctx).RunProducing<
+      std::vector<std::pair<K, std::pair<V, W>>>>(
       "join:probe", num_partitions, [&](size_t q, TaskContext& tc) {
         std::unordered_map<K, std::vector<V>, Hash> build(16, hash);
         tc.records_in = left[q].size() + right[q].size();
-        for (auto& kv : left[q]) build[kv.first].push_back(std::move(kv.second));
-        for (auto& kw : right[q]) {
+        for (const auto& kv : left[q]) build[kv.first].push_back(kv.second);
+        std::vector<std::pair<K, std::pair<V, W>>> slot;
+        for (const auto& kw : right[q]) {
           auto it = build.find(kw.first);
           if (it == build.end()) continue;
           for (const auto& v : it->second) {
-            out[q].emplace_back(kw.first, std::make_pair(v, kw.second));
+            slot.emplace_back(kw.first, std::make_pair(v, kw.second));
           }
         }
-        tc.records_out = out[q].size();
+        tc.records_out = slot.size();
+        return slot;
       });
-  return Dataset<std::pair<K, std::pair<V, W>>>(ctx, std::move(out));
+  if (!out.ok()) throw StageError(out.status());
+  return Dataset<std::pair<K, std::pair<V, W>>>(ctx, std::move(*out));
 }
 
 /// Groups two keyed datasets on the same key — the paper's CoBlock enhancer
@@ -597,18 +655,24 @@ Dataset<std::pair<K, std::pair<std::vector<V>, std::vector<W>>>> CoGroup(
   auto left = dataflow_internal::ShuffleByKey(a, num_partitions, hash, "cogroup");
   auto right = dataflow_internal::ShuffleByKey(b, num_partitions, hash, "cogroup");
   using Bags = std::pair<std::vector<V>, std::vector<W>>;
-  std::vector<std::vector<std::pair<K, Bags>>> out(num_partitions);
-  StageExecutor(ctx).Run(
+  auto out = StageExecutor(ctx).RunProducing<std::vector<std::pair<K, Bags>>>(
       "cogroup:merge", num_partitions, [&](size_t q, TaskContext& tc) {
         std::unordered_map<K, Bags, Hash> groups(16, hash);
         tc.records_in = left[q].size() + right[q].size();
-        for (auto& kv : left[q]) groups[kv.first].first.push_back(std::move(kv.second));
-        for (auto& kw : right[q]) groups[kw.first].second.push_back(std::move(kw.second));
-        out[q].reserve(groups.size());
-        for (auto& g : groups) out[q].emplace_back(g.first, std::move(g.second));
-        tc.records_out = out[q].size();
+        for (const auto& kv : left[q]) {
+          groups[kv.first].first.push_back(kv.second);
+        }
+        for (const auto& kw : right[q]) {
+          groups[kw.first].second.push_back(kw.second);
+        }
+        std::vector<std::pair<K, Bags>> slot;
+        slot.reserve(groups.size());
+        for (auto& g : groups) slot.emplace_back(g.first, std::move(g.second));
+        tc.records_out = slot.size();
+        return slot;
       });
-  return Dataset<std::pair<K, Bags>>(ctx, std::move(out));
+  if (!out.ok()) throw StageError(out.status());
+  return Dataset<std::pair<K, Bags>>(ctx, std::move(*out));
 }
 
 }  // namespace bigdansing

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <map>
 
+#include "common/fault.h"
 #include "common/hash.h"
 #include "data/storage.h"
 #include "dataflow/stage_executor.h"
@@ -68,26 +69,32 @@ std::vector<std::string> MapReduceJob::Run(
                std::max<size_t>(1, input_records.size()));
   const size_t split = (input_records.size() + num_maps - 1) / num_maps;
 
-  // --- Map phase: each task writes one serialized spill blob per reducer
-  // (Hadoop's partitioned spill files). ---
+  // --- Map phase: each task produces one serialized spill blob per reducer
+  // (Hadoop's partitioned spill files). The blobs are the attempt's output
+  // buffer, so a retried or speculative map attempt re-reads its immutable
+  // input split and the executor commits exactly one blob row. ---
   StageExecutor executor(ctx_);
-  std::vector<std::vector<std::string>> spills(
-      num_maps, std::vector<std::string>(num_reducers_));
-  executor.Run("mr:map", num_maps, [&](size_t m, TaskContext& tc) {
-    size_t begin = m * split;
-    size_t end = std::min(input_records.size(), begin + split);
-    std::vector<std::pair<std::string, std::string>> emitted;
-    for (size_t i = begin; i < end; ++i) {
-      emitted.clear();
-      map_fn_(input_records[i], &emitted);
-      for (const auto& [key, value] : emitted) {
-        size_t r = static_cast<size_t>(StableHashBytes(key)) % num_reducers_;
-        SpillRecord(&spills[m][r], key, value);
-        ++tc.records_out;
-      }
-    }
-    tc.records_in = end - begin;
-  });
+  auto spills_result = executor.RunProducing<std::vector<std::string>>(
+      "mr:map", num_maps, [&](size_t m, TaskContext& tc) {
+        std::vector<std::string> row(num_reducers_);
+        size_t begin = m * split;
+        size_t end = std::min(input_records.size(), begin + split);
+        std::vector<std::pair<std::string, std::string>> emitted;
+        for (size_t i = begin; i < end; ++i) {
+          emitted.clear();
+          map_fn_(input_records[i], &emitted);
+          for (const auto& [key, value] : emitted) {
+            size_t r =
+                static_cast<size_t>(StableHashBytes(key)) % num_reducers_;
+            SpillRecord(&row[r], key, value);
+            ++tc.records_out;
+          }
+        }
+        tc.records_in = end - begin;
+        return row;
+      });
+  if (!spills_result.ok()) throw StageError(spills_result.status());
+  std::vector<std::vector<std::string>> spills = std::move(*spills_result);
 
   // --- Optional disk materialization: every non-empty spill blob becomes
   // a real temp file (Hadoop writes map output to local disk; reducers
@@ -103,58 +110,75 @@ std::vector<std::string> MapReduceJob::Run(
     const std::string dir = std::filesystem::temp_directory_path().string();
     const uint64_t job_id = spill_counter.fetch_add(1);
     spill_paths.assign(num_maps, std::vector<std::string>(num_reducers_));
-    executor.Run("mr:spill", num_maps, [&](size_t m) {
-      for (size_t r = 0; r < num_reducers_; ++r) {
-        if (spills[m][r].empty()) continue;
-        std::string path = dir + "/bd_mr_" + std::to_string(job_id) + "_" +
-                           std::to_string(m) + "_" + std::to_string(r) +
-                           ".spill";
-        std::ofstream out(path, std::ios::binary);
-        out.write(spills[m][r].data(),
-                  static_cast<std::streamsize>(spills[m][r].size()));
-        out.close();
-        spill_paths[m][r] = std::move(path);
-        std::string().swap(spills[m][r]);  // Drop the in-memory copy.
-      }
-    });
+    // Spill writes are side effects on the filesystem, so this stage runs
+    // in place (no speculation: duplicate attempts would race on the same
+    // paths). A retried attempt truncate-rewrites its files — idempotent,
+    // as the in-memory blobs are only dropped driver-side after the stage.
+    Status spill_status =
+        executor.Run("mr:spill", num_maps, [&](size_t m) {
+          for (size_t r = 0; r < num_reducers_; ++r) {
+            if (spills[m][r].empty()) continue;
+            std::string path = dir + "/bd_mr_" + std::to_string(job_id) +
+                               "_" + std::to_string(m) + "_" +
+                               std::to_string(r) + ".spill";
+            std::ofstream out(path, std::ios::binary);
+            out.write(spills[m][r].data(),
+                      static_cast<std::streamsize>(spills[m][r].size()));
+            out.close();
+            spill_paths[m][r] = std::move(path);
+          }
+        });
+    if (!spill_status.ok()) throw StageError(std::move(spill_status));
+    for (auto& task_spills : spills) {
+      for (auto& blob : task_spills) std::string().swap(blob);
+    }
   }
 
-  std::vector<std::vector<std::string>> outputs(num_reducers_);
-  executor.Run("mr:reduce", num_reducers_, [&](size_t r, TaskContext& tc) {
-    std::vector<std::pair<std::string, std::string>> records;
-    for (size_t m = 0; m < num_maps; ++m) {
-      if (spill_to_disk_) {
-        if (spill_paths[m][r].empty()) continue;
-        std::ifstream in(spill_paths[m][r], std::ios::binary);
-        std::ostringstream buffer;
-        buffer << in.rdbuf();
-        ParseSpill(buffer.str(), &records);
-        std::filesystem::remove(spill_paths[m][r]);
-      } else {
-        ParseSpill(spills[m][r], &records);
-      }
+  // Reduce attempts only read spill files/blobs (cleanup happens
+  // driver-side below), so they are freely re-executable.
+  auto outputs_result = executor.RunProducing<std::vector<std::string>>(
+      "mr:reduce", num_reducers_, [&](size_t r, TaskContext& tc) {
+        std::vector<std::string> output;
+        std::vector<std::pair<std::string, std::string>> records;
+        for (size_t m = 0; m < num_maps; ++m) {
+          if (spill_to_disk_) {
+            if (spill_paths[m][r].empty()) continue;
+            std::ifstream in(spill_paths[m][r], std::ios::binary);
+            std::ostringstream buffer;
+            buffer << in.rdbuf();
+            ParseSpill(buffer.str(), &records);
+          } else {
+            ParseSpill(spills[m][r], &records);
+          }
+        }
+        tc.records_in = records.size();
+        tc.shuffled_records = records.size();
+        std::sort(records.begin(), records.end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
+        std::vector<std::string> group;
+        size_t i = 0;
+        while (i < records.size()) {
+          size_t j = i;
+          group.clear();
+          while (j < records.size() && records[j].first == records[i].first) {
+            group.push_back(std::move(records[j].second));
+            ++j;
+          }
+          reduce_fn_(records[i].first, group, &output);
+          i = j;
+        }
+        tc.records_out = output.size();
+        return output;
+      });
+  for (const auto& task_paths : spill_paths) {
+    for (const auto& path : task_paths) {
+      if (!path.empty()) std::filesystem::remove(path);
     }
-    tc.records_in = records.size();
-    tc.shuffled_records = records.size();
-    std::sort(records.begin(), records.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
-    std::vector<std::string> group;
-    size_t i = 0;
-    while (i < records.size()) {
-      size_t j = i;
-      group.clear();
-      while (j < records.size() && records[j].first == records[i].first) {
-        group.push_back(std::move(records[j].second));
-        ++j;
-      }
-      reduce_fn_(records[i].first, group, &outputs[r]);
-      i = j;
-    }
-    tc.records_out = outputs[r].size();
-  });
+  }
+  if (!outputs_result.ok()) throw StageError(outputs_result.status());
 
   std::vector<std::string> result;
-  for (auto& out : outputs) {
+  for (auto& out : *outputs_result) {
     for (auto& record : out) result.push_back(std::move(record));
   }
   return result;
@@ -239,7 +263,11 @@ Result<MapReduceDetectionResult> MapReduceDetect(ExecutionContext* ctx,
       });
 
   MapReduceDetectionResult result;
-  result.rendered = job.Run(input);
+  try {
+    result.rendered = job.Run(input);
+  } catch (const StageError& e) {
+    return e.status();
+  }
   result.violations = result.rendered.size();
   result.shuffle_bytes = job.shuffle_bytes();
   return result;

@@ -43,6 +43,8 @@ class MapReduceJob {
   /// Runs the job over `input_records` and returns the concatenated reducer
   /// outputs. Deterministic: reducer outputs are concatenated in partition
   /// order, and within a partition keys are processed in sorted order.
+  /// Throws StageError when a stage exhausts its retry budget (caught at
+  /// the MapReduceDetect boundary and returned as a Status).
   std::vector<std::string> Run(const std::vector<std::string>& input_records);
 
   /// Bytes that crossed the map -> reduce boundary in the last Run.

@@ -21,6 +21,12 @@ struct TaskContext {
   uint64_t records_out = 0;
   /// Records this task pushed across a shuffle boundary.
   uint64_t shuffled_records = 0;
+  /// Which attempt of the task this is (0 = first). Retried attempts see
+  /// increasing values; a speculative duplicate gets a distinct attempt
+  /// number. Set by the StageExecutor before the body runs.
+  uint64_t attempt = 0;
+  /// True when this attempt is a speculative duplicate of a straggler.
+  bool speculative = false;
 };
 
 /// Structured record of one executed stage — the EXPLAIN-style breakdown
@@ -37,6 +43,15 @@ struct StageReport {
   uint64_t shuffled_records = 0;
   double busy_seconds = 0.0;
   double wall_seconds = 0.0;
+  /// Recovery activity (see StageExecutor): how many task attempts were
+  /// re-executed after a TaskFailure, how many attempts failed, and how
+  /// many speculative duplicates were launched / won their race. Exactly
+  /// one attempt per task is folded into the record counts above, so these
+  /// never inflate records_in/out.
+  uint64_t retries = 0;
+  uint64_t failed_attempts = 0;
+  uint64_t speculative_launched = 0;
+  uint64_t speculative_committed = 0;
   std::vector<double> task_seconds;
 
   /// Fastest task's CPU seconds (0 when no task finished).
@@ -101,8 +116,10 @@ class Metrics {
     ++stages_;
     tasks_ += num_tasks;
     std::lock_guard<std::mutex> lock(stage_mutex_);
-    stage_reports_.push_back(
-        StageReport{name, num_tasks, 0, 0, 0, 0.0, 0.0, {}});
+    StageReport report;
+    report.name = name;
+    report.tasks = num_tasks;
+    stage_reports_.push_back(std::move(report));
     return (generation_ << kHandleGenShift) | (stage_reports_.size() - 1);
   }
 
@@ -120,6 +137,22 @@ class Metrics {
     report->shuffled_records += tc.shuffled_records;
     report->busy_seconds += busy_seconds;
     report->task_seconds.push_back(busy_seconds);
+  }
+
+  /// Folds one stage's recovery counters (retries, failed attempts,
+  /// speculative launches/wins) into its open report. No-op when `handle`
+  /// is stale.
+  void RecordStageRecovery(size_t handle, uint64_t retries,
+                           uint64_t failed_attempts,
+                           uint64_t speculative_launched,
+                           uint64_t speculative_committed) {
+    std::lock_guard<std::mutex> lock(stage_mutex_);
+    StageReport* report = LookupLocked(handle);
+    if (report == nullptr) return;
+    report->retries += retries;
+    report->failed_attempts += failed_attempts;
+    report->speculative_launched += speculative_launched;
+    report->speculative_committed += speculative_committed;
   }
 
   /// Closes stage `handle` with its driver-observed wall time and sorts the
@@ -208,6 +241,12 @@ class Metrics {
       out += ",\"shuffled_records\":" + std::to_string(r.shuffled_records);
       out += ",\"busy_seconds\":" + JsonDouble(r.busy_seconds);
       out += ",\"wall_seconds\":" + JsonDouble(r.wall_seconds);
+      out += ",\"retries\":" + std::to_string(r.retries);
+      out += ",\"failed_attempts\":" + std::to_string(r.failed_attempts);
+      out += ",\"speculative_launched\":" +
+             std::to_string(r.speculative_launched);
+      out += ",\"speculative_committed\":" +
+             std::to_string(r.speculative_committed);
       out += ",\"task_seconds_min\":" + JsonDouble(r.TaskMinSeconds());
       out += ",\"task_seconds_p50\":" + JsonDouble(r.TaskP50Seconds());
       out += ",\"task_seconds_max\":" + JsonDouble(r.TaskMaxSeconds());

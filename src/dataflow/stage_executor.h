@@ -1,12 +1,20 @@
 #ifndef BIGDANSING_DATAFLOW_STAGE_EXECUTOR_H_
 #define BIGDANSING_DATAFLOW_STAGE_EXECUTOR_H_
 
+#include <algorithm>
+#include <atomic>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/metrics_registry.h"
+#include "common/status.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
 #include "dataflow/context.h"
@@ -15,13 +23,40 @@ namespace bigdansing {
 
 /// The single task-scheduling point of the dataflow engine. Every unit of
 /// parallel work — map-side fused pipelines, reduce-side merges, join
-/// probes, repair components — runs through Run(), so it is uniformly:
+/// probes, repair components — runs through Run()/RunProducing(), so it is
+/// uniformly:
 ///
 ///  - counted (stages/tasks totals in Metrics),
 ///  - timed (per-task CPU time accrued to logical worker `task % workers`,
-///    feeding Metrics::SimulatedWallSeconds()), and
+///    feeding Metrics::SimulatedWallSeconds()),
 ///  - attributed to a named stage (a StageReport carrying task count,
-///    records in/out, shuffled records and busy/wall seconds).
+///    records in/out, shuffled records and busy/wall seconds), and
+///  - recovered: each task attempt probes the FaultInjector site named
+///    after the stage, a body that throws TaskFailure is retried with
+///    capped exponential backoff under the context's FaultPolicy, and
+///    straggler tasks of producing stages can be speculatively duplicated.
+///
+/// Recovery semantics (the substrate services Spark/Hadoop provided the
+/// paper's system for free, §3):
+///
+///  - Retry: task bodies are deterministic per index, so a re-executed
+///    attempt reproduces the original result bit-identically — the same
+///    argument that makes lineage re-execution sound in Spark. A task is
+///    retried up to FaultPolicy::max_attempts times; a shared per-stage
+///    retry budget bounds total re-execution. Exhaustion fails the stage
+///    with a non-OK Status (never abort); any exception other than
+///    TaskFailure is non-retryable and fails the stage immediately.
+///  - Speculation (RunProducing only): once at least half the tasks have
+///    committed, a task running longer than `multiplier x median committed
+///    task wall time` is duplicated. Attempts write into per-attempt
+///    buffers (the body's return value); the first attempt to win the
+///    per-task commit race publishes its buffer, the loser's writes are
+///    discarded, so records are never double-counted in the StageReport.
+///    In-place stages (Run) never speculate: their bodies write caller
+///    memory directly, so duplicate attempts could race.
+///
+/// Retry/speculation activity is folded into the StageReport and annotated
+/// onto the stage's trace span, so EXPLAIN shows recovery per stage.
 ///
 /// StageExecutor is a cheap value type: construct one on the spot wherever
 /// a stage needs to run.
@@ -32,16 +67,60 @@ class StageExecutor {
   explicit StageExecutor(ExecutionContext* ctx) : ctx_(ctx) {}
 
   /// Runs `body(t, tc)` for every task index t in [0, num_tasks) on the
-  /// context's worker pool and blocks until all tasks finish. `body` must be
-  /// safe to invoke concurrently for distinct indices.
+  /// context's worker pool and blocks until all tasks finish (or the stage
+  /// fails). `body` must be safe to invoke concurrently for distinct
+  /// indices, and is retried on TaskFailure — injected faults fire before
+  /// the body runs, so an injected failure never leaves partial writes; a
+  /// body that throws TaskFailure itself mid-write must be idempotent.
   ///
   /// When tracing is enabled, the stage gets a span (parented to the calling
-  /// thread's innermost scope — rule/operator/phase) and every task a child
-  /// span on its logical-worker lane; after the stage finishes, the stage
-  /// span is annotated with the StageReport's measured counters so the
+  /// thread's innermost scope — rule/operator/phase) and every task attempt
+  /// a child span on its logical-worker lane; after the stage finishes, the
+  /// stage span is annotated with the StageReport's measured counters so the
   /// runtime EXPLAIN reconciles exactly with Metrics::StageReports().
-  void Run(const std::string& stage_name, size_t num_tasks,
-           const TaskBody& body) const {
+  [[nodiscard]] Status Run(const std::string& stage_name, size_t num_tasks,
+                           const TaskBody& body) const {
+    struct Unit {};
+    auto result = Execute<Unit>(
+        stage_name, num_tasks,
+        [&body](size_t t, TaskContext& tc) {
+          body(t, tc);
+          return Unit{};
+        },
+        /*allow_speculation=*/false);
+    return result.ok() ? Status::OK() : result.status();
+  }
+
+  /// Convenience overload for bodies that do not report record counts.
+  [[nodiscard]] Status Run(const std::string& stage_name, size_t num_tasks,
+                           const std::function<void(size_t)>& body) const {
+    return Run(stage_name, num_tasks,
+               [&body](size_t t, TaskContext& /*tc*/) { body(t); });
+  }
+
+  /// Like Run(), but each task *returns* its output instead of writing it
+  /// into caller memory; the engine publishes exactly one committed attempt
+  /// per task into slot t of the result. Because attempts are buffered,
+  /// producing stages are both retryable and speculation-capable. Prefer
+  /// this form for any stage that fills a per-task output slot.
+  template <typename T>
+  [[nodiscard]] Result<std::vector<T>> RunProducing(
+      const std::string& stage_name, size_t num_tasks,
+      const std::function<T(size_t, TaskContext&)>& body) const {
+    return Execute<T>(stage_name, num_tasks, body, /*allow_speculation=*/true);
+  }
+
+ private:
+  /// Scheduling engine shared by Run and RunProducing. Claims task indices
+  /// with an atomic counter (the driver participates alongside pool
+  /// helpers, so nested stages cannot deadlock a busy pool), runs the
+  /// retry loop per task, then the driver monitors for stragglers until
+  /// every task has settled and no attempt is still in flight.
+  template <typename T>
+  Result<std::vector<T>> Execute(const std::string& stage_name,
+                                 size_t num_tasks,
+                                 const std::function<T(size_t, TaskContext&)>& body,
+                                 bool allow_speculation) const {
     Metrics& metrics = ctx_->metrics();
     TraceRecorder& trace = TraceRecorder::Instance();
     std::optional<ScopedSpan> stage_span;
@@ -51,51 +130,321 @@ class StageExecutor {
                     << " tasks=" << num_tasks;
     }
     const size_t handle = metrics.BeginStage(stage_name, num_tasks);
-    const size_t workers = ctx_->num_workers();
-    const uint64_t stage_span_id = stage_span ? stage_span->id() : 0;
-    Histogram& task_seconds =
-        MetricsRegistry::Instance().GetHistogram("stage.task_seconds");
     Stopwatch wall;
-    ctx_->pool().ParallelFor(num_tasks, [&](size_t t) {
-      std::optional<ScopedSpan> task_span;
-      if (stage_span_id != 0) {
-        task_span.emplace(stage_name + "#" + std::to_string(t), "task",
-                          stage_span_id,
-                          static_cast<int64_t>(t % workers));
+    std::vector<T> out(num_tasks);
+
+    // Heap-held shared state: a pool helper that wakes up after the stage
+    // already finished must be able to observe "nothing left to claim"
+    // without touching driver-stack memory, so its closure captures this
+    // by shared_ptr and dereferences the stack-held Engine only after a
+    // successful claim (an unclaimed task pins the driver in Execute).
+    struct Shared {
+      explicit Shared(size_t n, int64_t budget)
+          : retry_budget(budget),
+            committed(n),
+            settled_flag(n),
+            spec_state(n),
+            started_at(n) {
+        for (auto& s : started_at) s.store(-1.0, std::memory_order_relaxed);
       }
-      ThreadCpuStopwatch timer;
-      TaskContext tc;
-      body(t, tc);
-      const double busy = timer.ElapsedSeconds();
-      // Observed after the CPU timer stopped, so the histogram update does
-      // not inflate the simulated-wall accounting.
-      task_seconds.Observe(busy);
-      metrics.RecordTaskTime(t % workers, busy);
-      metrics.AccumulateTask(handle, tc, busy);
-      if (task_span) {
-        task_span->Annotate("records_in", tc.records_in);
-        task_span->Annotate("records_out", tc.records_out);
-        task_span->Annotate("busy_seconds", busy);
+      std::atomic<size_t> next{0};
+      std::atomic<size_t> settled{0};
+      std::atomic<size_t> inflight{0};
+      std::atomic<bool> failed{false};
+      std::atomic<int64_t> retry_budget;
+      std::atomic<uint64_t> retries{0};
+      std::atomic<uint64_t> failed_attempts{0};
+      std::atomic<uint64_t> spec_launched{0};
+      std::atomic<uint64_t> spec_committed{0};
+      std::vector<std::atomic<uint8_t>> committed;     // attempt won the race
+      std::vector<std::atomic<uint8_t>> settled_flag;  // task is accounted for
+      std::vector<std::atomic<uint8_t>> spec_state;    // duplicate launched
+      std::vector<std::atomic<double>> started_at;     // -1 until claimed
+      std::mutex mu;
+      Status status = Status::OK();          // first failure (mu)
+      std::vector<double> committed_wall;    // per-task wall durations (mu)
+    };
+
+    const FaultPolicy policy = ctx_->fault_policy();
+    auto shared = std::make_shared<Shared>(
+        num_tasks, static_cast<int64_t>(policy.stage_retry_budget));
+
+    struct Engine {
+      Shared& sh;
+      const std::string& stage_name;
+      size_t num_tasks;
+      const std::function<T(size_t, TaskContext&)>& body;
+      std::vector<T>& out;
+      Metrics& metrics;
+      size_t handle;
+      size_t workers;
+      uint64_t stage_span_id;
+      Histogram& task_seconds_hist;
+      const FaultPolicy& policy;
+      size_t max_attempts;
+      FaultInjector& injector;
+      Stopwatch& wall;
+
+      void Fail(Status st) {
+        std::lock_guard<std::mutex> lock(sh.mu);
+        if (!sh.failed.load(std::memory_order_relaxed)) {
+          sh.status = std::move(st);
+          sh.failed.store(true, std::memory_order_release);
+        }
       }
-    });
+
+      /// Marks task t as accounted for exactly once (whether it committed
+      /// a result or the stage gave up on it).
+      void Settle(size_t t) {
+        uint8_t expected = 0;
+        if (sh.settled_flag[t].compare_exchange_strong(expected, 1)) {
+          sh.settled.fetch_add(1, std::memory_order_acq_rel);
+        }
+      }
+
+      enum Outcome { kCommitted, kLost, kRetryable, kFatal };
+
+      Outcome AttemptOnce(size_t t, size_t attempt, bool speculative) {
+        std::optional<ScopedSpan> task_span;
+        if (stage_span_id != 0) {
+          task_span.emplace(stage_name + "#" + std::to_string(t), "task",
+                            stage_span_id, static_cast<int64_t>(t % workers));
+          if (attempt > 0) {
+            task_span->Annotate("attempt", static_cast<uint64_t>(attempt));
+          }
+          if (speculative) task_span->Annotate("speculative", uint64_t{1});
+        }
+        ThreadCpuStopwatch timer;
+        TaskContext tc;
+        tc.attempt = attempt;
+        tc.speculative = speculative;
+        try {
+          // The injection site fires before the body, so a failed attempt
+          // has performed no work and a retry starts from a clean slate.
+          injector.OnSite(stage_name, t, attempt);
+          T value = body(t, tc);
+          const double busy = timer.ElapsedSeconds();
+          // Observed after the CPU timer stopped, so the histogram update
+          // does not inflate the simulated-wall accounting.
+          task_seconds_hist.Observe(busy);
+          // Losers still burned a worker: their time counts toward the
+          // simulated cluster wall, just never into the stage's records.
+          metrics.RecordTaskTime(t % workers, busy);
+          uint8_t expected = 0;
+          if (!sh.committed[t].compare_exchange_strong(expected, 1)) {
+            if (task_span) task_span->Annotate("discarded", uint64_t{1});
+            return kLost;
+          }
+          out[t] = std::move(value);
+          metrics.AccumulateTask(handle, tc, busy);
+          if (speculative) {
+            sh.spec_committed.fetch_add(1, std::memory_order_relaxed);
+          }
+          {
+            std::lock_guard<std::mutex> lock(sh.mu);
+            const double started =
+                sh.started_at[t].load(std::memory_order_relaxed);
+            if (started >= 0.0) {
+              sh.committed_wall.push_back(wall.ElapsedSeconds() - started);
+            }
+          }
+          if (task_span) {
+            task_span->Annotate("records_in", tc.records_in);
+            task_span->Annotate("records_out", tc.records_out);
+            task_span->Annotate("busy_seconds", busy);
+          }
+          Settle(t);
+          return kCommitted;
+        } catch (const TaskFailure& failure) {
+          const double busy = timer.ElapsedSeconds();
+          metrics.RecordTaskTime(t % workers, busy);
+          sh.failed_attempts.fetch_add(1, std::memory_order_relaxed);
+          if (task_span) {
+            task_span->Annotate("failed", std::string(failure.what()));
+          }
+          return kRetryable;
+        } catch (const std::exception& e) {
+          sh.failed_attempts.fetch_add(1, std::memory_order_relaxed);
+          if (task_span) task_span->Annotate("failed", std::string(e.what()));
+          Fail(Status::Internal("stage '" + stage_name + "' task " +
+                                std::to_string(t) +
+                                " threw non-retryable exception: " + e.what()));
+          return kFatal;
+        }
+      }
+
+      /// First (non-speculative) execution of task t: retry loop with
+      /// capped exponential backoff under the stage's FaultPolicy.
+      void RunPrimary(size_t t) {
+        sh.started_at[t].store(wall.ElapsedSeconds(),
+                               std::memory_order_relaxed);
+        size_t attempt = 0;
+        double backoff_ms = policy.backoff_initial_ms;
+        for (;;) {
+          if (sh.failed.load(std::memory_order_acquire)) {
+            Settle(t);
+            return;
+          }
+          const Outcome outcome = AttemptOnce(t, attempt, false);
+          if (outcome == kCommitted || outcome == kLost) return;
+          if (outcome == kFatal) {
+            Settle(t);
+            return;
+          }
+          ++attempt;
+          if (attempt >= max_attempts) {
+            Fail(Status::Internal(
+                "stage '" + stage_name + "': task " + std::to_string(t) +
+                " failed after " + std::to_string(attempt) + " attempt(s)"));
+            Settle(t);
+            return;
+          }
+          if (sh.retry_budget.fetch_sub(1, std::memory_order_acq_rel) <= 0) {
+            Fail(Status::Internal(
+                "stage '" + stage_name + "': retry budget exhausted (" +
+                std::to_string(policy.stage_retry_budget) + ")"));
+            Settle(t);
+            return;
+          }
+          sh.retries.fetch_add(1, std::memory_order_relaxed);
+          SleepForMs(std::min(backoff_ms, policy.backoff_max_ms));
+          backoff_ms *= 2.0;
+        }
+      }
+
+      /// Driver-side straggler monitor pass: duplicates at most one task
+      /// whose elapsed wall time exceeds the speculation threshold. The
+      /// duplicate runs inline on the driver — submitting it to the pool
+      /// could queue it behind the very straggler it is meant to bypass.
+      void TrySpeculate() {
+        double median = 0.0;
+        {
+          std::lock_guard<std::mutex> lock(sh.mu);
+          if (sh.committed_wall.size() < std::max<size_t>(2, num_tasks / 2)) {
+            return;
+          }
+          std::vector<double> sorted = sh.committed_wall;
+          std::sort(sorted.begin(), sorted.end());
+          median = sorted[(sorted.size() - 1) / 2];
+        }
+        const double now = wall.ElapsedSeconds();
+        const double threshold =
+            std::max(policy.speculation_min_seconds,
+                     policy.speculation_multiplier * median);
+        for (size_t t = 0; t < num_tasks; ++t) {
+          if (sh.settled_flag[t].load(std::memory_order_acquire) != 0) continue;
+          if (sh.committed[t].load(std::memory_order_acquire) != 0) continue;
+          const double started =
+              sh.started_at[t].load(std::memory_order_relaxed);
+          if (started < 0.0) continue;  // not yet claimed
+          if (now - started < threshold) continue;
+          uint8_t expected = 0;
+          if (!sh.spec_state[t].compare_exchange_strong(expected, 1)) continue;
+          sh.spec_launched.fetch_add(1, std::memory_order_relaxed);
+          sh.inflight.fetch_add(1, std::memory_order_acq_rel);
+          // The duplicate gets an attempt number past the retry range so
+          // its injector draws are independent of the primary's.
+          AttemptOnce(t, max_attempts, true);
+          sh.inflight.fetch_sub(1, std::memory_order_acq_rel);
+          return;
+        }
+      }
+    };
+
+    Engine engine{*shared,
+                  stage_name,
+                  num_tasks,
+                  body,
+                  out,
+                  metrics,
+                  handle,
+                  ctx_->num_workers(),
+                  stage_span ? stage_span->id() : 0,
+                  MetricsRegistry::Instance().GetHistogram("stage.task_seconds"),
+                  policy,
+                  std::max<size_t>(1, policy.max_attempts),
+                  FaultInjector::Instance(),
+                  wall};
+
+    // Pool helpers claim tasks exactly like the driver. A helper touches
+    // only `shared` until a claim succeeds; a successful claim proves the
+    // driver is still inside Execute (an unclaimed task cannot settle), so
+    // dereferencing `engine` is safe from then on.
+    Engine* engine_ptr = &engine;
+    const size_t helper_count =
+        num_tasks == 0 ? 0 : std::min(ctx_->pool().num_threads(), num_tasks - 1);
+    for (size_t h = 0; h < helper_count; ++h) {
+      ctx_->pool().Submit([shared, engine_ptr, num_tasks]() {
+        for (;;) {
+          const size_t t =
+              shared->next.fetch_add(1, std::memory_order_relaxed);
+          if (t >= num_tasks) return;
+          shared->inflight.fetch_add(1, std::memory_order_acq_rel);
+          engine_ptr->RunPrimary(t);
+          shared->inflight.fetch_sub(1, std::memory_order_acq_rel);
+        }
+      });
+    }
+    // Driver participates in the claim loop, then monitors stragglers.
+    for (;;) {
+      const size_t t = shared->next.fetch_add(1, std::memory_order_relaxed);
+      if (t >= num_tasks) break;
+      shared->inflight.fetch_add(1, std::memory_order_acq_rel);
+      engine.RunPrimary(t);
+      shared->inflight.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    const bool speculate =
+        allow_speculation && policy.speculation && num_tasks >= 2;
+    while (shared->settled.load(std::memory_order_acquire) < num_tasks ||
+           shared->inflight.load(std::memory_order_acquire) > 0) {
+      if (speculate && !shared->failed.load(std::memory_order_relaxed)) {
+        engine.TrySpeculate();
+      }
+      if (speculate) {
+        SleepForMs(0.2);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+
+    const uint64_t retries = shared->retries.load(std::memory_order_relaxed);
+    const uint64_t failed_attempts =
+        shared->failed_attempts.load(std::memory_order_relaxed);
+    const uint64_t spec_launched =
+        shared->spec_launched.load(std::memory_order_relaxed);
+    const uint64_t spec_committed =
+        shared->spec_committed.load(std::memory_order_relaxed);
+    metrics.RecordStageRecovery(handle, retries, failed_attempts,
+                                spec_launched, spec_committed);
     metrics.FinishStage(handle, wall.ElapsedSeconds());
     if (stage_span) {
       AnnotateFromReport(*stage_span, metrics.StageReportFor(handle));
     }
+    MetricsRegistry& registry = MetricsRegistry::Instance();
+    if (retries > 0) registry.GetCounter("stage.retries").Add(retries);
+    if (failed_attempts > 0) {
+      registry.GetCounter("stage.failed_attempts").Add(failed_attempts);
+    }
+    if (spec_launched > 0) {
+      registry.GetCounter("stage.speculative_launched").Add(spec_launched);
+    }
+    if (spec_committed > 0) {
+      registry.GetCounter("stage.speculative_committed").Add(spec_committed);
+    }
     if (LogEnabled(LogLevel::kDebug)) {
       BD_LOG(Debug) << "stage end: " << stage_name
-                    << " wall=" << wall.ElapsedSeconds() << "s";
+                    << " wall=" << wall.ElapsedSeconds()
+                    << "s retries=" << retries;
     }
+    if (shared->failed.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(shared->mu);
+      BD_LOG(Warning) << "stage failed: " << stage_name << " — "
+                      << shared->status.ToString();
+      return shared->status;
+    }
+    return out;
   }
 
-  /// Convenience overload for bodies that do not report record counts.
-  void Run(const std::string& stage_name, size_t num_tasks,
-           const std::function<void(size_t)>& body) const {
-    Run(stage_name, num_tasks,
-        [&body](size_t t, TaskContext& /*tc*/) { body(t); });
-  }
-
- private:
   /// Copies the finished stage's measured counters onto its span. Record
   /// counts use exact integers and times the same %.6f formatting as
   /// Metrics::StageReportsJson(), so EXPLAIN output reconciles with the
@@ -114,6 +463,18 @@ class StageExecutor {
     span.Annotate("task_seconds_p50", r.TaskP50Seconds());
     span.Annotate("task_seconds_max", r.TaskMaxSeconds());
     span.Annotate("straggler_ratio", r.StragglerRatio());
+    // Recovery annotations only when the stage actually saw recovery
+    // activity, so fault-free EXPLAIN output stays unchanged.
+    if (r.retries > 0) span.Annotate("retries", r.retries);
+    if (r.failed_attempts > 0) {
+      span.Annotate("failed_attempts", r.failed_attempts);
+    }
+    if (r.speculative_launched > 0) {
+      span.Annotate("speculative_launched", r.speculative_launched);
+    }
+    if (r.speculative_committed > 0) {
+      span.Annotate("speculative_committed", r.speculative_committed);
+    }
   }
 
   ExecutionContext* ctx_;

@@ -168,43 +168,51 @@ RepairPassResult BlackBoxRepair(
         s, setup_seconds / static_cast<double>(ctx->num_workers()));
   }
 
-  // Independent repair instance per component, scheduled on the pool.
-  std::vector<std::vector<CellAssignment>> per_group(groups.size());
-  std::vector<size_t> undone(groups.size(), 0);
-  std::vector<char> split(groups.size(), 0);
-  StageExecutor(ctx).Run(
+  // Independent repair instance per component, scheduled on the pool. Each
+  // task returns its outcome buffer (retryable: the algorithm is stateless
+  // and the graph/group inputs are immutable), and the executor commits
+  // exactly one outcome per component.
+  struct ComponentOutcome {
+    std::vector<CellAssignment> assignments;
+    size_t undone = 0;
+    bool split = false;
+  };
+  auto outcomes = StageExecutor(ctx).RunProducing<ComponentOutcome>(
       "repair:components", groups.size(), [&](size_t g, TaskContext& tc) {
-    tc.records_in = groups[g].size();
-    if (groups[g].size() > options.max_component_edges) {
-      split[g] = 1;
-      size_t local_undone = 0;
-      RepairSplitComponent(ctx, graph, groups[g], algorithm, options,
-                           &per_group[g], &local_undone);
-      undone[g] = local_undone;
-      return;
-    }
-    std::vector<const ViolationWithFixes*> edges;
-    edges.reserve(groups[g].size());
-    for (size_t e : groups[g]) edges.push_back(&graph.edge(e));
-    per_group[g] = algorithm.RepairComponent(edges);
-    tc.records_out = per_group[g].size();
-  });
+        ComponentOutcome out;
+        tc.records_in = groups[g].size();
+        if (groups[g].size() > options.max_component_edges) {
+          out.split = true;
+          RepairSplitComponent(ctx, graph, groups[g], algorithm, options,
+                               &out.assignments, &out.undone);
+          tc.records_out = out.assignments.size();
+          return out;
+        }
+        std::vector<const ViolationWithFixes*> edges;
+        edges.reserve(groups[g].size());
+        for (size_t e : groups[g]) edges.push_back(&graph.edge(e));
+        out.assignments = algorithm.RepairComponent(edges);
+        tc.records_out = out.assignments.size();
+        return out;
+      });
+  if (!outcomes.ok()) throw StageError(outcomes.status());
 
   const bool lineage_on = LineageRecorder::Instance().enabled();
   for (size_t g = 0; g < groups.size(); ++g) {
-    result.num_split_components += split[g] ? 1 : 0;
-    result.num_undone += undone[g];
+    ComponentOutcome& out = (*outcomes)[g];
+    result.num_split_components += out.split ? 1 : 0;
+    result.num_undone += out.undone;
     if (lineage_on) {
       std::vector<const ViolationWithFixes*> edges;
       edges.reserve(groups[g].size());
       for (size_t e : groups[g]) edges.push_back(&graph.edge(e));
-      AttributeAssignments(edges, groups[g], per_group[g],
+      AttributeAssignments(edges, groups[g], out.assignments,
                            static_cast<uint64_t>(g), algorithm.name(),
                            &result.provenance);
     }
     result.applied.insert(result.applied.end(),
-                          std::make_move_iterator(per_group[g].begin()),
-                          std::make_move_iterator(per_group[g].end()));
+                          std::make_move_iterator(out.assignments.begin()),
+                          std::make_move_iterator(out.assignments.end()));
   }
   if (repair_span) {
     repair_span->Annotate("components",

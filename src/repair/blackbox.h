@@ -56,6 +56,9 @@ struct RepairPassResult {
 /// Returns the assignments to apply; it does not touch any table — the
 /// caller (the cleanse driver) applies them, which keeps the repair step
 /// independent of the data container.
+///
+/// Throws StageError when the per-component repair stage exhausts its
+/// retry budget; RepairStrategy::Repair catches it and returns a Status.
 RepairPassResult BlackBoxRepair(ExecutionContext* ctx,
                                 const std::vector<ViolationWithFixes>& violations,
                                 const RepairAlgorithm& algorithm,
