@@ -103,6 +103,7 @@ def main():
         baseline = json.load(f)
 
     regressions = []
+    compared = []
     for key, base in sorted(baseline.items()):
         base_wall = base[WALL_KEY]
         if key not in current:
@@ -114,12 +115,26 @@ def main():
         if ratio > 1.0 + args.threshold:
             status = "REGRESSION"
             regressions.append((key, base_wall, wall, ratio))
+        compared.append((key, base_wall, wall, ratio, status))
         print(f"{status:>10}  {key}: baseline {base_wall:.6f}s -> {wall:.6f}s "
               f"({ratio:.2f}x)")
     for key in sorted(set(current) - set(baseline)):
         print(f"NOTE: {key} has no baseline entry (new bench/label?)")
 
     if regressions:
+        # Full per-bench delta table, worst ratio first, so a failing CI
+        # log shows every bench's movement — not just the offenders.
+        width = max(len(k) for k, *_ in compared)
+        print(f"\nper-bench simulated-wall deltas "
+              f"(threshold {args.threshold:.0%}):", file=sys.stderr)
+        header = (f"{'bench|label':<{width}}  {'baseline_s':>12}  "
+                  f"{'current_s':>12}  {'ratio':>7}  status")
+        print(header, file=sys.stderr)
+        print("-" * len(header), file=sys.stderr)
+        for key, base_wall, wall, ratio, status in sorted(
+                compared, key=lambda row: row[3], reverse=True):
+            print(f"{key:<{width}}  {base_wall:>12.6f}  {wall:>12.6f}  "
+                  f"{ratio:>6.2f}x  {status}", file=sys.stderr)
         print(f"\n{len(regressions)} regression(s) beyond "
               f"{args.threshold:.0%} threshold", file=sys.stderr)
         return 0 if args.advisory else 2

@@ -184,9 +184,14 @@ std::string TraceRecorder::ExplainTree() const {
   std::vector<TraceSpan> spans = Spans();
   const double now_us = NowUs();
 
-  // Index by id; resolve each non-task span's effective parent: the
-  // nearest non-task ancestor (spans opened inside a task body re-attach
-  // to the task's stage-or-above ancestor).
+  // Index by id; resolve each span's effective parent: the nearest
+  // ancestor that is neither a task nor a morsel (spans opened inside a
+  // task or morsel body re-attach to the work unit's stage-or-above
+  // ancestor). Tasks and morsels themselves are folded into their stage
+  // line — EXPLAIN summarizes per stage, the Chrome trace keeps the units.
+  auto is_work_unit = [](const TraceSpan& s) {
+    return s.category == "task" || s.category == "morsel";
+  };
   std::unordered_map<uint64_t, const TraceSpan*> by_id;
   for (const TraceSpan& s : spans) by_id[s.id] = &s;
   auto effective_parent = [&](const TraceSpan& s) -> uint64_t {
@@ -194,7 +199,7 @@ std::string TraceRecorder::ExplainTree() const {
     while (p != 0) {
       auto it = by_id.find(p);
       if (it == by_id.end()) return 0;  // Parent cleared: promote to root.
-      if (it->second->category != "task") return p;
+      if (!is_work_unit(*it->second)) return p;
       p = it->second->parent;
     }
     return 0;
@@ -203,7 +208,7 @@ std::string TraceRecorder::ExplainTree() const {
   std::unordered_map<uint64_t, std::vector<const TraceSpan*>> children;
   std::vector<const TraceSpan*> roots;
   for (const TraceSpan& s : spans) {
-    if (s.category == "task") continue;
+    if (is_work_unit(s)) continue;
     uint64_t parent = effective_parent(s);
     if (parent == 0) {
       roots.push_back(&s);

@@ -17,7 +17,8 @@ struct TraceSpan {
   uint64_t id = 0;
   uint64_t parent = 0;
   std::string name;
-  /// Hierarchy level: "job", "phase", "rule", "operator", "stage", "task".
+  /// Hierarchy level: "job", "phase", "rule", "operator", "stage", "task",
+  /// or "morsel" (a row-range slice of a task under the morsel scheduler).
   std::string category;
   double start_us = 0.0;
   double duration_us = 0.0;
@@ -88,9 +89,10 @@ class TraceRecorder {
   /// Writes ToChromeTraceJson() to `path`; false on I/O failure.
   bool WriteChromeTrace(const std::string& path) const;
 
-  /// Renders the runtime EXPLAIN tree. Task spans are not printed as nodes
-  /// (their skew summary lives on the parent stage's attributes); spans
-  /// opened inside a task re-attach to the nearest non-task ancestor.
+  /// Renders the runtime EXPLAIN tree. Task and morsel spans are not
+  /// printed as nodes (their skew summary lives on the parent stage's
+  /// attributes); spans opened inside a task or morsel re-attach to the
+  /// nearest stage-or-above ancestor.
   std::string ExplainTree() const;
 
  private:

@@ -211,84 +211,103 @@ std::vector<RowPair> OCJoin(ExecutionContext* ctx,
   local_stats.partition_pairs_after_pruning = surviving.size();
 
   // --- Joining phase (lines 9-14): sort-merge join on the first condition,
-  // residual conditions evaluated per candidate pair. ---
-  std::vector<std::vector<RowPair>> task_results(surviving.size());
+  // residual conditions evaluated per candidate pair. The per-pair merge is
+  // split into morsels over the t1 sort order: each morsel rescans its
+  // boundary from scratch (the boundary is a pure function of v1, so the
+  // rescan lands exactly where the sequential scan would), making morsels
+  // independent while piece-order concatenation reproduces the sequential
+  // output order bit-identically.
   std::atomic<size_t> candidate_pairs{0};
   const OrderingCondition& c0 = conds[0];
-  Status join_status = executor.Run("ocjoin:join", surviving.size(), [&](size_t t, TaskContext& tc) {
-    const PartitionState& p1 = parts[surviving[t].t1];
-    const PartitionState& p2 = parts[surviving[t].t2];
-    const auto& s1 = p1.sorted.at(c0.left_column);    // t1 side, ascending.
-    const auto& s2 = p2.sorted.at(c0.right_column);   // t2 side, ascending.
-    if (s1.empty() || s2.empty()) return;
-    auto& out = task_results[t];
-    size_t local_candidates = 0;
-    // For < / <= the qualifying t2 form a suffix of s2; for > / >= a
-    // prefix. The boundary moves monotonically as t1 advances through its
-    // sort order, giving the merge its linear scan structure.
-    const bool suffix = c0.op == CmpOp::kLt || c0.op == CmpOp::kLeq;
-    if (suffix) {
-      // t1 ascending; qualifying t2 = {b : v1 op b} is a suffix whose start
-      // moves right as v1 grows.
-      size_t start = 0;
-      for (uint32_t i1 : s1) {
-        const Row& t1 = p1.rows[i1];
-        const Value& v1 = t1.value(c0.left_column);
-        while (start < s2.size() &&
-               !EvalOrdering(v1, c0.op, p2.rows[s2[start]].value(c0.right_column))) {
-          ++start;
-        }
-        for (size_t b = start; b < s2.size(); ++b) {
-          const Row& t2 = p2.rows[s2[b]];
-          if (t1.id() == t2.id()) continue;
-          ++local_candidates;
-          bool all = true;
+  auto join_result = executor.RunMorsels<std::vector<RowPair>>(
+      "ocjoin:join", surviving.size(),
+      [&](size_t t) -> size_t {
+        const PartitionState& p1 = parts[surviving[t].t1];
+        const PartitionState& p2 = parts[surviving[t].t2];
+        if (p2.sorted.at(c0.right_column).empty()) return 0;
+        return p1.sorted.at(c0.left_column).size();
+      },
+      [&](size_t t, size_t begin, size_t end_unit, TaskContext& tc) {
+        const PartitionState& p1 = parts[surviving[t].t1];
+        const PartitionState& p2 = parts[surviving[t].t2];
+        const auto& s1 = p1.sorted.at(c0.left_column);   // t1 side, ascending.
+        const auto& s2 = p2.sorted.at(c0.right_column);  // t2 side, ascending.
+        std::vector<RowPair> out;
+        size_t local_candidates = 0;
+        auto residuals_hold = [&](const Row& t1, const Row& t2) {
           for (size_t j = 1; j < conds.size(); ++j) {
             const auto& cj = conds[j];
             const Value& lv = t1.value(cj.left_column);
             const Value& rv = t2.value(cj.right_column);
             if (lv.is_null() || rv.is_null() || !EvalOrdering(lv, cj.op, rv)) {
-              all = false;
-              break;
+              return false;
             }
           }
-          if (all) out.push_back(RowPair{t1, t2});
-        }
-      }
-    } else {
-      // t1 descending; qualifying t2 = a prefix whose end moves left as v1
-      // shrinks.
-      size_t end = s2.size();
-      for (size_t a = s1.size(); a-- > 0;) {
-        const Row& t1 = p1.rows[s1[a]];
-        const Value& v1 = t1.value(c0.left_column);
-        while (end > 0 &&
-               !EvalOrdering(v1, c0.op, p2.rows[s2[end - 1]].value(c0.right_column))) {
-          --end;
-        }
-        for (size_t b = 0; b < end; ++b) {
-          const Row& t2 = p2.rows[s2[b]];
-          if (t1.id() == t2.id()) continue;
-          ++local_candidates;
-          bool all = true;
-          for (size_t j = 1; j < conds.size(); ++j) {
-            const auto& cj = conds[j];
-            const Value& lv = t1.value(cj.left_column);
-            const Value& rv = t2.value(cj.right_column);
-            if (lv.is_null() || rv.is_null() || !EvalOrdering(lv, cj.op, rv)) {
-              all = false;
-              break;
+          return true;
+        };
+        // For < / <= the qualifying t2 form a suffix of s2; for > / >= a
+        // prefix. The boundary moves monotonically as t1 advances through
+        // its iteration order, giving the merge its linear scan structure.
+        const bool suffix = c0.op == CmpOp::kLt || c0.op == CmpOp::kLeq;
+        if (suffix) {
+          // t1 ascending over s1 positions [begin, end_unit); qualifying
+          // t2 = {b : v1 op b} is a suffix whose start moves right as v1
+          // grows.
+          size_t start = 0;
+          for (size_t a = begin; a < end_unit; ++a) {
+            const Row& t1 = p1.rows[s1[a]];
+            const Value& v1 = t1.value(c0.left_column);
+            while (start < s2.size() &&
+                   !EvalOrdering(v1, c0.op,
+                                 p2.rows[s2[start]].value(c0.right_column))) {
+              ++start;
+            }
+            for (size_t b = start; b < s2.size(); ++b) {
+              const Row& t2 = p2.rows[s2[b]];
+              if (t1.id() == t2.id()) continue;
+              ++local_candidates;
+              if (residuals_hold(t1, t2)) out.push_back(RowPair{t1, t2});
             }
           }
-          if (all) out.push_back(RowPair{t1, t2});
+        } else {
+          // t1 descending; iteration step k covers a = n-1-k, so the
+          // morsel [begin, end_unit) walks s1 from the top down and the
+          // qualifying t2 prefix end moves left as v1 shrinks.
+          size_t end = s2.size();
+          for (size_t k = begin; k < end_unit; ++k) {
+            const Row& t1 = p1.rows[s1[s1.size() - 1 - k]];
+            const Value& v1 = t1.value(c0.left_column);
+            while (end > 0 &&
+                   !EvalOrdering(v1, c0.op,
+                                 p2.rows[s2[end - 1]].value(c0.right_column))) {
+              --end;
+            }
+            for (size_t b = 0; b < end; ++b) {
+              const Row& t2 = p2.rows[s2[b]];
+              if (t1.id() == t2.id()) continue;
+              ++local_candidates;
+              if (residuals_hold(t1, t2)) out.push_back(RowPair{t1, t2});
+            }
+          }
         }
-      }
-    }
-    candidate_pairs += local_candidates;
-    tc.records_in = p1.rows.size() + p2.rows.size();
-    tc.records_out = out.size();
-  });
-  if (!join_status.ok()) throw StageError(std::move(join_status));
+        candidate_pairs += local_candidates;
+        tc.records_in = end_unit - begin;
+        tc.records_out = out.size();
+        return out;
+      },
+      [](size_t, std::vector<std::vector<RowPair>>&& pieces) {
+        size_t total = 0;
+        for (const auto& piece : pieces) total += piece.size();
+        std::vector<RowPair> merged;
+        merged.reserve(total);
+        for (auto& piece : pieces) {
+          merged.insert(merged.end(), std::make_move_iterator(piece.begin()),
+                        std::make_move_iterator(piece.end()));
+        }
+        return merged;
+      });
+  if (!join_result.ok()) throw StageError(join_result.status());
+  std::vector<std::vector<RowPair>> task_results = std::move(*join_result);
 
   size_t total = 0;
   for (const auto& tr : task_results) total += tr.size();

@@ -120,6 +120,23 @@ void IterateBlock(const PhysicalRulePlan& plan, const std::vector<Row>& block,
   for (const auto& [a, b] : pairs) Probe(rule, *a, *b, out);
 }
 
+/// Folds one partition's morsel partials into its TaskOutput, in morsel
+/// (unit-range) order — violation order stays identical to one sequential
+/// pass over the partition's units.
+TaskOutput MergeTaskPieces(std::vector<TaskOutput>&& pieces) {
+  TaskOutput merged;
+  size_t total = 0;
+  for (const auto& piece : pieces) total += piece.violations.size();
+  merged.violations.reserve(total);
+  for (auto& piece : pieces) {
+    merged.detect_calls += piece.detect_calls;
+    for (auto& v : piece.violations) {
+      merged.violations.push_back(std::move(v));
+    }
+  }
+  return merged;
+}
+
 /// Merges per-task outputs into a DetectionResult. Driver-side (one call
 /// per detection stage), so the registry bookkeeping here is off the
 /// worker-timed hot path.
@@ -149,16 +166,27 @@ void MergeOutputs(std::vector<TaskOutput>* tasks, DetectionResult* result) {
 void RunBlocked(ExecutionContext* ctx, const PhysicalRulePlan& plan,
                 const Dataset<std::pair<BlockKey, std::vector<Row>>>& blocks,
                 DetectionResult* result) {
+  // Morsel units are whole blocks: a skewed partition (one giant dedup
+  // block plus many tiny ones) no longer pins a single worker — idle
+  // workers steal its block ranges. The quadratic interior of one block is
+  // the floor of splittability here; OCJoin handles that case upstream by
+  // never building giant blocks.
   const auto& parts = blocks.partitions();
-  std::vector<TaskOutput> tasks = blocks.RunStageProducing<TaskOutput>(
-      "iterate|detect|genfix", [&](size_t p, TaskContext& tc) {
+  std::vector<TaskOutput> tasks = blocks.RunStageMorsels<TaskOutput>(
+      "iterate|detect|genfix",
+      [&](size_t p) { return parts[p].size(); },
+      [&](size_t p, size_t begin, size_t end, TaskContext& tc) {
         TaskOutput out;
-        for (const auto& block : parts[p]) {
-          IterateBlock(plan, block.second, &out);
+        for (size_t b = begin; b < end; ++b) {
+          IterateBlock(plan, parts[p][b].second, &out);
         }
         ctx->metrics().AddPairsEnumerated(out.detect_calls);
+        tc.records_in = end - begin;
         tc.records_out = out.violations.size();
         return out;
+      },
+      [](size_t, std::vector<TaskOutput>&& pieces) {
+        return MergeTaskPieces(std::move(pieces));
       });
   MergeOutputs(&tasks, result);
 }
@@ -458,10 +486,13 @@ Result<std::vector<DetectionResult>> RuleEngine::DetectAllImpl(
       std::optional<ScopedSpan> op_span;
       if (trace.enabled()) op_span.emplace("scope|detect|genfix", "operator");
       const auto& parts = scoped.partitions();
-      std::vector<TaskOutput> tasks = scoped.RunStageProducing<TaskOutput>(
-          "detect:single|genfix", [&](size_t p, TaskContext& tc) {
+      std::vector<TaskOutput> tasks = scoped.RunStageMorsels<TaskOutput>(
+          "detect:single|genfix",
+          [&](size_t p) { return parts[p].size(); },
+          [&](size_t p, size_t begin, size_t end, TaskContext& tc) {
             TaskOutput out;
-            for (const Row& row : parts[p]) {
+            for (size_t i = begin; i < end; ++i) {
+              const Row& row = parts[p][i];
               ++out.detect_calls;
               std::vector<Violation> found;
               plan.rule->DetectSingle(row, &found);
@@ -472,8 +503,12 @@ Result<std::vector<DetectionResult>> RuleEngine::DetectAllImpl(
                 out.violations.push_back(std::move(vf));
               }
             }
+            tc.records_in = end - begin;
             tc.records_out = out.violations.size();
             return out;
+          },
+          [](size_t, std::vector<TaskOutput>&& pieces) {
+            return MergeTaskPieces(std::move(pieces));
           });
       MergeOutputs(&tasks, &result);
       continue;
@@ -504,14 +539,21 @@ Result<std::vector<DetectionResult>> RuleEngine::DetectAllImpl(
       if (trace.enabled()) op_span.emplace("detect|genfix", "operator");
       Dataset<RowPair> pair_ds = Dataset<RowPair>::FromVector(ctx_, std::move(pairs));
       const auto& parts = pair_ds.partitions();
-      std::vector<TaskOutput> tasks = pair_ds.RunStageProducing<TaskOutput>(
-          "detect|genfix:ocjoin-pairs", [&](size_t p, TaskContext& tc) {
+      std::vector<TaskOutput> tasks = pair_ds.RunStageMorsels<TaskOutput>(
+          "detect|genfix:ocjoin-pairs",
+          [&](size_t p) { return parts[p].size(); },
+          [&](size_t p, size_t begin, size_t end, TaskContext& tc) {
             TaskOutput out;
-            for (const RowPair& pr : parts[p]) {
+            for (size_t i = begin; i < end; ++i) {
+              const RowPair& pr = parts[p][i];
               Probe(*plan.rule, pr.left, pr.right, &out);
             }
+            tc.records_in = end - begin;
             tc.records_out = out.violations.size();
             return out;
+          },
+          [](size_t, std::vector<TaskOutput>&& pieces) {
+            return MergeTaskPieces(std::move(pieces));
           });
       MergeOutputs(&tasks, &result);
       continue;
@@ -652,10 +694,13 @@ Result<DetectionResult> RuleEngine::DetectIncrementalImpl(
   }
   Dataset<Row> changed_ds = Dataset<Row>::FromVector(ctx_, std::move(changed));
   const auto& parts = changed_ds.partitions();
-  std::vector<TaskOutput> tasks = changed_ds.RunStageProducing<TaskOutput>(
-      "iterate|detect:incremental", [&](size_t p, TaskContext& tc) {
+  std::vector<TaskOutput> tasks = changed_ds.RunStageMorsels<TaskOutput>(
+      "iterate|detect:incremental",
+      [&](size_t p) { return parts[p].size(); },
+      [&](size_t p, size_t begin, size_t end, TaskContext& tc) {
         TaskOutput out;
-        for (const Row& c : parts[p]) {
+        for (size_t i = begin; i < end; ++i) {
+          const Row& c = parts[p][i];
           for (const Row& r : rows) {
             if (r.id() == c.id()) continue;
             // Each unordered pair {c, r} is owned by exactly one loop
@@ -667,8 +712,12 @@ Result<DetectionResult> RuleEngine::DetectIncrementalImpl(
           }
         }
         ctx_->metrics().AddPairsEnumerated(out.detect_calls);
+        tc.records_in = end - begin;
         tc.records_out = out.violations.size();
         return out;
+      },
+      [](size_t, std::vector<TaskOutput>&& pieces) {
+        return MergeTaskPieces(std::move(pieces));
       });
   MergeOutputs(&tasks, &result);
   return result;
@@ -752,14 +801,21 @@ Result<DetectionResult> RuleEngine::DetectAcrossImpl(
     }
     auto pairs = left_ds.Cartesian(right_ds);
     const auto& parts = pairs.partitions();
-    std::vector<TaskOutput> tasks = pairs.RunStageProducing<TaskOutput>(
-        "detect|genfix:cartesian", [&](size_t p, TaskContext& tc) {
+    std::vector<TaskOutput> tasks = pairs.RunStageMorsels<TaskOutput>(
+        "detect|genfix:cartesian",
+        [&](size_t p) { return parts[p].size(); },
+        [&](size_t p, size_t begin, size_t end, TaskContext& tc) {
           TaskOutput out;
-          for (const auto& pr : parts[p]) {
+          for (size_t i = begin; i < end; ++i) {
+            const auto& pr = parts[p][i];
             Probe(*rule, pr.first, pr.second, &out);
           }
+          tc.records_in = end - begin;
           tc.records_out = out.violations.size();
           return out;
+        },
+        [](size_t, std::vector<TaskOutput>&& pieces) {
+          return MergeTaskPieces(std::move(pieces));
         });
     MergeOutputs(&tasks, &result);
     return result;
@@ -799,11 +855,13 @@ Result<DetectionResult> RuleEngine::DetectAcrossImpl(
   auto coblocks = CoGroup(key_rows(left_ds, left_cols),
                           key_rows(right_ds, right_cols));
   const auto& parts = coblocks.partitions();
-  std::vector<TaskOutput> tasks = coblocks.RunStageProducing<TaskOutput>(
-      "iterate|detect|genfix:coblock", [&](size_t p, TaskContext& tc) {
+  std::vector<TaskOutput> tasks = coblocks.RunStageMorsels<TaskOutput>(
+      "iterate|detect|genfix:coblock",
+      [&](size_t p) { return parts[p].size(); },
+      [&](size_t p, size_t begin, size_t end, TaskContext& tc) {
         TaskOutput out;
-        for (const auto& kv : parts[p]) {
-          const auto& [lbag, rbag] = kv.second;
+        for (size_t i = begin; i < end; ++i) {
+          const auto& [lbag, rbag] = parts[p][i].second;
           for (const Row& a : lbag) {
             for (const Row& b : rbag) {
               Probe(*rule, a, b, &out);
@@ -811,8 +869,12 @@ Result<DetectionResult> RuleEngine::DetectAcrossImpl(
           }
         }
         ctx_->metrics().AddPairsEnumerated(out.detect_calls);
+        tc.records_in = end - begin;
         tc.records_out = out.violations.size();
         return out;
+      },
+      [](size_t, std::vector<TaskOutput>&& pieces) {
+        return MergeTaskPieces(std::move(pieces));
       });
   MergeOutputs(&tasks, &result);
   return result;

@@ -2,6 +2,7 @@
 #define BIGDANSING_DATAFLOW_CONTEXT_H_
 
 #include <cstddef>
+#include <cstdlib>
 #include <memory>
 
 #include "common/fault.h"
@@ -28,7 +29,10 @@ class ExecutionContext {
   explicit ExecutionContext(size_t num_workers, Backend backend = Backend::kSpark)
       : num_workers_(num_workers == 0 ? 1 : num_workers),
         backend_(backend),
-        pool_(std::make_unique<ThreadPool>(num_workers_)) {}
+        // BD_THREADS overrides the physical thread count without changing
+        // the logical cluster size used for partitioning and accounting.
+        pool_(std::make_unique<ThreadPool>(
+            ThreadPool::EnvThreadsOr(num_workers_))) {}
 
   size_t num_workers() const { return num_workers_; }
   Backend backend() const { return backend_; }
@@ -38,6 +42,27 @@ class ExecutionContext {
 
   /// Default partition count for new datasets (2 waves per worker).
   size_t default_partitions() const { return num_workers_ * 2; }
+
+  /// Rows per morsel for splittable stages; 0 disables morsel-driven
+  /// execution and every stage runs at partition granularity (the
+  /// pre-morsel engine, also the speculation-capable path). Defaults from
+  /// BD_MORSEL_ROWS; override per context for tests and ablations.
+  size_t morsel_rows() const { return morsel_rows_; }
+  void set_morsel_rows(size_t rows) { morsel_rows_ = rows; }
+
+  /// BD_MORSEL_ROWS when set (0 allowed: disables morsels), else 2048 —
+  /// sized so one morsel's rows plus its output stay inside a typical
+  /// 256KB–1MB L2 slice for the ~100-byte records of the bundled datasets.
+  static size_t DefaultMorselRows() {
+    if (const char* env = std::getenv("BD_MORSEL_ROWS")) {
+      char* end = nullptr;
+      long value = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && value >= 0) {
+        return static_cast<size_t>(value);
+      }
+    }
+    return 2048;
+  }
 
   /// Recovery policy every stage launched on this context runs under
   /// (retry attempts, backoff, speculation). Defaults from the environment
@@ -69,6 +94,7 @@ class ExecutionContext {
   std::unique_ptr<ThreadPool> pool_;
   Metrics metrics_;
   FaultPolicy fault_policy_ = FaultPolicy::FromEnv();
+  size_t morsel_rows_ = DefaultMorselRows();
 };
 
 /// RAII override of a context's fault policy for the extent of one request

@@ -51,6 +51,16 @@ class Dataset {
   using Sink = std::function<void(T&&)>;
   /// Produces all records of one partition by invoking the sink per record.
   using Producer = std::function<void(size_t, const Sink&)>;
+  /// Range form of a fused pipeline: streams the output of rows
+  /// [begin, end) of the pipeline *root's* partition `p` — the coordinates
+  /// SplitRows(p) counts in. Element-wise chains (Map/FlatMap/Filter) are
+  /// range-splittable because each root row's output is independent of the
+  /// others, so concatenating range outputs in row order reproduces the
+  /// whole-partition stream bit-identically; whole-partition steps
+  /// (MapPartitions) are not, and datasets containing one have no
+  /// RangeProducer.
+  using RangeProducer =
+      std::function<void(size_t, size_t, size_t, const Sink&)>;
 
   Dataset() : state_(nullptr) {}
   /// Wraps already-materialized partitions (no stage runs).
@@ -127,6 +137,42 @@ class Dataset {
     StreamFrom(state_, p, sink);
   }
 
+  /// True when partition streams can be produced per root-row range —
+  /// materialized data, or a deferred pipeline of element-wise steps only.
+  /// The morsel scheduler requires this; non-splittable datasets force at
+  /// partition granularity.
+  bool RangeStreamable() const {
+    if (!state_) return false;
+    return state_->materialized ||
+           (state_->produce_range && state_->split_rows);
+  }
+
+  /// Rows of partition `p` in the coordinates StreamPartitionRange splits
+  /// on: the root partition size captured when this node was built (stable
+  /// even if an ancestor materializes later), or the partition size when
+  /// materialized. Only meaningful when RangeStreamable().
+  size_t SplitRows(size_t p) const {
+    if (!state_) return 0;
+    if (state_->materialized) return state_->parts[p].size();
+    return state_->split_rows ? state_->split_rows(p) : 0;
+  }
+
+  /// Streams the pipeline output of root rows [begin, end) of partition
+  /// `p` into `sink`. Requires RangeStreamable(). Concatenating the
+  /// streams of consecutive ranges covering [0, SplitRows(p)) yields
+  /// exactly StreamPartition(p)'s stream.
+  void StreamPartitionRange(size_t p, size_t begin, size_t end,
+                            const Sink& sink) const {
+    if (!state_) return;
+    if (state_->materialized) {
+      const auto& part = state_->parts[p];
+      if (end > part.size()) end = part.size();
+      for (size_t i = begin; i < end; ++i) sink(T(part[i]));
+      return;
+    }
+    state_->produce_range(p, begin, end, sink);
+  }
+
   /// Records entering partition `p`'s fused pipeline (the pipeline root's
   /// partition size). Equals the partition size when materialized.
   size_t InputSize(size_t p) const {
@@ -141,12 +187,20 @@ class Dataset {
       -> Dataset<std::decay_t<decltype(fn(std::declval<const T&>()))>> {
     using U = std::decay_t<decltype(fn(std::declval<const T&>()))>;
     auto parent = state_;
+    RangeProducer parent_range = RangeProducerFn();
+    typename Dataset<U>::RangeProducer range;
+    if (parent_range) {
+      range = [parent_range, fn](size_t p, size_t begin, size_t end,
+                                 const typename Dataset<U>::Sink& sink) {
+        parent_range(p, begin, end, [&](T&& x) { sink(fn(x)); });
+      };
+    }
     return Dataset<U>::Deferred(
         context(), num_partitions(), ChainLabel(name),
         [parent, fn](size_t p, const typename Dataset<U>::Sink& sink) {
           StreamFrom(parent, p, [&](T&& x) { sink(fn(x)); });
         },
-        InputSizeFn());
+        InputSizeFn(), std::move(range), SplitRowsFn());
   }
 
   /// One-to-many transform. `fn`: const T& -> std::vector<U>. Deferred.
@@ -157,6 +211,17 @@ class Dataset {
     using U =
         typename std::decay_t<decltype(fn(std::declval<const T&>()))>::value_type;
     auto parent = state_;
+    RangeProducer parent_range = RangeProducerFn();
+    typename Dataset<U>::RangeProducer range;
+    if (parent_range) {
+      range = [parent_range, fn](size_t p, size_t begin, size_t end,
+                                 const typename Dataset<U>::Sink& sink) {
+        parent_range(p, begin, end, [&](T&& x) {
+          auto produced = fn(x);
+          for (auto& u : produced) sink(std::move(u));
+        });
+      };
+    }
     return Dataset<U>::Deferred(
         context(), num_partitions(), ChainLabel(name),
         [parent, fn](size_t p, const typename Dataset<U>::Sink& sink) {
@@ -165,13 +230,23 @@ class Dataset {
             for (auto& u : produced) sink(std::move(u));
           });
         },
-        InputSizeFn());
+        InputSizeFn(), std::move(range), SplitRowsFn());
   }
 
   /// Keeps records satisfying `pred`. Deferred.
   template <typename F>
   Dataset<T> Filter(F pred, const std::string& name = "filter") const {
     auto parent = state_;
+    RangeProducer parent_range = RangeProducerFn();
+    RangeProducer range;
+    if (parent_range) {
+      range = [parent_range, pred](size_t p, size_t begin, size_t end,
+                                   const Sink& sink) {
+        parent_range(p, begin, end, [&](T&& x) {
+          if (pred(x)) sink(std::move(x));
+        });
+      };
+    }
     return Dataset<T>::Deferred(
         context(), num_partitions(), ChainLabel(name),
         [parent, pred](size_t p, const Sink& sink) {
@@ -179,7 +254,7 @@ class Dataset {
             if (pred(x)) sink(std::move(x));
           });
         },
-        InputSizeFn());
+        InputSizeFn(), std::move(range), SplitRowsFn());
   }
 
   /// Whole-partition transform. `fn`: const std::vector<T>& ->
@@ -279,6 +354,28 @@ class Dataset {
     auto left = state_;
     auto right = other.state_;
     const size_t left_np = num_partitions();
+    // The union is range-splittable iff both sides are; each side's range
+    // producer and root sizes are captured by value here, so a side that
+    // materializes later keeps the coordinates of construction time.
+    RangeProducer left_range = RangeProducerFn();
+    RangeProducer right_range = other.RangeProducerFn();
+    std::function<size_t(size_t)> left_rows = SplitRowsFn();
+    std::function<size_t(size_t)> right_rows = other.SplitRowsFn();
+    RangeProducer range;
+    std::function<size_t(size_t)> split_rows;
+    if (left_range && right_range && left_rows && right_rows) {
+      range = [left_range, right_range, left_np](size_t p, size_t begin,
+                                                 size_t end, const Sink& sink) {
+        if (p < left_np) {
+          left_range(p, begin, end, sink);
+        } else {
+          right_range(p - left_np, begin, end, sink);
+        }
+      };
+      split_rows = [left_rows, right_rows, left_np](size_t p) {
+        return p < left_np ? left_rows(p) : right_rows(p - left_np);
+      };
+    }
     return Dataset<T>::Deferred(
         context() ? context() : other.context(),
         left_np + other.num_partitions(), "union",
@@ -294,7 +391,8 @@ class Dataset {
           const size_t q = p < left_np ? p : p - left_np;
           if (!s) return size_t{0};
           return s->materialized ? s->parts[q].size() : s->input_size(q);
-        });
+        },
+        std::move(range), std::move(split_rows));
   }
 
   /// Full cross product with `other`. Quadratic: use only on inputs known to
@@ -370,6 +468,34 @@ class Dataset {
     return std::move(*result);
   }
 
+  /// Morsel-capable RunStageProducing for stages whose per-partition work
+  /// decomposes into `units_of(p)` independent units (rows, blocks,
+  /// pairs): `body(p, begin, end, tc)` processes units [begin, end) of
+  /// partition p and returns a partial U; `merge(p, pieces)` folds the
+  /// partials in ascending unit order into partition p's result. With
+  /// morsels disabled (ctx->morsel_rows() == 0) the stage runs one body
+  /// call per partition — identical results, partition granularity.
+  /// Forces the pipeline first. Throws StageError when the stage fails.
+  template <typename U, typename RowsF, typename F, typename M>
+  std::vector<U> RunStageMorsels(const std::string& name, RowsF units_of,
+                                 F body, M merge) const {
+    const auto& parts = partitions();
+    (void)parts;
+    ExecutionContext* ctx = context();
+    if (ctx == nullptr) return {};
+    auto result = StageExecutor(ctx).RunMorsels<U>(
+        name, num_partitions(),
+        [&](size_t p) -> size_t { return units_of(p); },
+        [&](size_t p, size_t begin, size_t end, TaskContext& tc) {
+          return body(p, begin, end, tc);
+        },
+        [&](size_t p, std::vector<U>&& pieces) {
+          return merge(p, std::move(pieces));
+        });
+    if (!result.ok()) throw StageError(result.status());
+    return std::move(*result);
+  }
+
  private:
   /// Shared, cached evaluation state. Copies of a Dataset share one State,
   /// so forcing through any copy materializes for all of them.
@@ -378,9 +504,17 @@ class Dataset {
     size_t num_partitions = 0;
     /// Deferred fused pipeline; null once materialized.
     Producer produce;
+    /// Range form of `produce` for element-wise chains; null when the
+    /// chain contains a whole-partition step (not range-splittable).
+    RangeProducer produce_range;
     /// Record count entering the pipeline for a partition (pipeline root's
     /// partition size); only meaningful while deferred.
     std::function<size_t(size_t)> input_size;
+    /// Root partition size in produce_range's coordinates, captured by
+    /// value at node construction — unlike input_size it cannot shift when
+    /// an ancestor materializes, which is what keeps range splitting
+    /// exhaustive. Null iff produce_range is.
+    std::function<size_t(size_t)> split_rows;
     /// Stage name for the fused pipeline, e.g. "scope|filter".
     std::string label;
     std::vector<std::vector<T>> parts;
@@ -388,18 +522,52 @@ class Dataset {
   };
 
   /// Builds a deferred dataset node (internal; used across Dataset<T> and
-  /// Dataset<U> via friendship).
+  /// Dataset<U> via friendship). `produce_range`/`split_rows` may be null:
+  /// the node is then not range-splittable and forces at partition
+  /// granularity.
   static Dataset Deferred(ExecutionContext* ctx, size_t num_partitions,
                           std::string label, Producer produce,
-                          std::function<size_t(size_t)> input_size) {
+                          std::function<size_t(size_t)> input_size,
+                          RangeProducer produce_range = nullptr,
+                          std::function<size_t(size_t)> split_rows = nullptr) {
     Dataset ds;
     ds.state_ = std::make_shared<State>();
     ds.state_->ctx = ctx;
     ds.state_->num_partitions = num_partitions;
     ds.state_->produce = std::move(produce);
+    ds.state_->produce_range = std::move(produce_range);
     ds.state_->input_size = std::move(input_size);
+    ds.state_->split_rows = std::move(split_rows);
     ds.state_->label = std::move(label);
     return ds;
+  }
+
+  /// Range producer a child node chains onto: replays rows [begin, end) of
+  /// the cached partition when this dataset is materialized, else this
+  /// dataset's own range pipeline (copied by value — stable even if this
+  /// node materializes before the child forces). Null when not splittable.
+  RangeProducer RangeProducerFn() const {
+    auto parent = state_;
+    if (!parent) return nullptr;
+    if (parent->materialized) {
+      return [parent](size_t p, size_t begin, size_t end, const Sink& sink) {
+        const auto& part = parent->parts[p];
+        if (end > part.size()) end = part.size();
+        for (size_t i = begin; i < end; ++i) sink(T(part[i]));
+      };
+    }
+    return parent->produce_range;
+  }
+
+  /// Root row count a child node's range producer splits on; null when
+  /// this dataset is not range-splittable.
+  std::function<size_t(size_t)> SplitRowsFn() const {
+    auto parent = state_;
+    if (!parent) return nullptr;
+    if (parent->materialized) {
+      return [parent](size_t p) { return parent->parts[p].size(); };
+    }
+    return parent->split_rows;
   }
 
   /// Streams partition `p` of `state` into `sink`: replays the cache when
@@ -437,25 +605,63 @@ class Dataset {
   /// re-runnable: each buffers into its own output vector and the executor
   /// publishes exactly one per partition. Throws StageError on stage
   /// failure (caught at the public API boundaries).
+  ///
+  /// Range-splittable pipelines run on the morsel scheduler: every
+  /// BD_MORSEL_ROWS root rows of a partition become one independently
+  /// scheduled morsel, and the partition's cache is the concatenation of
+  /// its morsel outputs in row order — bit-identical to one streaming pass
+  /// (element-wise steps preserve per-row output order). Non-splittable
+  /// pipelines, and all pipelines when morsels are disabled, run one task
+  /// per partition exactly as before.
   void Force() const {
     State& s = *state_;
     if (s.materialized) return;
-    auto produced = StageExecutor(s.ctx).RunProducing<std::vector<T>>(
-        s.label.empty() ? "stage" : s.label, s.num_partitions,
-        [&](size_t p, TaskContext& tc) {
-          std::vector<T> slot;
-          s.produce(p, [&](T&& x) { slot.push_back(std::move(x)); });
-          tc.records_in = s.input_size ? s.input_size(p) : 0;
-          tc.records_out = slot.size();
-          // One stage boundary per fused pipeline: Hadoop mode charges the
-          // materialization once, however many steps were fused.
-          s.ctx->ChargeMaterialization(slot.size());
-          return slot;
-        });
+    const std::string stage_name = s.label.empty() ? "stage" : s.label;
+    const size_t morsel_rows = s.ctx ? s.ctx->morsel_rows() : 0;
+    Result<std::vector<std::vector<T>>> produced = Status::OK();
+    if (morsel_rows > 0 && s.produce_range && s.split_rows) {
+      produced = StageExecutor(s.ctx).RunMorsels<std::vector<T>>(
+          stage_name, s.num_partitions,
+          [&](size_t p) { return s.split_rows(p); },
+          [&](size_t p, size_t begin, size_t end, TaskContext& tc) {
+            std::vector<T> piece;
+            s.produce_range(p, begin, end,
+                            [&](T&& x) { piece.push_back(std::move(x)); });
+            tc.records_in = end - begin;
+            tc.records_out = piece.size();
+            s.ctx->ChargeMaterialization(piece.size());
+            return piece;
+          },
+          [](size_t, std::vector<std::vector<T>>&& pieces) {
+            size_t total = 0;
+            for (const auto& piece : pieces) total += piece.size();
+            std::vector<T> slot;
+            slot.reserve(total);
+            for (auto& piece : pieces) {
+              slot.insert(slot.end(), std::make_move_iterator(piece.begin()),
+                          std::make_move_iterator(piece.end()));
+            }
+            return slot;
+          });
+    } else {
+      produced = StageExecutor(s.ctx).RunProducing<std::vector<T>>(
+          stage_name, s.num_partitions, [&](size_t p, TaskContext& tc) {
+            std::vector<T> slot;
+            s.produce(p, [&](T&& x) { slot.push_back(std::move(x)); });
+            tc.records_in = s.input_size ? s.input_size(p) : 0;
+            tc.records_out = slot.size();
+            // One stage boundary per fused pipeline: Hadoop mode charges
+            // the materialization once, however many steps were fused.
+            s.ctx->ChargeMaterialization(slot.size());
+            return slot;
+          });
+    }
     if (!produced.ok()) throw StageError(produced.status());
     s.parts = std::move(*produced);
     s.produce = nullptr;
+    s.produce_range = nullptr;
     s.input_size = nullptr;
+    s.split_rows = nullptr;
     s.materialized = true;
   }
 
@@ -489,21 +695,55 @@ std::vector<std::vector<std::pair<K, V>>> ShuffleByKey(
       ds.materialized() || ds.pipeline_label().empty()
           ? stage_prefix + ":map"
           : ds.pipeline_label() + "|" + stage_prefix + ":map";
-  auto buckets_result =
-      executor.RunProducing<std::vector<std::vector<std::pair<K, V>>>>(
-          map_label, num_in, [&](size_t p, TaskContext& tc) {
-            std::vector<std::vector<std::pair<K, V>>> row(num_out);
-            ds.StreamPartition(p, [&](std::pair<K, V>&& kv) {
-              size_t target = hash(kv.first) % num_out;
-              row[target].push_back(std::move(kv));
-              ++tc.records_out;
-            });
-            tc.records_in = ds.InputSize(p);
-            tc.shuffled_records = tc.records_out;
-            shuffle_bytes.Add(tc.records_out * sizeof(std::pair<K, V>));
-            ctx->ChargeMaterialization(tc.records_out);
-            return row;
+  using BucketRow = std::vector<std::vector<std::pair<K, V>>>;
+  Result<std::vector<BucketRow>> buckets_result = Status::OK();
+  if (ds.RangeStreamable() && ctx->morsel_rows() > 0) {
+    // Morsel-driven map side: each morsel hashes its root-row range into a
+    // private bucket row; the driver concatenates bucket rows in row-range
+    // order, so every bucket's record order equals the whole-partition
+    // streaming pass and the shuffle output is bit-identical.
+    buckets_result = executor.RunMorsels<BucketRow>(
+        map_label, num_in, [&](size_t p) { return ds.SplitRows(p); },
+        [&](size_t p, size_t begin, size_t end, TaskContext& tc) {
+          BucketRow row(num_out);
+          ds.StreamPartitionRange(p, begin, end, [&](std::pair<K, V>&& kv) {
+            size_t target = hash(kv.first) % num_out;
+            row[target].push_back(std::move(kv));
+            ++tc.records_out;
           });
+          tc.records_in = end - begin;
+          tc.shuffled_records = tc.records_out;
+          shuffle_bytes.Add(tc.records_out * sizeof(std::pair<K, V>));
+          ctx->ChargeMaterialization(tc.records_out);
+          return row;
+        },
+        [&](size_t, std::vector<BucketRow>&& pieces) {
+          BucketRow row(num_out);
+          for (auto& piece : pieces) {
+            for (size_t q = 0; q < num_out; ++q) {
+              row[q].insert(row[q].end(),
+                            std::make_move_iterator(piece[q].begin()),
+                            std::make_move_iterator(piece[q].end()));
+            }
+          }
+          return row;
+        });
+  } else {
+    buckets_result = executor.RunProducing<BucketRow>(
+        map_label, num_in, [&](size_t p, TaskContext& tc) {
+          BucketRow row(num_out);
+          ds.StreamPartition(p, [&](std::pair<K, V>&& kv) {
+            size_t target = hash(kv.first) % num_out;
+            row[target].push_back(std::move(kv));
+            ++tc.records_out;
+          });
+          tc.records_in = ds.InputSize(p);
+          tc.shuffled_records = tc.records_out;
+          shuffle_bytes.Add(tc.records_out * sizeof(std::pair<K, V>));
+          ctx->ChargeMaterialization(tc.records_out);
+          return row;
+        });
+  }
   if (!buckets_result.ok()) throw StageError(buckets_result.status());
   auto& buckets = *buckets_result;
   auto merged = executor.RunProducing<std::vector<std::pair<K, V>>>(

@@ -70,17 +70,25 @@ std::vector<std::string> MapReduceJob::Run(
   const size_t split = (input_records.size() + num_maps - 1) / num_maps;
 
   // --- Map phase: each task produces one serialized spill blob per reducer
-  // (Hadoop's partitioned spill files). The blobs are the attempt's output
-  // buffer, so a retried or speculative map attempt re-reads its immutable
-  // input split and the executor commits exactly one blob row. ---
+  // (Hadoop's partitioned spill files). Under the morsel scheduler the
+  // task's input split is further cut into record subranges, each emitting
+  // per-reducer partial blobs; in-order concatenation of the partials
+  // reproduces the sequential spill blobs byte-identically. The blobs are
+  // the attempt's output buffer, so a retried map attempt re-reads its
+  // immutable input subrange and the executor commits exactly one blob
+  // row per task. ---
   StageExecutor executor(ctx_);
-  auto spills_result = executor.RunProducing<std::vector<std::string>>(
-      "mr:map", num_maps, [&](size_t m, TaskContext& tc) {
+  auto spills_result = executor.RunMorsels<std::vector<std::string>>(
+      "mr:map", num_maps,
+      [&](size_t m) -> size_t {
+        size_t base = m * split;
+        return std::min(input_records.size(), base + split) - base;
+      },
+      [&](size_t m, size_t begin, size_t end, TaskContext& tc) {
         std::vector<std::string> row(num_reducers_);
-        size_t begin = m * split;
-        size_t end = std::min(input_records.size(), begin + split);
+        size_t base = m * split;
         std::vector<std::pair<std::string, std::string>> emitted;
-        for (size_t i = begin; i < end; ++i) {
+        for (size_t i = base + begin; i < base + end; ++i) {
           emitted.clear();
           map_fn_(input_records[i], &emitted);
           for (const auto& [key, value] : emitted) {
@@ -91,6 +99,13 @@ std::vector<std::string> MapReduceJob::Run(
           }
         }
         tc.records_in = end - begin;
+        return row;
+      },
+      [this](size_t, std::vector<std::vector<std::string>>&& pieces) {
+        std::vector<std::string> row(num_reducers_);
+        for (auto& piece : pieces) {
+          for (size_t r = 0; r < num_reducers_; ++r) row[r] += piece[r];
+        }
         return row;
       });
   if (!spills_result.ok()) throw StageError(spills_result.status());

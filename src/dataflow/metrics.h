@@ -52,6 +52,11 @@ struct StageReport {
   uint64_t failed_attempts = 0;
   uint64_t speculative_launched = 0;
   uint64_t speculative_committed = 0;
+  /// Row-range morsels executed when the stage ran on the morsel-driven
+  /// scheduler (0 for partition-granularity stages). When non-zero, each
+  /// entry of `task_seconds` is one morsel's CPU time, so the quantiles
+  /// and straggler ratio measure the scheduler's actual work units.
+  uint64_t morsels = 0;
   std::vector<double> task_seconds;
 
   /// Fastest task's CPU seconds (0 when no task finished).
@@ -105,6 +110,8 @@ class Metrics {
   uint64_t tasks() const { return tasks_; }
   uint64_t pairs_enumerated() const { return pairs_enumerated_; }
   uint64_t records_read() const { return records_read_; }
+  /// Total row-range morsels executed across all stages.
+  uint64_t morsels() const { return morsels_; }
 
   /// Opens a StageReport for a stage named `name` with `num_tasks` tasks and
   /// returns its handle. Counted into stages()/tasks() immediately.
@@ -137,6 +144,24 @@ class Metrics {
     report->shuffled_records += tc.shuffled_records;
     report->busy_seconds += busy_seconds;
     report->task_seconds.push_back(busy_seconds);
+  }
+
+  /// Folds one finished morsel's counters into stage `handle`, exactly like
+  /// AccumulateTask but also counting the morsel (per-stage and globally).
+  /// No-op when `handle` is stale.
+  void AccumulateMorsel(size_t handle, const TaskContext& tc,
+                        double busy_seconds) {
+    std::lock_guard<std::mutex> lock(stage_mutex_);
+    StageReport* report = LookupLocked(handle);
+    if (report == nullptr) return;
+    if (tc.shuffled_records > 0) shuffled_records_ += tc.shuffled_records;
+    report->records_in += tc.records_in;
+    report->records_out += tc.records_out;
+    report->shuffled_records += tc.shuffled_records;
+    report->busy_seconds += busy_seconds;
+    report->task_seconds.push_back(busy_seconds);
+    ++report->morsels;
+    ++morsels_;
   }
 
   /// Folds one stage's recovery counters (retries, failed attempts,
@@ -209,6 +234,7 @@ class Metrics {
     tasks_ = 0;
     pairs_enumerated_ = 0;
     records_read_ = 0;
+    morsels_ = 0;
     {
       std::lock_guard<std::mutex> lock(stage_mutex_);
       stage_reports_.clear();
@@ -222,6 +248,7 @@ class Metrics {
   std::string ToString() const {
     return "stages=" + std::to_string(stages_.load()) +
            " tasks=" + std::to_string(tasks_.load()) +
+           " morsels=" + std::to_string(morsels_.load()) +
            " shuffled=" + std::to_string(shuffled_records_.load()) +
            " pairs=" + std::to_string(pairs_enumerated_.load()) +
            " read=" + std::to_string(records_read_.load());
@@ -247,6 +274,7 @@ class Metrics {
              std::to_string(r.speculative_launched);
       out += ",\"speculative_committed\":" +
              std::to_string(r.speculative_committed);
+      out += ",\"morsels\":" + std::to_string(r.morsels);
       out += ",\"task_seconds_min\":" + JsonDouble(r.TaskMinSeconds());
       out += ",\"task_seconds_p50\":" + JsonDouble(r.TaskP50Seconds());
       out += ",\"task_seconds_max\":" + JsonDouble(r.TaskMaxSeconds());
@@ -263,6 +291,7 @@ class Metrics {
     std::string out = "{";
     out += "\"stages\":" + std::to_string(stages_.load());
     out += ",\"tasks\":" + std::to_string(tasks_.load());
+    out += ",\"morsels\":" + std::to_string(morsels_.load());
     out += ",\"shuffled_records\":" + std::to_string(shuffled_records_.load());
     out += ",\"pairs_enumerated\":" + std::to_string(pairs_enumerated_.load());
     out += ",\"records_read\":" + std::to_string(records_read_.load());
@@ -303,6 +332,7 @@ class Metrics {
   std::atomic<uint64_t> tasks_{0};
   std::atomic<uint64_t> pairs_enumerated_{0};
   std::atomic<uint64_t> records_read_{0};
+  std::atomic<uint64_t> morsels_{0};
   mutable std::mutex stage_mutex_;
   std::vector<StageReport> stage_reports_;
   /// Advanced by Reset(); guarded by stage_mutex_.

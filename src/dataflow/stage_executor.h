@@ -23,8 +23,8 @@ namespace bigdansing {
 
 /// The single task-scheduling point of the dataflow engine. Every unit of
 /// parallel work — map-side fused pipelines, reduce-side merges, join
-/// probes, repair components — runs through Run()/RunProducing(), so it is
-/// uniformly:
+/// probes, repair components — runs through Run()/RunProducing()/
+/// RunMorsels(), so it is uniformly:
 ///
 ///  - counted (stages/tasks totals in Metrics),
 ///  - timed (per-task CPU time accrued to logical worker `task % workers`,
@@ -108,6 +108,262 @@ class StageExecutor {
       const std::string& stage_name, size_t num_tasks,
       const std::function<T(size_t, TaskContext&)>& body) const {
     return Execute<T>(stage_name, num_tasks, body, /*allow_speculation=*/true);
+  }
+
+  /// Morsel-driven form of RunProducing for splittable stages: task t's
+  /// work is `task_units(t)` independent units (rows, blocks, pairs) and
+  /// `body(t, begin, end, tc)` processes the half-open unit range,
+  /// returning a partial result. The engine splits each task into
+  /// ctx->morsel_rows()-sized morsels, schedules every morsel as its own
+  /// pool task (so a skewed partition no longer serializes the stage — idle
+  /// workers steal its morsels), and the driver folds task t's partials in
+  /// ascending unit order with `merge(t, pieces)` — which makes the result
+  /// bit-identical to running body(t, 0, task_units(t), tc) whenever merge
+  /// is the natural concatenation of range outputs.
+  ///
+  /// Contracts relative to Execute():
+  ///  - retry-with-backoff moves to morsel granularity: the FaultInjector
+  ///    site (named after the stage) indexes by *global morsel number*, and
+  ///    max_attempts / the shared stage retry budget apply per morsel;
+  ///  - each morsel's CPU time lands in the StageReport's task_seconds (so
+  ///    quantiles/straggler ratio describe the real scheduling units) and
+  ///    accrues to logical worker `morsel % workers`, which is what moves
+  ///    SimulatedWallSeconds() from max-partition to balanced;
+  ///  - no speculation: morsels are small enough that re-execution is
+  ///    cheaper than duplicate-and-race (speculation stays available to
+  ///    non-splittable stages via RunProducing).
+  ///
+  /// When morsels are disabled (ctx->morsel_rows() == 0) the stage runs as
+  /// one body call per task through the Execute() engine — the pre-morsel
+  /// partition-granularity path, with speculation.
+  template <typename T>
+  [[nodiscard]] Result<std::vector<T>> RunMorsels(
+      const std::string& stage_name, size_t num_tasks,
+      const std::function<size_t(size_t)>& task_units,
+      const std::function<T(size_t, size_t, size_t, TaskContext&)>& body,
+      const std::function<T(size_t, std::vector<T>&&)>& merge) const {
+    const size_t morsel_rows = ctx_->morsel_rows();
+    if (morsel_rows == 0) {
+      return Execute<T>(
+          stage_name, num_tasks,
+          [&](size_t t, TaskContext& tc) {
+            std::vector<T> piece;
+            piece.push_back(body(t, 0, task_units(t), tc));
+            return merge(t, std::move(piece));
+          },
+          /*allow_speculation=*/true);
+    }
+
+    Metrics& metrics = ctx_->metrics();
+    TraceRecorder& trace = TraceRecorder::Instance();
+    std::optional<ScopedSpan> stage_span;
+    if (trace.enabled()) stage_span.emplace(stage_name, "stage");
+    const size_t handle = metrics.BeginStage(stage_name, num_tasks);
+    Stopwatch wall;
+    std::vector<T> out(num_tasks);
+
+    // Static split: the morsel list is fixed up front so every morsel has
+    // a stable global index — the coordinate used for fault-injection
+    // sites, worker-slot accounting and trace lanes, independent of which
+    // thread happens to run it.
+    struct MorselDef {
+      uint32_t task;
+      uint32_t piece;
+      size_t begin;
+      size_t end;
+    };
+    std::vector<MorselDef> defs;
+    std::vector<std::vector<T>> pieces(num_tasks);
+    for (size_t t = 0; t < num_tasks; ++t) {
+      const size_t units = task_units(t);
+      const size_t num_pieces = (units + morsel_rows - 1) / morsel_rows;
+      pieces[t].resize(num_pieces);
+      for (size_t p = 0; p < num_pieces; ++p) {
+        const size_t begin = p * morsel_rows;
+        defs.push_back(MorselDef{static_cast<uint32_t>(t),
+                                 static_cast<uint32_t>(p), begin,
+                                 std::min(units, begin + morsel_rows)});
+      }
+    }
+    const size_t total = defs.size();
+
+    struct Shared {
+      explicit Shared(int64_t budget) : retry_budget(budget) {}
+      std::atomic<size_t> done{0};
+      std::atomic<bool> failed{false};
+      std::atomic<int64_t> retry_budget;
+      std::atomic<uint64_t> retries{0};
+      std::atomic<uint64_t> failed_attempts{0};
+      std::mutex mu;
+      Status status = Status::OK();  // first failure (mu)
+    };
+    const FaultPolicy policy = ctx_->fault_policy();
+    auto shared = std::make_shared<Shared>(
+        static_cast<int64_t>(policy.stage_retry_budget));
+
+    struct Engine {
+      Shared& sh;
+      const std::string& stage_name;
+      const std::vector<MorselDef>& defs;
+      std::vector<std::vector<T>>& pieces;
+      const std::function<T(size_t, size_t, size_t, TaskContext&)>& body;
+      Metrics& metrics;
+      size_t handle;
+      size_t workers;
+      uint64_t stage_span_id;
+      Histogram& task_seconds_hist;
+      const FaultPolicy& policy;
+      size_t max_attempts;
+      FaultInjector& injector;
+
+      void Fail(Status st) {
+        std::lock_guard<std::mutex> lock(sh.mu);
+        if (!sh.failed.load(std::memory_order_relaxed)) {
+          sh.status = std::move(st);
+          sh.failed.store(true, std::memory_order_release);
+        }
+      }
+
+      /// Executes morsel m to completion (commit, fatal error, or stage
+      /// already failed), with the same retry-with-backoff loop Execute()
+      /// runs per task.
+      void RunMorsel(size_t m) {
+        const MorselDef& def = defs[m];
+        size_t attempt = 0;
+        double backoff_ms = policy.backoff_initial_ms;
+        for (;;) {
+          if (sh.failed.load(std::memory_order_acquire)) return;
+          std::optional<ScopedSpan> span;
+          if (stage_span_id != 0) {
+            span.emplace(stage_name + "#" + std::to_string(def.task) + "." +
+                             std::to_string(def.piece),
+                         "morsel", stage_span_id,
+                         static_cast<int64_t>(m % workers));
+            if (attempt > 0) {
+              span->Annotate("attempt", static_cast<uint64_t>(attempt));
+            }
+          }
+          ThreadCpuStopwatch timer;
+          TaskContext tc;
+          tc.attempt = attempt;
+          try {
+            // The injection site fires before the body, so a failed
+            // attempt performed no work and the retry starts clean.
+            injector.OnSite(stage_name, m, attempt);
+            T value = body(def.task, def.begin, def.end, tc);
+            const double busy = timer.ElapsedSeconds();
+            task_seconds_hist.Observe(busy);
+            metrics.RecordTaskTime(m % workers, busy);
+            pieces[def.task][def.piece] = std::move(value);
+            metrics.AccumulateMorsel(handle, tc, busy);
+            if (span) {
+              span->Annotate("records_in", tc.records_in);
+              span->Annotate("records_out", tc.records_out);
+              span->Annotate("busy_seconds", busy);
+            }
+            return;
+          } catch (const TaskFailure& failure) {
+            metrics.RecordTaskTime(m % workers, timer.ElapsedSeconds());
+            sh.failed_attempts.fetch_add(1, std::memory_order_relaxed);
+            if (span) span->Annotate("failed", std::string(failure.what()));
+            ++attempt;
+            if (attempt >= max_attempts) {
+              Fail(Status::Internal(
+                  "stage '" + stage_name + "': morsel " + std::to_string(m) +
+                  " failed after " + std::to_string(attempt) +
+                  " attempt(s)"));
+              return;
+            }
+            if (sh.retry_budget.fetch_sub(1, std::memory_order_acq_rel) <=
+                0) {
+              Fail(Status::Internal(
+                  "stage '" + stage_name + "': retry budget exhausted (" +
+                  std::to_string(policy.stage_retry_budget) + ")"));
+              return;
+            }
+            sh.retries.fetch_add(1, std::memory_order_relaxed);
+            span.reset();  // the backoff sleep is not part of the attempt
+            SleepForMs(std::min(backoff_ms, policy.backoff_max_ms));
+            backoff_ms *= 2.0;
+          } catch (const std::exception& e) {
+            sh.failed_attempts.fetch_add(1, std::memory_order_relaxed);
+            if (span) span->Annotate("failed", std::string(e.what()));
+            Fail(Status::Internal(
+                "stage '" + stage_name + "' morsel " + std::to_string(m) +
+                " threw non-retryable exception: " + e.what()));
+            return;
+          }
+        }
+      }
+    };
+
+    Engine engine{*shared,
+                  stage_name,
+                  defs,
+                  pieces,
+                  body,
+                  metrics,
+                  handle,
+                  ctx_->num_workers(),
+                  stage_span ? stage_span->id() : 0,
+                  MetricsRegistry::Instance().GetHistogram("stage.task_seconds"),
+                  policy,
+                  std::max<size_t>(1, policy.max_attempts),
+                  FaultInjector::Instance()};
+
+    // One pool task per morsel: cheap enough at L2-sized granularity, and
+    // it is what lets idle workers steal a skewed partition's tail. The
+    // closure's very last action is the `done` increment, and the driver
+    // cannot leave this frame before done == total, so dereferencing the
+    // stack-held engine inside the closure is safe.
+    Engine* engine_ptr = &engine;
+    for (size_t m = 0; m < total; ++m) {
+      ctx_->pool().Submit([shared, engine_ptr, m]() {
+        engine_ptr->RunMorsel(m);
+        shared->done.fetch_add(1, std::memory_order_release);
+      });
+    }
+    // The driver participates by draining the pool (its own morsels or,
+    // when nested, whatever else is queued ahead of them).
+    while (shared->done.load(std::memory_order_acquire) < total) {
+      if (!ctx_->pool().TryRunOneTask()) std::this_thread::yield();
+    }
+
+    const uint64_t retries = shared->retries.load(std::memory_order_relaxed);
+    const uint64_t failed_attempts =
+        shared->failed_attempts.load(std::memory_order_relaxed);
+    metrics.RecordStageRecovery(handle, retries, failed_attempts, 0, 0);
+
+    if (!shared->failed.load(std::memory_order_acquire)) {
+      // Deterministic commit: partials fold in (task, unit-range) order on
+      // the driver, so the output is independent of execution interleaving.
+      for (size_t t = 0; t < num_tasks; ++t) {
+        out[t] = merge(t, std::move(pieces[t]));
+      }
+    }
+
+    metrics.FinishStage(handle, wall.ElapsedSeconds());
+    if (stage_span) {
+      AnnotateFromReport(*stage_span, metrics.StageReportFor(handle));
+    }
+    MetricsRegistry& registry = MetricsRegistry::Instance();
+    registry.GetCounter("stage.morsels").Add(total);
+    if (retries > 0) registry.GetCounter("stage.retries").Add(retries);
+    if (failed_attempts > 0) {
+      registry.GetCounter("stage.failed_attempts").Add(failed_attempts);
+    }
+    if (LogEnabled(LogLevel::kDebug)) {
+      BD_LOG(Debug) << "stage end: " << stage_name << " morsels=" << total
+                    << " wall=" << wall.ElapsedSeconds()
+                    << "s retries=" << retries;
+    }
+    if (shared->failed.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(shared->mu);
+      BD_LOG(Warning) << "stage failed: " << stage_name << " — "
+                      << shared->status.ToString();
+      return shared->status;
+    }
+    return out;
   }
 
  private:
@@ -459,6 +715,7 @@ class StageExecutor {
     }
     span.Annotate("shuffled_records", r.shuffled_records);
     span.Annotate("busy_seconds", r.busy_seconds);
+    if (r.morsels > 0) span.Annotate("morsels", r.morsels);
     span.Annotate("task_seconds_min", r.TaskMinSeconds());
     span.Annotate("task_seconds_p50", r.TaskP50Seconds());
     span.Annotate("task_seconds_max", r.TaskMaxSeconds());

@@ -91,6 +91,9 @@ void RepairSplitComponent(ExecutionContext* ctx,
   // once") — without the latter, two slaves sharing a cut vertex could
   // both rewrite it.
   if (k <= 1) return;
+  // ParallelFor is re-entrant: when this runs on a pool worker (inside a
+  // repair:components task), the caller helps drain the pool instead of
+  // blocking a worker slot while waiting for the slave repairs.
   std::vector<std::vector<CellAssignment>> slave_results(k - 1);
   ctx->pool().ParallelFor(k - 1, [&](size_t s) {
     slave_results[s] = algorithm.RepairComponent(parts[s + 1]);
@@ -171,14 +174,25 @@ RepairPassResult BlackBoxRepair(
   // Independent repair instance per component, scheduled on the pool. Each
   // task returns its outcome buffer (retryable: the algorithm is stateless
   // and the graph/group inputs are immutable), and the executor commits
-  // exactly one outcome per component.
+  // exactly one outcome per component. Components are not row-splittable
+  // (a repair instance needs its whole component), so this stage keeps
+  // task granularity; to curb stragglers the tasks are dispatched largest
+  // component first (LPT order) while outcomes commit under the original
+  // component index, keeping the applied-fix order independent of the
+  // schedule.
   struct ComponentOutcome {
     std::vector<CellAssignment> assignments;
     size_t undone = 0;
     bool split = false;
   };
+  std::vector<size_t> order(groups.size());
+  for (size_t g = 0; g < order.size(); ++g) order[g] = g;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return groups[a].size() > groups[b].size();
+  });
   auto outcomes = StageExecutor(ctx).RunProducing<ComponentOutcome>(
-      "repair:components", groups.size(), [&](size_t g, TaskContext& tc) {
+      "repair:components", groups.size(), [&](size_t t, TaskContext& tc) {
+        const size_t g = order[t];
         ComponentOutcome out;
         tc.records_in = groups[g].size();
         if (groups[g].size() > options.max_component_edges) {
@@ -197,9 +211,11 @@ RepairPassResult BlackBoxRepair(
       });
   if (!outcomes.ok()) throw StageError(outcomes.status());
 
+  std::vector<size_t> slot_of(groups.size());
+  for (size_t t = 0; t < order.size(); ++t) slot_of[order[t]] = t;
   const bool lineage_on = LineageRecorder::Instance().enabled();
   for (size_t g = 0; g < groups.size(); ++g) {
-    ComponentOutcome& out = (*outcomes)[g];
+    ComponentOutcome& out = (*outcomes)[slot_of[g]];
     result.num_split_components += out.split ? 1 : 0;
     result.num_undone += out.undone;
     if (lineage_on) {

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
 #include <numeric>
 #include <set>
+#include <thread>
 
 #include "common/hash.h"
 #include "common/random.h"
@@ -153,6 +156,82 @@ TEST(ThreadPool, SingleThreadPoolStillWorks) {
   std::atomic<uint64_t> sum{0};
   pool.ParallelFor(100, [&](size_t i) { sum += i; });
   EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ThreadPool, SubmitFromWorkerTaskRunsEverything) {
+  // Tasks submitted from inside a pool task land on the submitting
+  // worker's own deque and must still all run — including with a single
+  // worker, where nobody else can steal them.
+  for (size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 8; ++i) {
+      pool.Submit([&] {
+        for (int j = 0; j < 16; ++j) {
+          pool.Submit([&] { done++; });
+        }
+      });
+    }
+    pool.WaitIdle();
+    EXPECT_EQ(done.load(), 8 * 16) << threads << " threads";
+  }
+}
+
+TEST(ThreadPool, WaitIdleFromWorkerHelpsDrain) {
+  // A task that blocks on WaitIdle for work it just submitted must help
+  // execute that work rather than deadlock the (single) worker slot.
+  ThreadPool pool(1);
+  std::atomic<int> inner{0};
+  std::atomic<bool> outer_done{false};
+  pool.Submit([&] {
+    for (int j = 0; j < 10; ++j) {
+      pool.Submit([&] { inner++; });
+    }
+    pool.WaitIdle();
+    EXPECT_EQ(inner.load(), 10);
+    outer_done = true;
+  });
+  pool.WaitIdle();
+  EXPECT_TRUE(outer_done.load());
+  EXPECT_EQ(inner.load(), 10);
+}
+
+TEST(ThreadPool, TryRunOneTaskDrainsFromOutside) {
+  // Non-pool threads can steal queued work one task at a time.
+  ThreadPool pool(2);
+  std::atomic<bool> gate{false};
+  std::atomic<int> done{0};
+  // Park both workers so submitted work stays queued.
+  for (int i = 0; i < 2; ++i) {
+    pool.Submit([&] {
+      while (!gate.load()) std::this_thread::yield();
+    });
+  }
+  // Give the workers a moment to pick up the parking tasks, then queue
+  // work only this thread can reach until the gate opens.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  for (int i = 0; i < 5; ++i) {
+    pool.Submit([&] { done++; });
+  }
+  int ran = 0;
+  while (pool.TryRunOneTask()) ++ran;
+  EXPECT_GE(ran, 1);
+  gate = true;
+  pool.WaitIdle();
+  EXPECT_EQ(done.load(), 5);
+}
+
+TEST(ThreadPool, EnvThreadsOverridesDefault) {
+  ASSERT_EQ(setenv("BD_THREADS", "3", /*overwrite=*/1), 0);
+  EXPECT_EQ(ThreadPool::EnvThreadsOr(8), 3u);
+  ThreadPool pool(ThreadPool::EnvThreadsOr(8));
+  EXPECT_EQ(pool.num_threads(), 3u);
+  ASSERT_EQ(setenv("BD_THREADS", "0", 1), 0);  // Invalid: fall back.
+  EXPECT_EQ(ThreadPool::EnvThreadsOr(8), 8u);
+  ASSERT_EQ(setenv("BD_THREADS", "junk", 1), 0);
+  EXPECT_EQ(ThreadPool::EnvThreadsOr(8), 8u);
+  ASSERT_EQ(unsetenv("BD_THREADS"), 0);
+  EXPECT_EQ(ThreadPool::EnvThreadsOr(8), 8u);
 }
 
 }  // namespace

@@ -389,6 +389,96 @@ TEST(StageMetrics, SimulatedWallIncludesReduceSideTime) {
   EXPECT_GE(ctx.metrics().SimulatedWallSeconds(), reduce_busy);
 }
 
+// Deterministic per-row work heavy enough for stage CPU timings to track
+// the row split rather than scheduler noise.
+uint64_t BurnHash(uint64_t x) {
+  uint64_t h = x * 0x9E3779B97F4A7C15ULL + 1;
+  for (int i = 0; i < 2000; ++i) {
+    h ^= h >> 33;
+    h *= 0xFF51AFD7ED558CCDULL;
+  }
+  return h;
+}
+
+TEST(MorselScheduling, SkewedPartitionStopsDominatingUnderMorsels) {
+  // One partition 100x the size of the others. At partition granularity the
+  // big partition is one task and dominates the stage (straggler ratio =
+  // max/mean task time well above the even-split value); at morsel
+  // granularity the same rows become many same-sized work units and the
+  // quantile spread collapses. Outputs must match bit-for-bit either way.
+  std::vector<std::vector<uint64_t>> parts(9);
+  uint64_t next = 0;
+  for (size_t p = 0; p < parts.size(); ++p) {
+    const size_t n = p == 0 ? 10000 : 100;
+    for (size_t i = 0; i < n; ++i) parts[p].push_back(next++);
+  }
+
+  auto run = [&](size_t morsel_rows, StageReport* report) {
+    ExecutionContext ctx(4);
+    ctx.set_morsel_rows(morsel_rows);
+    auto ds = Dataset<uint64_t>(&ctx, parts).Map([](const uint64_t& x) {
+      return BurnHash(x);
+    });
+    std::vector<uint64_t> out = ds.Collect();
+    const auto reports = ctx.metrics().StageReports();
+    EXPECT_EQ(reports.size(), 1u);
+    if (!reports.empty()) *report = reports.front();
+    return out;
+  };
+
+  StageReport partition_report;
+  std::vector<uint64_t> partition_out = run(0, &partition_report);
+  StageReport morsel_report;
+  std::vector<uint64_t> morsel_out = run(100, &morsel_report);
+
+  EXPECT_EQ(partition_out, morsel_out);
+
+  // Partition path: 9 tasks, no morsels; the 10000-row task dominates
+  // (ideal ratio 10000 / (10800/9) = 8.3).
+  EXPECT_EQ(partition_report.tasks, 9u);
+  EXPECT_EQ(partition_report.morsels, 0u);
+  EXPECT_GT(partition_report.StragglerRatio(), 3.0);
+
+  // Morsel path: 100-row units, so the heavy partition becomes 100 units
+  // the scheduler spreads across workers. Every unit does the same work,
+  // so max/p50 busy time sits near 1 (3.0 leaves slack for timer jitter).
+  EXPECT_EQ(morsel_report.tasks, 9u);
+  EXPECT_EQ(morsel_report.morsels, 108u);
+  ASSERT_GT(morsel_report.TaskP50Seconds(), 0.0);
+  EXPECT_LT(morsel_report.TaskMaxSeconds() / morsel_report.TaskP50Seconds(),
+            3.0);
+}
+
+TEST(MorselScheduling, MorselPathMatchesPartitionPathOnChains) {
+  // Fused Map/Filter/FlatMap chains and shuffles must produce identical
+  // results with morsels on and off.
+  auto build = [](ExecutionContext* ctx) {
+    auto ds = Dataset<int>::FromVector(ctx, Range(5000), 7);
+    return ds.Map([](const int& x) { return x * 3 - 1; })
+        .Filter([](const int& x) { return x % 5 != 0; })
+        .FlatMap([](const int& x) {
+          std::vector<int> v;
+          for (int k = 0; k <= x % 3; ++k) v.push_back(x + k);
+          return v;
+        });
+  };
+  ExecutionContext ctx_morsel(4);
+  ctx_morsel.set_morsel_rows(64);
+  ExecutionContext ctx_partition(4);
+  ctx_partition.set_morsel_rows(0);
+  auto morsel = build(&ctx_morsel);
+  auto partition = build(&ctx_partition);
+  EXPECT_EQ(morsel.partitions(), partition.partitions());
+  auto keyed = [](const Dataset<int>& ds) {
+    return GroupByKey(ds.Map([](const int& x) {
+             return std::make_pair(x % 11, x);
+           })).Collect();
+  };
+  EXPECT_EQ(keyed(morsel), keyed(partition));
+  EXPECT_GT(ctx_morsel.metrics().morsels(), 0u);
+  EXPECT_EQ(ctx_partition.metrics().morsels(), 0u);
+}
+
 TEST(DatasetFusion, RepartitionMatchesDriverSideRoundRobin) {
   // The parallel repartition must reproduce the seed semantics exactly:
   // records in global Collect() order dealt round-robin over the new
