@@ -12,7 +12,14 @@ BenchRecord) into a directory named by BD_BENCH_JSON_DIR. This script
     --threshold (default 25%) slower than baseline is a regression.
 
 Exit status: 0 when everything validates and no regression (or --advisory
-was given); 1 on malformed records; 2 on regressions without --advisory.
+was given); 1 on malformed records or when a baseline entry was not
+produced by this run (a bench crashed or stopped emitting its record —
+--advisory does not downgrade this, it only covers regressions); 2 on
+regressions without --advisory.
+
+--verbose prints the full per-bench delta table on success too (it always
+prints on regression), so healthy CI logs still show every bench's
+movement against baseline.
 
 Updating the baseline: run the bench subset with the same BD_SCALE as CI,
 then  python3 bench/check_regression.py --dir <dir> --write-baseline \
@@ -62,6 +69,22 @@ def key_of(record):
     return f"{record['bench']}|{record['label']}"
 
 
+def print_delta_table(compared, threshold, stream):
+    """Full per-bench delta table, worst ratio first, so the log shows
+    every bench's movement — not just the offenders."""
+    width = max(len(k) for k, *_ in compared)
+    print(f"\nper-bench simulated-wall deltas "
+          f"(threshold {threshold:.0%}):", file=stream)
+    header = (f"{'bench|label':<{width}}  {'baseline_s':>12}  "
+              f"{'current_s':>12}  {'ratio':>7}  status")
+    print(header, file=stream)
+    print("-" * len(header), file=stream)
+    for key, base_wall, wall, ratio, status in sorted(
+            compared, key=lambda row: row[3], reverse=True):
+        print(f"{key:<{width}}  {base_wall:>12.6f}  {wall:>12.6f}  "
+              f"{ratio:>6.2f}x  {status}", file=stream)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--dir", default=".", help="directory with BENCH_*.json")
@@ -70,6 +93,9 @@ def main():
                         help="allowed fractional slowdown (0.25 = 25%%)")
     parser.add_argument("--advisory", action="store_true",
                         help="report regressions but exit 0 (first-run mode)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print the per-bench delta table even when "
+                             "there are no regressions")
     parser.add_argument("--write-baseline",
                         help="write the current results as a new baseline and exit")
     args = parser.parse_args()
@@ -104,10 +130,11 @@ def main():
 
     regressions = []
     compared = []
+    missing = []
     for key, base in sorted(baseline.items()):
         base_wall = base[WALL_KEY]
         if key not in current:
-            print(f"WARNING: baseline entry {key!r} not produced by this run")
+            missing.append(key)
             continue
         wall = current[key]
         ratio = wall / base_wall if base_wall > 0 else float("inf")
@@ -121,23 +148,28 @@ def main():
     for key in sorted(set(current) - set(baseline)):
         print(f"NOTE: {key} has no baseline entry (new bench/label?)")
 
+    if missing:
+        # A baseline bench that produced no record this run means the
+        # bench crashed, was dropped from the suite, or stopped emitting
+        # its BENCH_<name>.json — none of which a perf gate may paper
+        # over. This is a validation failure, so --advisory (which only
+        # downgrades perf regressions) does not apply.
+        for key in missing:
+            print(f"MISSING: baseline entry {key!r} was not produced by "
+                  f"this run (no matching record in any BENCH_*.json "
+                  f"under {args.dir!r})", file=sys.stderr)
+        print(f"\n{len(missing)} baseline bench(es) emitted no record; "
+              f"if a bench was intentionally removed, refresh the "
+              f"baseline with --write-baseline", file=sys.stderr)
+        return 1
+
     if regressions:
-        # Full per-bench delta table, worst ratio first, so a failing CI
-        # log shows every bench's movement — not just the offenders.
-        width = max(len(k) for k, *_ in compared)
-        print(f"\nper-bench simulated-wall deltas "
-              f"(threshold {args.threshold:.0%}):", file=sys.stderr)
-        header = (f"{'bench|label':<{width}}  {'baseline_s':>12}  "
-                  f"{'current_s':>12}  {'ratio':>7}  status")
-        print(header, file=sys.stderr)
-        print("-" * len(header), file=sys.stderr)
-        for key, base_wall, wall, ratio, status in sorted(
-                compared, key=lambda row: row[3], reverse=True):
-            print(f"{key:<{width}}  {base_wall:>12.6f}  {wall:>12.6f}  "
-                  f"{ratio:>6.2f}x  {status}", file=sys.stderr)
+        print_delta_table(compared, args.threshold, sys.stderr)
         print(f"\n{len(regressions)} regression(s) beyond "
               f"{args.threshold:.0%} threshold", file=sys.stderr)
         return 0 if args.advisory else 2
+    if args.verbose and compared:
+        print_delta_table(compared, args.threshold, sys.stdout)
     print("no regressions")
     return 0
 

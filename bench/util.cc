@@ -10,6 +10,8 @@
 #include "common/metrics_registry.h"
 #include "common/string_util.h"
 #include "common/trace.h"
+#include "obs/http_server.h"
+#include "obs/profiler.h"
 
 namespace bigdansing {
 namespace bench {
@@ -18,10 +20,16 @@ namespace {
 
 /// Static-initializer bootstrap: every bench links util.cc, so the
 /// observability env vars take effect without touching each main(). The
-/// destructor flushes at normal exit (after main returns).
+/// destructor flushes at normal exit (after main returns), then shuts the
+/// live plane down — the server and sampler stop here, NOT inside
+/// FlushObservability, which benches may call mid-run.
 struct ObservabilityBootstrap {
   ObservabilityBootstrap() { InitObservabilityFromEnv(); }
-  ~ObservabilityBootstrap() { FlushObservability(); }
+  ~ObservabilityBootstrap() {
+    FlushObservability();
+    Profiler::Instance().Stop();
+    ObsServer::Instance().Stop();
+  }
 };
 ObservabilityBootstrap g_observability_bootstrap;
 
@@ -69,6 +77,12 @@ void InitObservabilityFromEnv() {
   if (EnvPath("BD_LINEAGE_JSONL") != nullptr) {
     LineageRecorder::Instance().set_enabled(true);
   }
+  // Live observability plane: BD_OBS_PORT serves /metrics, /stages,
+  // /explain, /healthz and /profilez over HTTP for the duration of the
+  // process; BD_PROFILE_HZ / BD_PROFILE_FOLDED start the sampling profiler
+  // even without a server.
+  ObsServer::StartFromEnv();
+  Profiler::StartFromEnv();
 }
 
 void FlushObservability() {
@@ -96,6 +110,9 @@ void FlushObservability() {
     WriteTextFile(prom_path, MetricsRegistry::Instance().ToPrometheusText(),
                   "metrics registry text exposition");
   }
+  // Folded-stack profile (BD_PROFILE_FOLDED); the sampler keeps running —
+  // only the bootstrap destructor stops it, so mid-run flushes are safe.
+  Profiler::WriteFoldedFromEnv();
 
   TraceRecorder& trace = TraceRecorder::Instance();
   if (!trace.enabled() || trace.SpanCount() == 0) return;

@@ -1,5 +1,6 @@
 #include "common/json_writer.h"
 
+#include <cmath>
 #include <cstdio>
 
 #include "common/string_util.h"
@@ -57,6 +58,9 @@ JsonObjectBuilder& JsonObjectBuilder::AddRaw(std::string_view key,
 std::string JsonObjectBuilder::Build() const { return "{" + body_ + "}"; }
 
 std::string JsonDouble(double value) {
+  // JSON has no literal for infinities or NaN; "%.6f" would print "inf" /
+  // "nan" and break every strict consumer downstream. Emit null instead.
+  if (!std::isfinite(value)) return "null";
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.6f", value);
   return buf;

@@ -45,20 +45,34 @@ double Histogram::Sum() const {
   return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
 }
 
-double Histogram::Quantile(double q) const {
-  const uint64_t count = Count();
-  if (count == 0) return 0.0;
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot snap;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    snap.count += snap.buckets[i];
+  }
+  snap.sum = Sum();
+  return snap;
+}
+
+double Histogram::QuantileFromSnapshot(const Snapshot& snap, double q) {
+  if (snap.count == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   // Rank of the sample the quantile refers to (1-based, ceil semantics so
   // Quantile(0.5) of {a} is a's bucket and of {a,b} is a's bucket).
-  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count)));
+  uint64_t rank =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(snap.count)));
   if (rank == 0) rank = 1;
   uint64_t cumulative = 0;
   for (size_t i = 0; i < kNumBuckets; ++i) {
-    cumulative += BucketCount(i);
+    cumulative += snap.buckets[i];
     if (cumulative >= rank) return BucketBound(i);
   }
   return BucketBound(kNumBuckets - 1);
+}
+
+double Histogram::Quantile(double q) const {
+  return QuantileFromSnapshot(TakeSnapshot(), q);
 }
 
 void Histogram::Reset() {
@@ -108,24 +122,27 @@ std::string MetricsRegistry::ToJson() const {
   for (const auto& [name, g] : gauges_) gauges.Add(name, g->Value());
   JsonObjectBuilder histograms;
   for (const auto& [name, h] : histograms_) {
+    // One snapshot feeds count, quantiles and buckets so the exported
+    // fields agree with each other even while Observe() runs concurrently.
+    const Histogram::Snapshot snap = h->TakeSnapshot();
     JsonObjectBuilder one;
-    one.Add("count", h->Count());
-    one.Add("sum", h->Sum());
-    one.Add("p50", h->Quantile(0.5));
-    one.Add("p99", h->Quantile(0.99));
-    one.Add("max", h->Quantile(1.0));
+    one.Add("count", snap.count);
+    one.Add("sum", snap.sum);
+    one.Add("p50", Histogram::QuantileFromSnapshot(snap, 0.5));
+    one.Add("p99", Histogram::QuantileFromSnapshot(snap, 0.99));
+    one.Add("max", Histogram::QuantileFromSnapshot(snap, 1.0));
     std::string bounds = "[";
     std::string counts = "[";
     bool first = true;
     for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
-      if (h->BucketCount(i) == 0) continue;
+      if (snap.buckets[i] == 0) continue;
       if (!first) {
         bounds += ",";
         counts += ",";
       }
       first = false;
       bounds += JsonDouble(Histogram::BucketBound(i));
-      counts += std::to_string(h->BucketCount(i));
+      counts += std::to_string(snap.buckets[i]);
     }
     bounds += "]";
     counts += "]";
@@ -150,6 +167,14 @@ std::string PromName(const std::string& name) {
   return out;
 }
 
+/// Prometheus value rendering: unlike JSON (where non-finite becomes
+/// null), the exposition format spells infinities and NaN out.
+std::string PromDouble(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  return JsonDouble(value);
+}
+
 }  // namespace
 
 std::string MetricsRegistry::ToPrometheusText() const {
@@ -168,16 +193,20 @@ std::string MetricsRegistry::ToPrometheusText() const {
   for (const auto& [name, h] : histograms_) {
     const std::string prom = PromName(name);
     out += "# TYPE " + prom + " histogram\n";
+    // The cumulative series and the +Inf/_count values all derive from one
+    // snapshot, so the series stays monotone and +Inf == _count even while
+    // other threads Observe() mid-scrape.
+    const Histogram::Snapshot snap = h->TakeSnapshot();
     uint64_t cumulative = 0;
     for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
-      if (h->BucketCount(i) == 0) continue;
-      cumulative += h->BucketCount(i);
-      out += prom + "_bucket{le=\"" + JsonDouble(Histogram::BucketBound(i)) +
+      if (snap.buckets[i] == 0) continue;
+      cumulative += snap.buckets[i];
+      out += prom + "_bucket{le=\"" + PromDouble(Histogram::BucketBound(i)) +
              "\"} " + std::to_string(cumulative) + "\n";
     }
-    out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(h->Count()) + "\n";
-    out += prom + "_sum " + JsonDouble(h->Sum()) + "\n";
-    out += prom + "_count " + std::to_string(h->Count()) + "\n";
+    out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(snap.count) + "\n";
+    out += prom + "_sum " + PromDouble(snap.sum) + "\n";
+    out += prom + "_count " + std::to_string(snap.count) + "\n";
   }
   return out;
 }

@@ -66,6 +66,22 @@ class Histogram {
 
   void Observe(double value);
 
+  /// Point-in-time copy of the histogram, internally consistent under
+  /// concurrent Observe(): `count` is the sum of the bucket reads (never
+  /// the separate count_ atomic, which an in-flight Observe may not have
+  /// bumped yet), so a cumulative bucket series built from a snapshot is
+  /// monotone and its +Inf bucket equals `count` exactly — the invariant
+  /// Prometheus scrapers check.
+  struct Snapshot {
+    uint64_t buckets[kNumBuckets] = {};
+    uint64_t count = 0;
+    double sum = 0.0;
+  };
+  Snapshot TakeSnapshot() const;
+
+  /// Quantile computed over a snapshot (same semantics as Quantile()).
+  static double QuantileFromSnapshot(const Snapshot& snap, double q);
+
   uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
   double Sum() const;
   uint64_t BucketCount(size_t i) const {

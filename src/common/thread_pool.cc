@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/metrics_registry.h"
+#include "obs/profiler.h"
 
 namespace bigdansing {
 
@@ -51,6 +52,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
   active_workers_gauge_ = &registry.GetGauge("threadpool.active_workers");
   tasks_counter_ = &registry.GetCounter("threadpool.tasks_executed");
   steals_counter_ = &registry.GetCounter("threadpool.steals");
+  pool_activity_ = Profiler::Instance().Intern("(threadpool)", "run");
   if (num_threads == 0) num_threads = 1;
   workers_ = std::vector<Worker>(num_threads);
   threads_.reserve(num_threads);
@@ -115,7 +117,12 @@ bool ThreadPool::PopTaskLocked(size_t home, std::function<void()>* task) {
 void ThreadPool::RunTask(std::function<void()> task) {
   queue_depth_gauge_->Add(-1);
   active_workers_gauge_->Add(1);
-  task();
+  {
+    // Baseline activity for the sampling profiler; stage bodies overlay
+    // their own (stage, kind) on top and pop back to this on return.
+    ScopedActivity activity(pool_activity_, 0, 0);
+    task();
+  }
   // Gauge updates precede the in_flight_ decrement: once WaitIdle()
   // observes zero in-flight tasks, both gauges already net to zero.
   tasks_counter_->Add(1);

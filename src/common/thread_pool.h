@@ -14,6 +14,7 @@ namespace bigdansing {
 
 class Counter;
 class Gauge;
+struct ActivityDesc;
 
 /// Work-stealing worker pool used by the dataflow engine to execute
 /// per-partition tasks and row-range morsels. Each worker owns a deque:
@@ -105,6 +106,10 @@ class ThreadPool {
   Gauge* active_workers_gauge_ = nullptr;
   Counter* tasks_counter_ = nullptr;
   Counter* steals_counter_ = nullptr;
+  /// Interned "(threadpool)" activity published around every task body, so
+  /// profiler samples of pool work that predates its stage's ScopedActivity
+  /// (or has none) still attribute to the pool instead of "(idle)".
+  const ActivityDesc* pool_activity_ = nullptr;
   std::vector<Worker> workers_;
   /// Round-robin cursor for external submissions.
   size_t submit_cursor_ = 0;

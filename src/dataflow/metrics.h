@@ -4,14 +4,22 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
-#include <cstdio>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/json_writer.h"
 #include "common/string_util.h"
 
 namespace bigdansing {
+
+class Metrics;
+
+/// Live-metrics directory hooks (defined in obs/stage_directory.cc): every
+/// Metrics instance announces itself for the observability endpoints'
+/// /stages snapshot. Free functions so this header stays obs-agnostic.
+void RegisterLiveMetrics(const Metrics* metrics);
+void UnregisterLiveMetrics(const Metrics* metrics);
 
 /// Per-task counters filled in by stage task bodies and folded into the
 /// owning stage's StageReport by the StageExecutor. Each task gets its own
@@ -27,6 +35,10 @@ struct TaskContext {
   uint64_t attempt = 0;
   /// True when this attempt is a speculative duplicate of a straggler.
   bool speculative = false;
+  /// Heap traffic of the committed attempt (bytes requested / allocation
+  /// count), measured by the counting allocator on the executing thread.
+  uint64_t alloc_bytes = 0;
+  uint64_t allocs = 0;
 };
 
 /// Structured record of one executed stage — the EXPLAIN-style breakdown
@@ -57,6 +69,18 @@ struct StageReport {
   /// entry of `task_seconds` is one morsel's CPU time, so the quantiles
   /// and straggler ratio measure the scheduler's actual work units.
   uint64_t morsels = 0;
+  /// Resource accounting (see obs/resource_accounting.h): heap traffic of
+  /// the stage's committed attempts, the process RSS delta and the number
+  /// of cross-worker steals observed between stage open and close. The RSS
+  /// delta is process-wide, so concurrent stages each see the shared
+  /// movement — useful for trend, not attribution.
+  uint64_t alloc_bytes = 0;
+  uint64_t allocs = 0;
+  int64_t rss_delta_bytes = 0;
+  uint64_t steals = 0;
+  /// False while the stage is still executing (the live /stages endpoint
+  /// reports such partial, in-flight reports); FinishStage sets it.
+  bool finished = false;
   std::vector<double> task_seconds;
 
   /// Fastest task's CPU seconds (0 when no task finished).
@@ -99,6 +123,15 @@ struct StageReport {
 /// the StageExecutor additionally contribute a named StageReport each.
 class Metrics {
  public:
+  /// Instances register with the live-metrics directory so the /stages
+  /// observability endpoint can snapshot in-flight runs; the destructor
+  /// blocks until any concurrent snapshot completes before unregistering.
+  Metrics() { RegisterLiveMetrics(this); }
+  ~Metrics() { UnregisterLiveMetrics(this); }
+
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
   void AddShuffledRecords(uint64_t n) { shuffled_records_ += n; }
   void AddStage() { ++stages_; }
   void AddTasks(uint64_t n) { tasks_ += n; }
@@ -143,6 +176,8 @@ class Metrics {
     report->records_out += tc.records_out;
     report->shuffled_records += tc.shuffled_records;
     report->busy_seconds += busy_seconds;
+    report->alloc_bytes += tc.alloc_bytes;
+    report->allocs += tc.allocs;
     report->task_seconds.push_back(busy_seconds);
   }
 
@@ -159,9 +194,23 @@ class Metrics {
     report->records_out += tc.records_out;
     report->shuffled_records += tc.shuffled_records;
     report->busy_seconds += busy_seconds;
+    report->alloc_bytes += tc.alloc_bytes;
+    report->allocs += tc.allocs;
     report->task_seconds.push_back(busy_seconds);
     ++report->morsels;
     ++morsels_;
+  }
+
+  /// Folds one stage's resource deltas (process RSS movement and steal
+  /// count between stage open and close) into its open report. No-op when
+  /// `handle` is stale.
+  void RecordStageResources(size_t handle, int64_t rss_delta_bytes,
+                            uint64_t steals) {
+    std::lock_guard<std::mutex> lock(stage_mutex_);
+    StageReport* report = LookupLocked(handle);
+    if (report == nullptr) return;
+    report->rss_delta_bytes += rss_delta_bytes;
+    report->steals += steals;
   }
 
   /// Folds one stage's recovery counters (retries, failed attempts,
@@ -187,6 +236,7 @@ class Metrics {
     StageReport* report = LookupLocked(handle);
     if (report == nullptr) return;
     report->wall_seconds = wall_seconds;
+    report->finished = true;
     std::sort(report->task_seconds.begin(), report->task_seconds.end());
   }
 
@@ -275,6 +325,12 @@ class Metrics {
       out += ",\"speculative_committed\":" +
              std::to_string(r.speculative_committed);
       out += ",\"morsels\":" + std::to_string(r.morsels);
+      out += ",\"alloc_bytes\":" + std::to_string(r.alloc_bytes);
+      out += ",\"allocs\":" + std::to_string(r.allocs);
+      out += ",\"rss_delta_bytes\":" + std::to_string(r.rss_delta_bytes);
+      out += ",\"steals\":" + std::to_string(r.steals);
+      out += std::string(",\"in_flight\":") +
+             (r.finished ? "false" : "true");
       out += ",\"task_seconds_min\":" + JsonDouble(r.TaskMinSeconds());
       out += ",\"task_seconds_p50\":" + JsonDouble(r.TaskP50Seconds());
       out += ",\"task_seconds_max\":" + JsonDouble(r.TaskMaxSeconds());
@@ -319,12 +375,6 @@ class Metrics {
   StageReport* LookupLocked(size_t handle) {
     return const_cast<StageReport*>(
         static_cast<const Metrics*>(this)->LookupLocked(handle));
-  }
-
-  static std::string JsonDouble(double v) {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.6f", v);
-    return buf;
   }
 
   std::atomic<uint64_t> shuffled_records_{0};

@@ -18,6 +18,8 @@
 #include "common/stopwatch.h"
 #include "common/trace.h"
 #include "dataflow/context.h"
+#include "obs/profiler.h"
+#include "obs/resource_accounting.h"
 
 namespace bigdansing {
 
@@ -159,6 +161,11 @@ class StageExecutor {
     std::optional<ScopedSpan> stage_span;
     if (trace.enabled()) stage_span.emplace(stage_name, "stage");
     const size_t handle = metrics.BeginStage(stage_name, num_tasks);
+    // Resource accounting brackets the stage: RSS and steal-counter deltas
+    // between here and FinishStage land in the StageReport.
+    StageResourceProbe resource_probe;
+    const ActivityDesc* activity =
+        Profiler::Instance().Intern(stage_name, "morsel");
     Stopwatch wall;
     std::vector<T> out(num_tasks);
 
@@ -215,6 +222,7 @@ class StageExecutor {
       const FaultPolicy& policy;
       size_t max_attempts;
       FaultInjector& injector;
+      const ActivityDesc* activity;
 
       void Fail(Status st) {
         std::lock_guard<std::mutex> lock(sh.mu);
@@ -243,7 +251,11 @@ class StageExecutor {
               span->Annotate("attempt", static_cast<uint64_t>(attempt));
             }
           }
+          // Publish what this worker is doing for the sampling profiler;
+          // nested on top of the pool's generic "run" activity.
+          ScopedActivity act(activity, def.begin, def.end);
           ThreadCpuStopwatch timer;
+          const ThreadAllocCounters alloc_before = ThreadAllocations();
           TaskContext tc;
           tc.attempt = attempt;
           try {
@@ -251,6 +263,9 @@ class StageExecutor {
             // attempt performed no work and the retry starts clean.
             injector.OnSite(stage_name, m, attempt);
             T value = body(def.task, def.begin, def.end, tc);
+            const ThreadAllocCounters alloc_after = ThreadAllocations();
+            tc.alloc_bytes = alloc_after.bytes - alloc_before.bytes;
+            tc.allocs = alloc_after.count - alloc_before.count;
             const double busy = timer.ElapsedSeconds();
             task_seconds_hist.Observe(busy);
             metrics.RecordTaskTime(m % workers, busy);
@@ -309,7 +324,8 @@ class StageExecutor {
                   MetricsRegistry::Instance().GetHistogram("stage.task_seconds"),
                   policy,
                   std::max<size_t>(1, policy.max_attempts),
-                  FaultInjector::Instance()};
+                  FaultInjector::Instance(),
+                  activity};
 
     // One pool task per morsel: cheap enough at L2-sized granularity, and
     // it is what lets idle workers steal a skewed partition's tail. The
@@ -342,12 +358,16 @@ class StageExecutor {
       }
     }
 
+    metrics.RecordStageResources(handle, resource_probe.RssDeltaBytes(),
+                                 resource_probe.StealsDelta());
     metrics.FinishStage(handle, wall.ElapsedSeconds());
-    if (stage_span) {
-      AnnotateFromReport(*stage_span, metrics.StageReportFor(handle));
-    }
+    StageReport final_report = metrics.StageReportFor(handle);
+    if (stage_span) AnnotateFromReport(*stage_span, final_report);
     MetricsRegistry& registry = MetricsRegistry::Instance();
     registry.GetCounter("stage.morsels").Add(total);
+    if (final_report.alloc_bytes > 0) {
+      registry.GetCounter("stage.alloc_bytes").Add(final_report.alloc_bytes);
+    }
     if (retries > 0) registry.GetCounter("stage.retries").Add(retries);
     if (failed_attempts > 0) {
       registry.GetCounter("stage.failed_attempts").Add(failed_attempts);
@@ -386,6 +406,11 @@ class StageExecutor {
                     << " tasks=" << num_tasks;
     }
     const size_t handle = metrics.BeginStage(stage_name, num_tasks);
+    // Resource accounting brackets the stage: RSS and steal-counter deltas
+    // between here and FinishStage land in the StageReport.
+    StageResourceProbe resource_probe;
+    const ActivityDesc* activity =
+        Profiler::Instance().Intern(stage_name, "task");
     Stopwatch wall;
     std::vector<T> out(num_tasks);
 
@@ -440,6 +465,7 @@ class StageExecutor {
       size_t max_attempts;
       FaultInjector& injector;
       Stopwatch& wall;
+      const ActivityDesc* activity;
 
       void Fail(Status st) {
         std::lock_guard<std::mutex> lock(sh.mu);
@@ -470,7 +496,11 @@ class StageExecutor {
           }
           if (speculative) task_span->Annotate("speculative", uint64_t{1});
         }
+        // Publish what this worker is doing for the sampling profiler;
+        // nested on top of the pool's generic "run" activity.
+        ScopedActivity act(activity, t, t + 1);
         ThreadCpuStopwatch timer;
+        const ThreadAllocCounters alloc_before = ThreadAllocations();
         TaskContext tc;
         tc.attempt = attempt;
         tc.speculative = speculative;
@@ -479,6 +509,9 @@ class StageExecutor {
           // has performed no work and a retry starts from a clean slate.
           injector.OnSite(stage_name, t, attempt);
           T value = body(t, tc);
+          const ThreadAllocCounters alloc_after = ThreadAllocations();
+          tc.alloc_bytes = alloc_after.bytes - alloc_before.bytes;
+          tc.allocs = alloc_after.count - alloc_before.count;
           const double busy = timer.ElapsedSeconds();
           // Observed after the CPU timer stopped, so the histogram update
           // does not inflate the simulated-wall accounting.
@@ -620,7 +653,8 @@ class StageExecutor {
                   policy,
                   std::max<size_t>(1, policy.max_attempts),
                   FaultInjector::Instance(),
-                  wall};
+                  wall,
+                  activity};
 
     // Pool helpers claim tasks exactly like the driver. A helper touches
     // only `shared` until a claim succeeds; a successful claim proves the
@@ -672,11 +706,15 @@ class StageExecutor {
         shared->spec_committed.load(std::memory_order_relaxed);
     metrics.RecordStageRecovery(handle, retries, failed_attempts,
                                 spec_launched, spec_committed);
+    metrics.RecordStageResources(handle, resource_probe.RssDeltaBytes(),
+                                 resource_probe.StealsDelta());
     metrics.FinishStage(handle, wall.ElapsedSeconds());
-    if (stage_span) {
-      AnnotateFromReport(*stage_span, metrics.StageReportFor(handle));
-    }
+    StageReport final_report = metrics.StageReportFor(handle);
+    if (stage_span) AnnotateFromReport(*stage_span, final_report);
     MetricsRegistry& registry = MetricsRegistry::Instance();
+    if (final_report.alloc_bytes > 0) {
+      registry.GetCounter("stage.alloc_bytes").Add(final_report.alloc_bytes);
+    }
     if (retries > 0) registry.GetCounter("stage.retries").Add(retries);
     if (failed_attempts > 0) {
       registry.GetCounter("stage.failed_attempts").Add(failed_attempts);
@@ -716,6 +754,14 @@ class StageExecutor {
     span.Annotate("shuffled_records", r.shuffled_records);
     span.Annotate("busy_seconds", r.busy_seconds);
     if (r.morsels > 0) span.Annotate("morsels", r.morsels);
+    // Resource accounting annotations only when they measured something,
+    // so platforms without the hooks keep their EXPLAIN output unchanged.
+    if (r.alloc_bytes > 0) span.Annotate("alloc_bytes", r.alloc_bytes);
+    if (r.allocs > 0) span.Annotate("allocs", r.allocs);
+    if (r.rss_delta_bytes != 0) {
+      span.Annotate("rss_delta_bytes", std::to_string(r.rss_delta_bytes));
+    }
+    if (r.steals > 0) span.Annotate("steals", r.steals);
     span.Annotate("task_seconds_min", r.TaskMinSeconds());
     span.Annotate("task_seconds_p50", r.TaskP50Seconds());
     span.Annotate("task_seconds_max", r.TaskMaxSeconds());

@@ -1,0 +1,54 @@
+#ifndef BIGDANSING_OBS_RESOURCE_ACCOUNTING_H_
+#define BIGDANSING_OBS_RESOURCE_ACCOUNTING_H_
+
+#include <cstdint>
+
+namespace bigdansing {
+
+class Counter;
+
+/// Per-thread allocation totals maintained by the process-wide counting
+/// allocator hook (resource_accounting.cc replaces the global operator
+/// new/new[] family). Both counters are monotone for the lifetime of the
+/// thread; stage bodies snapshot them before and after the task body and
+/// attribute the delta to the stage, so reads never cross threads.
+struct ThreadAllocCounters {
+  uint64_t bytes = 0;
+  uint64_t count = 0;
+};
+
+/// The calling thread's cumulative heap-allocation totals (bytes requested
+/// through operator new and number of allocations). Frees are deliberately
+/// not subtracted: the metric is allocation pressure, not live size.
+ThreadAllocCounters ThreadAllocations();
+
+/// Resident set size of the process in bytes (from /proc/self/statm on
+/// Linux); 0 where unavailable. Cheap enough for per-stage call sites, not
+/// for per-record ones.
+uint64_t CurrentRssBytes();
+
+/// Captures process-level resource coordinates (RSS, cross-worker steal
+/// count) at stage open so the StageExecutor can fold the stage-close
+/// deltas into the StageReport. Steals are read from the process-wide
+/// `threadpool.steals` counter, so the delta attributes every steal that
+/// happened during the stage's window — concurrent stages each observe the
+/// shared traffic (documented in DESIGN.md §11).
+class StageResourceProbe {
+ public:
+  StageResourceProbe();
+
+  /// RSS now minus RSS at construction (can be negative after a release).
+  int64_t RssDeltaBytes() const;
+
+  /// Cross-worker deque steals since construction.
+  uint64_t StealsDelta() const;
+
+ private:
+  int64_t rss_before_ = 0;
+  uint64_t steals_before_ = 0;
+  Counter* steals_counter_ = nullptr;
+};
+
+}  // namespace bigdansing
+
+#endif  // BIGDANSING_OBS_RESOURCE_ACCOUNTING_H_

@@ -1,0 +1,75 @@
+#include "obs/stage_directory.h"
+
+#include <algorithm>
+
+#include "common/json_writer.h"
+#include "common/metrics_registry.h"
+#include "dataflow/metrics.h"
+
+namespace bigdansing {
+
+StageDirectory& StageDirectory::Instance() {
+  static StageDirectory* instance = new StageDirectory();  // Leaked.
+  return *instance;
+}
+
+void StageDirectory::Register(const Metrics* metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  live_.emplace_back(next_id_++, metrics);
+  MetricsRegistry::Instance().GetGauge("obs.live_contexts").Set(
+      static_cast<int64_t>(live_.size()));
+}
+
+void StageDirectory::Unregister(const Metrics* metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  live_.erase(std::remove_if(live_.begin(), live_.end(),
+                             [metrics](const auto& entry) {
+                               return entry.second == metrics;
+                             }),
+              live_.end());
+  MetricsRegistry::Instance().GetGauge("obs.live_contexts").Set(
+      static_cast<int64_t>(live_.size()));
+}
+
+size_t StageDirectory::LiveCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_.size();
+}
+
+std::string StageDirectory::StagesJson() const {
+  // The directory mutex is held for the whole render: a Metrics destructor
+  // blocks in Unregister until we finish, so every pointer below is live.
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string contexts = "[";
+  bool first = true;
+  for (const auto& [id, m] : live_) {
+    if (!first) contexts += ",";
+    first = false;
+    JsonObjectBuilder one;
+    one.Add("id", id);
+    one.Add("stages", m->stages());
+    one.Add("tasks", m->tasks());
+    one.Add("morsels", m->morsels());
+    one.Add("shuffled_records", m->shuffled_records());
+    one.Add("simulated_wall_seconds", m->SimulatedWallSeconds());
+    one.AddRaw("stage_reports", m->StageReportsJson());
+    contexts += one.Build();
+  }
+  contexts += "]";
+  JsonObjectBuilder out;
+  out.Add("live_contexts", static_cast<uint64_t>(live_.size()));
+  out.AddRaw("contexts", contexts);
+  return out.Build();
+}
+
+// Registration hooks referenced from dataflow/metrics.h. Free functions so
+// the header-only Metrics class does not need to include obs headers.
+void RegisterLiveMetrics(const Metrics* metrics) {
+  StageDirectory::Instance().Register(metrics);
+}
+
+void UnregisterLiveMetrics(const Metrics* metrics) {
+  StageDirectory::Instance().Unregister(metrics);
+}
+
+}  // namespace bigdansing

@@ -1,0 +1,56 @@
+#ifndef BIGDANSING_OBS_STAGE_DIRECTORY_H_
+#define BIGDANSING_OBS_STAGE_DIRECTORY_H_
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bigdansing {
+
+class Metrics;
+
+/// Process-wide directory of every live Metrics instance (one per
+/// ExecutionContext). Metrics registers itself on construction and
+/// unregisters in its destructor, so the observability endpoints can
+/// snapshot per-stage progress of jobs that are still running — the data
+/// the end-of-run BD_STAGE_JSON dump cannot provide.
+///
+/// Consistency model: StagesJson() holds the directory mutex for the whole
+/// render, so a Metrics destructor blocks until the snapshot completes and
+/// a snapshot never touches a dead context. Each context's report list is
+/// copied under that context's own stage mutex (Metrics::StageReports()),
+/// so in-flight stages appear with whatever tasks/morsels have committed
+/// at snapshot time — partial but internally consistent, and identical to
+/// the end-of-run report once the stage finishes.
+class StageDirectory {
+ public:
+  static StageDirectory& Instance();
+
+  void Register(const Metrics* metrics);
+  void Unregister(const Metrics* metrics);
+
+  size_t LiveCount() const;
+
+  /// Strict-JSON snapshot of every live context:
+  ///   {"live_contexts":N,"contexts":[
+  ///     {"id":K,"stages":...,"tasks":...,"morsels":...,
+  ///      "simulated_wall_seconds":...,"stage_reports":[...]}]}
+  /// `stage_reports` is each context's Metrics::StageReportsJson() verbatim
+  /// (including in-flight stages flagged "in_flight":true), so the live
+  /// snapshot reconciles exactly with the end-of-run dump.
+  std::string StagesJson() const;
+
+ private:
+  StageDirectory() = default;
+
+  mutable std::mutex mu_;
+  /// Live instances with a stable per-registration id (monotone across the
+  /// process, so two snapshots can correlate contexts).
+  std::vector<std::pair<uint64_t, const Metrics*>> live_;
+  uint64_t next_id_ = 0;
+};
+
+}  // namespace bigdansing
+
+#endif  // BIGDANSING_OBS_STAGE_DIRECTORY_H_

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/hash.h"
+#include "common/metrics_registry.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/string_util.h"
@@ -219,6 +220,51 @@ TEST(ThreadPool, TryRunOneTaskDrainsFromOutside) {
   gate = true;
   pool.WaitIdle();
   EXPECT_EQ(done.load(), 5);
+}
+
+TEST(ThreadPool, GaugesNetToZeroUnderStealingAndReentrantParallelFor) {
+  // The queue-depth / active-worker gauges must return exactly to zero
+  // after WaitIdle() even when the workload maximizes cross-worker
+  // stealing (external submissions land round-robin, so busy deques get
+  // robbed by idle workers) and tasks re-enter the pool with their own
+  // nested ParallelFor.
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  Gauge& queue_depth = reg.GetGauge("threadpool.queue_depth");
+  Gauge& active = reg.GetGauge("threadpool.active_workers");
+  Counter& steals = reg.GetCounter("threadpool.steals");
+  const uint64_t steals_before = steals.Value();
+
+  ThreadPool pool(4);
+  pool.WaitIdle();
+  const int64_t queue_baseline = queue_depth.Value();
+  const int64_t active_baseline = active.Value();
+
+  std::atomic<uint64_t> work_done{0};
+  for (int round = 0; round < 8; ++round) {
+    // External submissions with wildly uneven cost: round-robin placement
+    // plus skew forces idle workers to steal from the loaded deques.
+    for (int i = 0; i < 64; ++i) {
+      const int spin = (i % 8 == 0) ? 20000 : 50;
+      pool.Submit([&work_done, spin, &pool] {
+        volatile uint64_t sink = 0;
+        for (int k = 0; k < spin; ++k) sink = sink + k;
+        // Re-entrant ParallelFor from inside a pool task: the caller
+        // help-drains, which itself pops (and steals) queued tasks.
+        pool.ParallelFor(16, [&work_done](size_t) {
+          work_done.fetch_add(1, std::memory_order_relaxed);
+        });
+      });
+    }
+    pool.WaitIdle();
+    EXPECT_EQ(queue_depth.Value(), queue_baseline)
+        << "queue depth did not net to zero after round " << round;
+    EXPECT_EQ(active.Value(), active_baseline)
+        << "active workers did not net to zero after round " << round;
+  }
+  EXPECT_EQ(work_done.load(), 8u * 64u * 16u);
+  // The skewed round-robin workload must actually have exercised the
+  // steal path, otherwise this test is not testing what it claims.
+  EXPECT_GT(steals.Value(), steals_before);
 }
 
 TEST(ThreadPool, EnvThreadsOverridesDefault) {

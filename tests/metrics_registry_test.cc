@@ -7,12 +7,15 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/thread_pool.h"
 #include "dataflow/dataset.h"
+#include "prom_lint_test_util.h"
 #include "strict_json_test_util.h"
 
 namespace bigdansing {
@@ -173,6 +176,56 @@ TEST(MetricsRegistry, PrometheusTextRenamesDotsAndRendersSeries) {
   EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
   EXPECT_EQ(text.find("test.prom_counter"), std::string::npos)
       << "dots must be rewritten for Prometheus";
+}
+
+TEST(MetricsRegistry, PrometheusExpositionPassesLint) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  reg.ResetAll();
+  reg.GetCounter("lint.counter").Add(42);
+  reg.GetGauge("lint.gauge").Set(-17);
+  Histogram& hist = reg.GetHistogram("lint.hist");
+  // Samples spanning many buckets so the cumulative series is non-trivial.
+  for (int i = 0; i < 500; ++i) {
+    hist.Observe(1e-6 * static_cast<double>(1 << (i % 20)));
+  }
+  std::vector<std::string> errors;
+  const bool ok =
+      testing::ValidatePrometheusExposition(reg.ToPrometheusText(), &errors);
+  EXPECT_TRUE(ok) << (errors.empty() ? std::string() : errors.front());
+  // The linter itself enforces: le series cumulative monotone, +Inf bucket
+  // present and equal to _count, _sum present, TYPE lines for every family.
+}
+
+TEST(MetricsRegistry, PrometheusSnapshotStaysValidUnderConcurrentObserve) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  reg.ResetAll();
+  Histogram& hist = reg.GetHistogram("lint.concurrent_hist");
+  Counter& counter = reg.GetCounter("lint.concurrent_counter");
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&hist, &counter, &stop, w] {
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        hist.Observe(1e-6 * static_cast<double>(1 + (i + w) % 4096));
+        counter.Add(1);
+        ++i;
+      }
+    });
+  }
+  // Each scrape must be internally consistent even though Observe() is
+  // mid-flight: cumulative monotone buckets, +Inf == _count. The separate
+  // count_ atomic is deliberately NOT the source of truth for the series.
+  for (int scrape = 0; scrape < 50; ++scrape) {
+    std::vector<std::string> errors;
+    const bool ok = testing::ValidatePrometheusExposition(
+        reg.ToPrometheusText(), &errors);
+    EXPECT_TRUE(ok) << (errors.empty() ? std::string() : errors.front());
+    if (!ok) break;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : writers) t.join();
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,206 @@
+#ifndef BIGDANSING_TESTS_PROM_LINT_TEST_UTIL_H_
+#define BIGDANSING_TESTS_PROM_LINT_TEST_UTIL_H_
+
+// Minimal Prometheus text-exposition linter for tests: validates the
+// subset of the format the MetricsRegistry emits. Checks, per metric
+// family:
+//  - every sample line is preceded by a "# TYPE <name> <kind>" line whose
+//    name prefixes the sample's metric name (allowing the histogram
+//    _bucket/_sum/_count suffixes);
+//  - metric names match [a-zA-Z_:][a-zA-Z0-9_:]*;
+//  - sample values parse as a number (or +Inf/-Inf/NaN);
+//  - histogram `le` bucket series are cumulative (monotone non-decreasing
+//    in file order), end with an le="+Inf" bucket, and that +Inf count
+//    equals the family's _count sample;
+//  - histograms expose _sum and _count.
+// On violation, returns false and appends a message to *errors.
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bigdansing {
+namespace testing {
+
+struct PromHistogramState {
+  bool saw_inf = false;
+  bool saw_sum = false;
+  long long count = -1;       // from _count
+  long long inf_count = -1;   // from le="+Inf"
+  long long last_bucket = -1; // monotonicity cursor
+};
+
+inline bool PromNameValid(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name) {
+    if (!head(c) && !std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+inline bool PromValueValid(const std::string& value) {
+  if (value == "+Inf" || value == "-Inf" || value == "NaN") return true;
+  if (value.empty()) return false;
+  char* end = nullptr;
+  std::strtod(value.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+/// Validates `text` as Prometheus exposition output; appends one message
+/// per defect to *errors and returns errors->empty().
+inline bool ValidatePrometheusExposition(const std::string& text,
+                                         std::vector<std::string>* errors) {
+  std::map<std::string, std::string> family_type;  // name -> counter/gauge/...
+  std::map<std::string, PromHistogramState> histograms;
+
+  size_t pos = 0;
+  size_t line_no = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+
+    auto fail = [&](const std::string& msg) {
+      errors->push_back("line " + std::to_string(line_no) + ": " + msg +
+                        " [" + line + "]");
+    };
+
+    if (line[0] == '#') {
+      // Only "# TYPE <name> <kind>" comments are emitted.
+      if (line.rfind("# TYPE ", 0) != 0) {
+        if (line.rfind("# HELP ", 0) != 0) fail("unrecognized comment");
+        continue;
+      }
+      const std::string rest = line.substr(7);
+      const size_t sp = rest.find(' ');
+      if (sp == std::string::npos) {
+        fail("malformed TYPE line");
+        continue;
+      }
+      const std::string name = rest.substr(0, sp);
+      const std::string kind = rest.substr(sp + 1);
+      if (!PromNameValid(name)) fail("invalid metric name in TYPE");
+      if (kind != "counter" && kind != "gauge" && kind != "histogram" &&
+          kind != "summary" && kind != "untyped") {
+        fail("unknown metric kind '" + kind + "'");
+      }
+      if (family_type.count(name) != 0) fail("duplicate TYPE for " + name);
+      family_type[name] = kind;
+      continue;
+    }
+
+    // Sample line: name[{labels}] value
+    size_t name_end = line.find_first_of("{ ");
+    if (name_end == std::string::npos) {
+      fail("sample line without value");
+      continue;
+    }
+    const std::string sample_name = line.substr(0, name_end);
+    if (!PromNameValid(sample_name)) fail("invalid sample metric name");
+
+    std::string labels;
+    size_t value_start = name_end;
+    if (line[name_end] == '{') {
+      const size_t close = line.find('}', name_end);
+      if (close == std::string::npos) {
+        fail("unterminated label set");
+        continue;
+      }
+      labels = line.substr(name_end + 1, close - name_end - 1);
+      value_start = close + 1;
+    }
+    while (value_start < line.size() && line[value_start] == ' ') {
+      ++value_start;
+    }
+    const std::string value = line.substr(value_start);
+    if (!PromValueValid(value)) fail("unparsable sample value '" + value + "'");
+
+    // Resolve the family: exact name, or histogram suffixes.
+    std::string family = sample_name;
+    bool is_bucket = false, is_sum = false, is_count = false;
+    auto strip = [&](const char* suffix, bool* flag) {
+      const std::string s(suffix);
+      if (family.size() > s.size() &&
+          family.compare(family.size() - s.size(), s.size(), s) == 0 &&
+          family_type.count(family.substr(0, family.size() - s.size())) !=
+              0) {
+        family = family.substr(0, family.size() - s.size());
+        *flag = true;
+      }
+    };
+    if (family_type.count(family) == 0) {
+      strip("_bucket", &is_bucket);
+      if (!is_bucket) strip("_sum", &is_sum);
+      if (!is_bucket && !is_sum) strip("_count", &is_count);
+    }
+    auto type_it = family_type.find(family);
+    if (type_it == family_type.end()) {
+      fail("sample without preceding TYPE line");
+      continue;
+    }
+    const bool is_histogram = type_it->second == "histogram";
+    if ((is_bucket || is_sum || is_count) && !is_histogram) {
+      fail("histogram-suffixed sample on non-histogram family");
+    }
+    if (is_histogram && !(is_bucket || is_sum || is_count)) {
+      fail("bare sample on histogram family");
+    }
+
+    if (!is_histogram) continue;
+    PromHistogramState& st = histograms[family];
+    if (is_sum) st.saw_sum = true;
+    if (is_count) st.count = std::atoll(value.c_str());
+    if (is_bucket) {
+      // Extract le="..." from the label set.
+      const size_t le = labels.find("le=\"");
+      if (le == std::string::npos) {
+        fail("_bucket sample without le label");
+        continue;
+      }
+      const size_t le_end = labels.find('"', le + 4);
+      const std::string bound = labels.substr(le + 4, le_end - le - 4);
+      const long long cumulative = std::atoll(value.c_str());
+      if (bound == "+Inf") {
+        st.saw_inf = true;
+        st.inf_count = cumulative;
+      }
+      if (cumulative < st.last_bucket) {
+        fail("bucket series not cumulative: " + value + " after " +
+             std::to_string(st.last_bucket));
+      }
+      st.last_bucket = cumulative;
+    }
+  }
+
+  for (const auto& [family, st] : histograms) {
+    if (!st.saw_inf) {
+      errors->push_back("histogram " + family + ": no le=\"+Inf\" bucket");
+    }
+    if (!st.saw_sum) {
+      errors->push_back("histogram " + family + ": no _sum sample");
+    }
+    if (st.count < 0) {
+      errors->push_back("histogram " + family + ": no _count sample");
+    }
+    if (st.saw_inf && st.count >= 0 && st.inf_count != st.count) {
+      errors->push_back("histogram " + family + ": +Inf bucket (" +
+                        std::to_string(st.inf_count) + ") != _count (" +
+                        std::to_string(st.count) + ")");
+    }
+  }
+  return errors->empty();
+}
+
+}  // namespace testing
+}  // namespace bigdansing
+
+#endif  // BIGDANSING_TESTS_PROM_LINT_TEST_UTIL_H_
