@@ -22,8 +22,10 @@ prints on regression), so healthy CI logs still show every bench's
 movement against baseline.
 
 Updating the baseline: run the bench subset with the same BD_SCALE as CI,
-then  python3 bench/check_regression.py --dir <dir> --write-baseline \
-      bench/baselines/baseline.json
+then  python3 bench/check_regression.py --dir <dir> --update-baseline
+which rewrites the committed bench/baselines/baseline.json (or the file
+given via --baseline) from this run's records. --write-baseline <path>
+does the same to an explicit path.
 """
 
 import argparse
@@ -98,7 +100,17 @@ def main():
                              "there are no regressions")
     parser.add_argument("--write-baseline",
                         help="write the current results as a new baseline and exit")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="regenerate the pinned baseline (--baseline "
+                             "path, or the committed "
+                             "bench/baselines/baseline.json) from this "
+                             "run's records and exit")
     args = parser.parse_args()
+
+    if args.update_baseline and not args.write_baseline:
+        args.write_baseline = args.baseline or os.path.join(
+            os.path.dirname(os.path.abspath(__file__)),
+            "baselines", "baseline.json")
 
     records, errors = load_records(args.dir)
     for e in errors:

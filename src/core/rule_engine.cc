@@ -11,6 +11,9 @@
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "common/trace.h"
+#include "core/columnar_detect.h"
+#include "core/detect_output.h"
+#include "obs/profiler.h"
 #include "dataflow/dataset.h"
 #include "dataflow/stage_executor.h"
 
@@ -23,8 +26,12 @@ namespace {
 /// that belong together, so correctness is preserved.
 using BlockKey = uint64_t;
 
-/// Rows of `table` as a distributed dataset.
+/// Rows of `table` as a distributed dataset. The partition copy is serial
+/// driver work; published to the sampling profiler so profiled runs
+/// attribute it instead of counting idle ticks.
 Dataset<Row> LoadTable(ExecutionContext* ctx, const Table& table) {
+  ScopedActivity activity(Profiler::Instance().Intern("load:table", "driver"),
+                          0, 0);
   return Dataset<Row>::FromVector(ctx, table.rows());
 }
 
@@ -34,17 +41,7 @@ Dataset<Row> ApplyScope(const Dataset<Row>& data,
                         const std::vector<size_t>& scope_columns) {
   if (scope_columns.empty()) return data;
   return data.Map([scope_columns](const Row& row) {
-    std::vector<Value> values;
-    values.reserve(scope_columns.size());
-    std::vector<size_t> sources;
-    sources.reserve(scope_columns.size());
-    for (size_t c : scope_columns) {
-      values.push_back(row.value(row.source_column(c)));
-      sources.push_back(row.source_column(c));
-    }
-    Row out(row.id(), std::move(values));
-    out.set_source_columns(std::move(sources));
-    return out;
+    return columnar::ScopeProject(row, scope_columns);
   }, "scope");
 }
 
@@ -68,24 +65,12 @@ bool ComputeBlockKey(const PhysicalRulePlan& plan, const Row& row,
   return true;
 }
 
-/// Per-task accumulation of detection output.
-struct TaskOutput {
-  std::vector<ViolationWithFixes> violations;
-  uint64_t detect_calls = 0;
-};
-
-/// Runs Detect (and GenFix) on the ordered pair (a, b), appending to `out`.
-void Probe(const Rule& rule, const Row& a, const Row& b, TaskOutput* out) {
-  ++out->detect_calls;
-  std::vector<Violation> found;
-  rule.Detect(a, b, &found);
-  for (auto& v : found) {
-    ViolationWithFixes vf;
-    vf.violation = std::move(v);
-    rule.GenFix(vf.violation, &vf.fixes);
-    out->violations.push_back(std::move(vf));
-  }
-}
+// Detection task accumulation and merge helpers live in detect_output.h,
+// shared with the columnar kernel path (columnar_detect.cc).
+using detect::MergeOutputs;
+using detect::MergeTaskPieces;
+using detect::Probe;
+using detect::TaskOutput;
 
 /// Enumerates candidate pairs inside one block according to the Iterate
 /// strategy and probes Detect on each.
@@ -118,45 +103,6 @@ void IterateBlock(const PhysicalRulePlan& plan, const std::vector<Row>& block,
     }
   }
   for (const auto& [a, b] : pairs) Probe(rule, *a, *b, out);
-}
-
-/// Folds one partition's morsel partials into its TaskOutput, in morsel
-/// (unit-range) order — violation order stays identical to one sequential
-/// pass over the partition's units.
-TaskOutput MergeTaskPieces(std::vector<TaskOutput>&& pieces) {
-  TaskOutput merged;
-  size_t total = 0;
-  for (const auto& piece : pieces) total += piece.violations.size();
-  merged.violations.reserve(total);
-  for (auto& piece : pieces) {
-    merged.detect_calls += piece.detect_calls;
-    for (auto& v : piece.violations) {
-      merged.violations.push_back(std::move(v));
-    }
-  }
-  return merged;
-}
-
-/// Merges per-task outputs into a DetectionResult. Driver-side (one call
-/// per detection stage), so the registry bookkeeping here is off the
-/// worker-timed hot path.
-void MergeOutputs(std::vector<TaskOutput>* tasks, DetectionResult* result) {
-  size_t total = 0;
-  for (const auto& t : *tasks) total += t.violations.size();
-  result->violations.reserve(result->violations.size() + total);
-  uint64_t fixes = 0;
-  for (auto& t : *tasks) {
-    result->detect_calls += t.detect_calls;
-    for (auto& v : t.violations) {
-      fixes += v.fixes.size();
-      result->violations.push_back(std::move(v));
-    }
-  }
-  if (total > 0) {
-    MetricsRegistry& registry = MetricsRegistry::Instance();
-    registry.GetCounter("rules.violations_detected").Add(total);
-    registry.GetCounter("rules.fixes_proposed").Add(fixes);
-  }
 }
 
 /// Executes the blocked pipeline: Iterate within blocks -> Detect -> GenFix.
@@ -453,6 +399,7 @@ Result<std::vector<DetectionResult>> RuleEngine::DetectAllImpl(
   std::unordered_map<std::string,
                      Dataset<std::pair<BlockKey, std::vector<Row>>>>
       block_cache;
+  columnar::ColumnarCaches columnar_caches;
 
   for (size_t r = 0; r < rules.size(); ++r) {
     const PhysicalRulePlan& plan = plans[r];
@@ -466,6 +413,18 @@ Result<std::vector<DetectionResult>> RuleEngine::DetectAllImpl(
     if (trace.enabled()) {
       rule_span.emplace(plan.rule->name(), "rule");
       plan.AnnotateSpan(&*rule_span);
+    }
+
+    // Columnar kernel path (default; BD_KERNELS=0 disables): declarative
+    // rules with a registered kernel compiler evaluate candidates over
+    // dictionary codes encoded straight from base rows — no eager scope
+    // stage — and fall through to the interpreted stages below when not
+    // kernelizable (UDF rules, similarity predicates, global OCJoin).
+    // Bit-identical output either way.
+    if (ctx_->kernels_enabled() &&
+        columnar::TryDetectColumnar(ctx_, plan, base, &columnar_caches,
+                                    &result)) {
+      continue;
     }
 
     // PScope (cached across rules with identical column sets).

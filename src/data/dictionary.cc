@@ -1,0 +1,212 @@
+#include "data/dictionary.h"
+
+#include <algorithm>
+
+#include "obs/profiler.h"
+
+namespace bigdansing {
+
+namespace {
+
+bool ValueLess(const Value& a, const Value& b) { return a.Compare(b) < 0; }
+
+uint64_t NextPow2(uint64_t n) {
+  uint64_t p = 16;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Flat open-addressing set of distinct Values, used for the per-partition
+/// dedup in the encode stage. Slots hold value-index+1 (0 = empty) into a
+/// parallel (value, hash) store; probing compares cached hashes before
+/// falling back to Value equality, and nothing allocates per element —
+/// the node-per-insert cost of std::unordered_set is what this replaces in
+/// the hottest encode loop.
+class FlatValueSet {
+ public:
+  void Reserve(size_t n) {
+    values_.reserve(n);
+    hashes_.reserve(n);
+    Rehash(NextPow2(2 * n + 16));
+  }
+
+  void Insert(Value v) {
+    if ((values_.size() + 1) * 2 > slots_.size()) Rehash(2 * slots_.size());
+    const uint64_t h = v.Hash();
+    uint64_t i = h & mask_;
+    while (uint32_t slot = slots_[i]) {
+      const uint32_t idx = slot - 1;
+      if (hashes_[idx] == h && values_[idx] == v) return;
+      i = (i + 1) & mask_;
+    }
+    slots_[i] = static_cast<uint32_t>(values_.size()) + 1;
+    values_.push_back(std::move(v));
+    hashes_.push_back(h);
+  }
+
+  std::vector<Value> Take() { return std::move(values_); }
+
+ private:
+  void Rehash(uint64_t size) {
+    slots_.assign(size, 0);
+    mask_ = size - 1;
+    for (uint32_t idx = 0; idx < values_.size(); ++idx) {
+      uint64_t i = hashes_[idx] & mask_;
+      while (slots_[i]) i = (i + 1) & mask_;
+      slots_[i] = idx + 1;
+    }
+  }
+
+  std::vector<uint32_t> slots_;
+  uint64_t mask_ = 0;
+  std::vector<Value> values_;
+  std::vector<uint64_t> hashes_;
+};
+
+}  // namespace
+
+ValuePool::ValuePool(std::vector<Value> values)
+    : values_(std::move(values)) {
+  hashes_.reserve(values_.size());
+  for (const Value& v : values_) hashes_.push_back(v.Hash());
+  const uint64_t size = NextPow2(2 * values_.size() + 16);
+  index_.assign(size, 0);
+  index_mask_ = size - 1;
+  for (uint32_t code = 0; code < values_.size(); ++code) {
+    uint64_t i = hashes_[code] & index_mask_;
+    while (index_[i]) i = (i + 1) & index_mask_;
+    index_[i] = code + 1;
+  }
+}
+
+uint32_t ValuePool::CodeOf(const Value& v) const {
+  if (v.is_null()) return kNullCode;
+  const uint64_t h = v.Hash();
+  uint64_t i = h & index_mask_;
+  while (uint32_t slot = index_[i]) {
+    const uint32_t code = slot - 1;
+    if (hashes_[code] == h && values_[code] == v) return code;
+    i = (i + 1) & index_mask_;
+  }
+  return kAbsentCode;
+}
+
+uint32_t ValuePool::LowerBound(const Value& v) const {
+  auto it = std::lower_bound(values_.begin(), values_.end(), v, ValueLess);
+  return static_cast<uint32_t>(it - values_.begin());
+}
+
+uint32_t ValuePool::UpperBound(const Value& v) const {
+  auto it = std::upper_bound(values_.begin(), values_.end(), v, ValueLess);
+  return static_cast<uint32_t>(it - values_.begin());
+}
+
+EncodedColumnSet EncodeColumns(
+    const Dataset<Row>& data, const std::vector<std::vector<size_t>>& groups) {
+  EncodedColumnSet out;
+  const auto& parts = data.partitions();
+  const size_t num_parts = parts.size();
+
+  // Flat column order (group-major) fixes the layout of both stage outputs.
+  std::vector<size_t> flat_cols;
+  std::vector<size_t> flat_group;  // flat slot -> group index
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (size_t c : groups[g]) {
+      flat_cols.push_back(c);
+      flat_group.push_back(g);
+    }
+  }
+
+  // Stage 1: per-partition distinct non-null values per group via flat hash
+  // dedup (one Hash + O(1) probe per cell — cheaper than sorting every
+  // cell; only the final distinct sets get sorted). Columns may carry
+  // per-row source mappings (scoped rows), honoured via source_column.
+  std::vector<std::vector<std::vector<Value>>> distinct =
+      data.RunStageProducing<std::vector<std::vector<Value>>>(
+          "kernel:encode:pool", [&](size_t p, TaskContext& tc) {
+            std::vector<std::vector<Value>> per_group(groups.size());
+            for (size_t g = 0; g < groups.size(); ++g) {
+              FlatValueSet seen;
+              seen.Reserve(parts[p].size() / 4 + 16);
+              for (size_t c : groups[g]) {
+                for (const Row& row : parts[p]) {
+                  const Value& v = row.value(row.source_column(c));
+                  if (!v.is_null()) seen.Insert(v);
+                }
+              }
+              per_group[g] = seen.Take();
+            }
+            tc.records_in = parts[p].size();
+            return per_group;
+          });
+
+  std::vector<std::shared_ptr<const ValuePool>> pools(groups.size());
+  {
+    // Driver-serial pool construction (merge + sort + index build between
+    // the two parallel stages); published so profiled runs attribute it.
+    ScopedActivity pool_activity(
+        Profiler::Instance().Intern("kernel:encode:pool", "driver"), 0, 0);
+    for (size_t g = 0; g < groups.size(); ++g) {
+      FlatValueSet merged;
+      size_t total = 0;
+      for (const auto& per_group : distinct) total += per_group[g].size();
+      merged.Reserve(total);
+      for (auto& per_group : distinct) {
+        for (Value& v : per_group[g]) merged.Insert(std::move(v));
+      }
+      // Sorted so code order equals Value order (ordering predicates
+      // compile to u32 range tests against LowerBound/UpperBound).
+      std::vector<Value> sorted = merged.Take();
+      std::sort(sorted.begin(), sorted.end(), ValueLess);
+      pools[g] = std::make_shared<ValuePool>(std::move(sorted));
+    }
+  }
+
+  // Stage 2: encode every requested column morsel-wise against its group's
+  // pool (O(1) probes against the pool's flat index); morsel pieces
+  // concatenate in row order, giving partition-aligned code vectors.
+  using CodesPiece = std::vector<std::vector<uint32_t>>;  // flat slot-major
+  std::vector<CodesPiece> encoded = data.RunStageMorsels<CodesPiece>(
+      "kernel:encode:codes",
+      [&](size_t p) { return parts[p].size(); },
+      [&](size_t p, size_t begin, size_t end, TaskContext& tc) {
+        CodesPiece piece(flat_cols.size());
+        for (size_t s = 0; s < flat_cols.size(); ++s) {
+          const ValuePool& pool = *pools[flat_group[s]];
+          const size_t c = flat_cols[s];
+          std::vector<uint32_t>& codes = piece[s];
+          codes.reserve(end - begin);
+          for (size_t i = begin; i < end; ++i) {
+            const Row& row = parts[p][i];
+            codes.push_back(pool.CodeOf(row.value(row.source_column(c))));
+          }
+        }
+        tc.records_in = end - begin;
+        tc.records_out = end - begin;
+        return piece;
+      },
+      [&](size_t, std::vector<CodesPiece>&& pieces) {
+        CodesPiece merged(flat_cols.size());
+        for (auto& piece : pieces) {
+          for (size_t s = 0; s < flat_cols.size(); ++s) {
+            merged[s].insert(merged[s].end(), piece[s].begin(),
+                             piece[s].end());
+          }
+        }
+        return merged;
+      });
+
+  for (size_t s = 0; s < flat_cols.size(); ++s) {
+    EncodedColumn col;
+    col.pool = pools[flat_group[s]];
+    col.codes.resize(num_parts);
+    for (size_t p = 0; p < num_parts; ++p) {
+      col.codes[p] = std::move(encoded[p][s]);
+    }
+    out.columns.emplace(flat_cols[s], std::move(col));
+  }
+  for (const auto& part : parts) out.rows += part.size();
+  return out;
+}
+
+}  // namespace bigdansing

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdlib>
 #include <memory>
+#include <string_view>
 
 #include "common/fault.h"
 #include "common/hash.h"
@@ -64,6 +65,22 @@ class ExecutionContext {
     return 2048;
   }
 
+  /// Whether declarative rules route through the columnar detect kernels
+  /// (dictionary-encoded keys + compiled predicate kernels). Off, every
+  /// rule takes the interpreted path — the bit-identical oracle. Defaults
+  /// from BD_KERNELS; override per context for tests and ablations.
+  bool kernels_enabled() const { return kernels_enabled_; }
+  void set_kernels_enabled(bool enabled) { kernels_enabled_ = enabled; }
+
+  /// BD_KERNELS unset or any value but "0" enables the kernel path; "0"
+  /// restores the exact interpreted engine.
+  static bool DefaultKernelsEnabled() {
+    if (const char* env = std::getenv("BD_KERNELS")) {
+      return std::string_view(env) != "0";
+    }
+    return true;
+  }
+
   /// Recovery policy every stage launched on this context runs under
   /// (retry attempts, backoff, speculation). Defaults from the environment
   /// (BD_SPECULATION); override per request via DetectRequest::fault_policy
@@ -95,6 +112,7 @@ class ExecutionContext {
   Metrics metrics_;
   FaultPolicy fault_policy_ = FaultPolicy::FromEnv();
   size_t morsel_rows_ = DefaultMorselRows();
+  bool kernels_enabled_ = DefaultKernelsEnabled();
 };
 
 /// RAII override of a context's fault policy for the extent of one request

@@ -16,6 +16,8 @@ class CheckRule : public Rule {
  public:
   CheckRule(std::string name, std::vector<Predicate> predicates);
 
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+
   int arity() const override { return 1; }
   std::vector<std::string> RelevantAttributes() const override;
 

@@ -1,0 +1,163 @@
+#ifndef BIGDANSING_RULES_DETECT_KERNEL_H_
+#define BIGDANSING_RULES_DETECT_KERNEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "data/dictionary.h"
+#include "data/schema.h"
+#include "rules/predicate.h"
+#include "rules/rule.h"
+
+namespace bigdansing {
+
+/// One data unit as the kernel sees it: a contiguous code array per kernel
+/// slot plus the unit's index into those arrays. Built by the engine per
+/// enumeration site; reading a cell is two pointer hops and no branch.
+struct CodeTuple {
+  const uint32_t* const* cols;  ///< Per-slot code arrays.
+  size_t row;
+
+  uint32_t code(uint16_t slot) const { return cols[slot][row]; }
+};
+
+/// One DC conjunct compiled to dictionary-code compares. Cross-column
+/// predicates require both slots to share a pool (the compiler groups such
+/// columns); constant predicates carry the constant's position in the left
+/// slot's pool, resolved at Bind time:
+///   value == c  ⟺  code == const_eq   (kAbsentCode never matches)
+///   value <  c  ⟺  code <  const_lo
+///   value <= c  ⟺  code <  const_hi
+struct CodePredicate {
+  CmpOp op = CmpOp::kEq;
+  bool left_is_t1 = true;
+  uint16_t left_slot = 0;
+  bool right_is_constant = false;
+  bool right_is_t1 = false;
+  uint16_t right_slot = 0;
+  uint32_t const_eq = ValuePool::kAbsentCode;
+  uint32_t const_lo = 0;
+  uint32_t const_hi = 0;
+  /// A predicate that can never hold (null constant): the whole
+  /// conjunction is statically false.
+  bool never = false;
+
+  bool Eval(const CodeTuple& t1, const CodeTuple& t2) const {
+    if (never) return false;
+    const uint32_t a = (left_is_t1 ? t1 : t2).code(left_slot);
+    if (a == ValuePool::kNullCode) return false;
+    if (right_is_constant) {
+      switch (op) {
+        case CmpOp::kEq:  return a == const_eq;
+        case CmpOp::kNeq: return a != const_eq;
+        case CmpOp::kLt:  return a < const_lo;
+        case CmpOp::kLeq: return a < const_hi;
+        case CmpOp::kGt:  return a >= const_hi;
+        case CmpOp::kGeq: return a >= const_lo;
+        case CmpOp::kSimilar: return false;  // never compiled
+      }
+      return false;
+    }
+    const uint32_t b = (right_is_t1 ? t1 : t2).code(right_slot);
+    if (b == ValuePool::kNullCode) return false;
+    switch (op) {
+      case CmpOp::kEq:  return a == b;
+      case CmpOp::kNeq: return a != b;
+      case CmpOp::kLt:  return a < b;
+      case CmpOp::kLeq: return a <= b;
+      case CmpOp::kGt:  return a > b;
+      case CmpOp::kGeq: return a >= b;
+      case CmpOp::kSimilar: return false;
+    }
+    return false;
+  }
+};
+
+/// A compiled Detect decision kernel. `Matches` must be EXACT for the
+/// compiled rule: true iff Rule::Detect on the same ordered pair would emit
+/// at least one violation. That contract is what lets the engine evaluate
+/// candidate batches over code vectors and call the interpreted Detect only
+/// on matches, keeping the violation stream bit-identical to the
+/// interpreted path.
+class DetectKernel {
+ public:
+  virtual ~DetectKernel() = default;
+  /// Arity-2 decision over an ordered candidate pair.
+  virtual bool Matches(const CodeTuple& t1, const CodeTuple& t2) const = 0;
+  /// Arity-1 decision; false for pair rules.
+  virtual bool MatchesSingle(const CodeTuple& t) const;
+  /// Batched upper-triangle decision over a block of `n` tuples: appends
+  /// (i, j) to `matches` for every i < j with Matches(tuples[i], tuples[j]),
+  /// in i-outer j-inner order — the engine's per-pair enumeration order for
+  /// symmetric rules, so consuming `matches` in sequence preserves the
+  /// interpreted violation order. The default delegates to Matches; hot
+  /// kernels (FD) override with a branch-light loop that hoists the outer
+  /// tuple's codes and skips per-pair virtual dispatch.
+  virtual void MatchUpper(
+      const CodeTuple* tuples, size_t n,
+      std::vector<std::pair<uint32_t, uint32_t>>* matches) const;
+};
+
+/// A schema-bound but pool-free kernel for one rule: names the columns to
+/// dictionary-encode (and which of them must share a pool), then binds to
+/// the pools once encoding has run.
+class KernelTemplate {
+ public:
+  virtual ~KernelTemplate() = default;
+
+  /// Detect-schema columns the kernel reads; slot s reads columns()[s].
+  const std::vector<size_t>& columns() const { return columns_; }
+  /// Detect-schema column sets whose codes are compared across columns and
+  /// therefore must share one pool. Singleton groups are omitted.
+  const std::vector<std::vector<size_t>>& shared_groups() const {
+    return shared_groups_;
+  }
+
+  /// Binds rule constants against the slots' pools; `pools[s]` is the pool
+  /// of `columns()[s]`.
+  virtual std::unique_ptr<DetectKernel> Bind(
+      const std::vector<const ValuePool*>& pools) const = 0;
+
+ protected:
+  /// Interns a detect-schema column, returning its slot.
+  uint16_t SlotFor(size_t column);
+  /// Records that two columns' codes are compared against each other.
+  void ShareGroup(size_t a, size_t b);
+
+  std::vector<size_t> columns_;
+  std::vector<std::vector<size_t>> shared_groups_;
+};
+
+/// Registry of rule-class kernel compilers — the dispatch point behind
+/// RuleEngine's kernel routing. A compiler pattern-matches a rule (via
+/// dynamic_cast) and returns an analyzed template, or null when it does not
+/// apply. Compile returns null when no compiler accepts the rule (UDF
+/// rules, similarity predicates, unresolvable attributes), which sends the
+/// rule down the interpreted path.
+class KernelRegistry {
+ public:
+  using Compiler = std::function<std::shared_ptr<const KernelTemplate>(
+      const Rule&, const Schema&)>;
+
+  static KernelRegistry& Instance();
+
+  void Register(std::string name, Compiler compiler);
+
+  /// First registered compiler that accepts `rule` wins. `schema` is the
+  /// detect schema (post-Scope) the rule was bound against.
+  std::shared_ptr<const KernelTemplate> Compile(const Rule& rule,
+                                                const Schema& schema) const;
+
+ private:
+  KernelRegistry();  // registers the built-in FD/DC/CFD/CHECK compilers
+
+  std::vector<std::pair<std::string, Compiler>> compilers_;
+};
+
+}  // namespace bigdansing
+
+#endif  // BIGDANSING_RULES_DETECT_KERNEL_H_

@@ -22,6 +22,8 @@
 
 #include "common/metrics_registry.h"
 #include "common/trace.h"
+#include "core/rule_engine.h"
+#include "datagen/datagen.h"
 #include "dataflow/context.h"
 #include "dataflow/stage_executor.h"
 #include "obs/http_server.h"
@@ -29,6 +31,7 @@
 #include "obs/resource_accounting.h"
 #include "obs/stage_directory.h"
 #include "prom_lint_test_util.h"
+#include "rules/parser.h"
 #include "strict_json_test_util.h"
 
 namespace bigdansing {
@@ -292,6 +295,34 @@ TEST(ProfilerTest, AttributesSamplesToPublishedStages) {
   EXPECT_NE(folded.find("bigdansing;obs-profiled-stage;morsel "),
             std::string::npos)
       << folded;
+  profiler.ResetSamples();
+}
+
+TEST(ProfilerTest, AttributesSamplesToKernelStages) {
+  // The columnar detect kernels publish their own stage descriptors
+  // (kernel:encode:*, kernel:block, kernel:iterate|detect|genfix); the
+  // profiler must attribute samples to them just like interpreted stages.
+  Profiler& profiler = Profiler::Instance();
+  profiler.ResetSamples();
+  profiler.Start(2000.0);
+
+  ExecutionContext ctx(4);
+  ctx.set_kernels_enabled(true);
+  RuleEngine engine(&ctx);
+  auto data = GenerateTaxA(20000, 0.1, /*seed=*/11);
+  auto rule = *ParseRule("phi1: FD: zipcode -> city");
+  // Re-run until a sample lands inside a kernel stage (the kernels are
+  // fast — that is the point — so one pass may finish between ticks).
+  std::string folded;
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    auto result = engine.Detect(data.dirty, rule);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_NE(result->plan_description.find("[kernel]"), std::string::npos);
+    folded = profiler.FoldedStacks();
+    if (folded.find("bigdansing;kernel:") != std::string::npos) break;
+  }
+  profiler.Stop();
+  EXPECT_NE(folded.find("bigdansing;kernel:"), std::string::npos) << folded;
   profiler.ResetSamples();
 }
 
