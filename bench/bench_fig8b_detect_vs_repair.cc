@@ -7,6 +7,7 @@
 #include "bench_util.h"
 #include "core/bigdansing.h"
 #include "datagen/datagen.h"
+#include "obs/quality.h"
 #include "rules/parser.h"
 
 namespace bigdansing {
@@ -27,14 +28,18 @@ void Run() {
     ExecutionContext ctx(8);
     BigDansing system(&ctx);
     Table working = data.dirty;
+    QualityRecorder& quality_recorder = QualityRecorder::Instance();
+    const bool quality_was_enabled = quality_recorder.enabled();
+    quality_recorder.set_enabled(true);
     auto report = system.Clean(&working, {*ParseRule("phi1: FD: zipcode -> city")});
+    QualityRunRecord quality_run;
+    quality_recorder.LatestRun(&quality_run);
+    quality_recorder.set_enabled(quality_was_enabled);
     if (!report.ok()) {
       std::fprintf(stderr, "clean failed: %s\n",
                    report.status().ToString().c_str());
       continue;
     }
-    size_t fixes = 0;
-    for (const auto& iter : report->iterations) fixes += iter.applied_fixes;
     bench::BenchRecord record(
         "fig8b_detect_vs_repair",
         "error_rate=" + std::to_string(static_cast<int>(rate * 100)) + "%");
@@ -46,11 +51,13 @@ void Run() {
                      report->total_detect_seconds + report->total_repair_seconds);
     record.AddMetric("detect_seconds", report->total_detect_seconds);
     record.AddMetric("repair_seconds", report->total_repair_seconds);
-    record.AddMetric("violations",
+    record.AddMetric("violations_iter1",
                      static_cast<uint64_t>(report->iterations.empty()
                                                ? 0
                                                : report->iterations[0].violations));
-    record.AddMetric("fixes", static_cast<uint64_t>(fixes));
+    record.AddQuality(quality_run.TotalViolations(), quality_run.TotalFixes(),
+                      quality_run.TotalUnresolved(),
+                      static_cast<uint64_t>(report->num_iterations()));
     record.CaptureMetrics(ctx.metrics());
     record.Emit();
     double share =

@@ -11,6 +11,7 @@
 #include "common/lineage.h"
 #include "core/bigdansing.h"
 #include "datagen/datagen.h"
+#include "obs/quality.h"
 #include "repair/quality.h"
 #include "rules/parser.h"
 
@@ -62,9 +63,17 @@ void RunHai() {
       const bool was_enabled = lineage.enabled();
       lineage.set_enabled(true);
       lineage.Clear();
+      // The quality plane observes the same run: its per-rule totals must
+      // reconcile bit-exactly with the ledger and the CleanReport.
+      QualityRecorder& quality_recorder = QualityRecorder::Instance();
+      const bool quality_was_enabled = quality_recorder.enabled();
+      quality_recorder.set_enabled(true);
       auto report = system.Clean(&working, rules);
       std::vector<LineageEntry> entries = lineage.Entries();
       lineage.set_enabled(was_enabled);
+      QualityRunRecord quality_run;
+      const bool have_quality_run = quality_recorder.LatestRun(&quality_run);
+      quality_recorder.set_enabled(quality_was_enabled);
       if (!report.ok()) {
         std::fprintf(stderr, "clean failed: %s\n",
                      report.status().ToString().c_str());
@@ -73,6 +82,14 @@ void RunHai() {
       auto quality =
           EvaluateRepairFromLineage(entries, data.dirty, data.clean);
       if (!quality.ok()) continue;
+      if (have_quality_run &&
+          quality_run.TotalFixes() != static_cast<uint64_t>(quality->updates)) {
+        std::fprintf(stderr,
+                     "quality/lineage mismatch: recorder fixes=%llu "
+                     "ledger updates=%zu\n",
+                     static_cast<unsigned long long>(quality_run.TotalFixes()),
+                     quality->updates);
+      }
       bench::BenchRecord record(
           "table4_repair_quality",
           std::string(combo_names[c]) + ":" +
@@ -82,9 +99,10 @@ void RunHai() {
       record.AddConfig("parallel", parallel);
       record.AddMetric("precision", quality->precision);
       record.AddMetric("recall", quality->recall);
-      record.AddMetric("fixes", static_cast<uint64_t>(quality->updates));
-      record.AddMetric("iterations",
-                       static_cast<uint64_t>(report->num_iterations()));
+      record.AddQuality(quality_run.TotalViolations(),
+                        static_cast<uint64_t>(quality->updates),
+                        quality_run.TotalUnresolved(),
+                        static_cast<uint64_t>(report->num_iterations()));
       record.CaptureMetrics(ctx.metrics());
       record.Emit();
       table.AddRow({combo_names[c],
@@ -110,7 +128,13 @@ void RunTaxB() {
     options.repair.parallel = parallel;
     BigDansing system(&ctx, options);
     Table working = data.dirty;
+    QualityRecorder& quality_recorder = QualityRecorder::Instance();
+    const bool quality_was_enabled = quality_recorder.enabled();
+    quality_recorder.set_enabled(true);
     auto report = system.Clean(&working, {*ParseRule(rule)});
+    QualityRunRecord quality_run;
+    quality_recorder.LatestRun(&quality_run);
+    quality_recorder.set_enabled(quality_was_enabled);
     if (!report.ok()) {
       std::fprintf(stderr, "clean failed: %s\n",
                    report.status().ToString().c_str());
@@ -127,8 +151,9 @@ void RunTaxB() {
     record.AddConfig("parallel", parallel);
     record.AddMetric("repaired_distance", distance->repaired_distance);
     record.AddMetric("dirty_distance", distance->dirty_distance);
-    record.AddMetric("iterations",
-                     static_cast<uint64_t>(report->num_iterations()));
+    record.AddQuality(quality_run.TotalViolations(), quality_run.TotalFixes(),
+                      quality_run.TotalUnresolved(),
+                      static_cast<uint64_t>(report->num_iterations()));
     record.CaptureMetrics(ctx.metrics());
     record.Emit();
     char total[32], avg[32], dtotal[32], davg[32];

@@ -102,6 +102,14 @@ class BenchRecord {
   /// pairs_enumerated, records_read.
   void CaptureMetrics(const Metrics& metrics);
 
+  /// Standardized data-quality outcome of one Clean() run: the metric keys
+  /// "violations", "fixes", "unresolved" and "iterations". Benches that
+  /// measure repair quality use this instead of ad-hoc AddMetric calls so
+  /// every record spells the fields identically (the JSON builder does not
+  /// deduplicate keys — never AddMetric the same names separately).
+  void AddQuality(uint64_t violations, uint64_t fixes, uint64_t unresolved,
+                  uint64_t iterations);
+
   /// Writes the record as one line; returns false on I/O failure.
   bool Emit();
 
@@ -117,9 +125,11 @@ class BenchRecord {
 /// TraceRecorder; the Chrome trace is written to <path> by
 /// FlushObservability), BD_EXPLAIN=1 (prints the runtime EXPLAIN tree at
 /// exit), BD_OBS_PORT=<port> (live HTTP observability endpoint for the
-/// process lifetime) and BD_PROFILE_HZ / BD_PROFILE_FOLDED (sampling
-/// profiler). Runs automatically before main() in every binary linking
-/// this file; calling it again is harmless.
+/// process lifetime), BD_PROFILE_HZ / BD_PROFILE_FOLDED (sampling
+/// profiler), BD_LINEAGE_JSONL=<path> (repair lineage ledger) and
+/// BD_QUALITY_JSONL=<path> (data-quality run history; enables the
+/// QualityRecorder). Runs automatically before main() in every binary
+/// linking this file; calling it again is harmless.
 void InitObservabilityFromEnv();
 
 /// Writes the Chrome trace (BD_TRACE_JSON), the folded-stack profile

@@ -12,6 +12,7 @@
 #include "common/trace.h"
 #include "obs/http_server.h"
 #include "obs/profiler.h"
+#include "obs/quality.h"
 
 namespace bigdansing {
 namespace bench {
@@ -77,6 +78,11 @@ void InitObservabilityFromEnv() {
   if (EnvPath("BD_LINEAGE_JSONL") != nullptr) {
     LineageRecorder::Instance().set_enabled(true);
   }
+  // BD_QUALITY_JSONL=<path> turns the data-quality recorder on; the run
+  // history is written to <path> by FlushObservability.
+  if (EnvPath("BD_QUALITY_JSONL") != nullptr) {
+    QualityRecorder::Instance().set_enabled(true);
+  }
   // Live observability plane: BD_OBS_PORT serves /metrics, /stages,
   // /explain, /healthz and /profilez over HTTP for the duration of the
   // process; BD_PROFILE_HZ / BD_PROFILE_FOLDED start the sampling profiler
@@ -100,6 +106,9 @@ void FlushObservability() {
       BD_LOG(Warning) << "failed to write lineage ledger to " << target;
     }
   }
+  // Quality run history (BD_QUALITY_JSONL); the recorder keeps running so
+  // mid-run flushes only export the runs completed so far.
+  QualityRecorder::WriteJsonlFromEnv();
   const char* metrics_path = EnvPath("BD_METRICS_JSON");
   if (metrics_path != nullptr) {
     WriteTextFile(metrics_path, MetricsRegistry::Instance().ToJson() + "\n",
@@ -213,6 +222,14 @@ void BenchRecord::AddMetric(std::string_view key, double value) {
 }
 void BenchRecord::AddMetric(std::string_view key, const std::string& value) {
   metrics_.Add(key, value);
+}
+
+void BenchRecord::AddQuality(uint64_t violations, uint64_t fixes,
+                             uint64_t unresolved, uint64_t iterations) {
+  metrics_.Add("violations", violations);
+  metrics_.Add("fixes", fixes);
+  metrics_.Add("unresolved", unresolved);
+  metrics_.Add("iterations", iterations);
 }
 
 void BenchRecord::CaptureMetrics(const Metrics& metrics) {

@@ -12,11 +12,26 @@
 #include "common/metrics_registry.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
+#include "data/profile.h"
+#include "obs/quality.h"
 #include "repair/strategy.h"
 
 namespace bigdansing {
 
 namespace {
+
+/// Closes the QualityRecorder run on every exit path of Clean() — normal
+/// return, early Status return, and StageError unwinding alike — so a
+/// scrape never sees a run stuck in_progress after its Clean() finished.
+struct QualityRunGuard {
+  uint64_t run_id = 0;
+  const CleanReport* report = nullptr;
+  ~QualityRunGuard() {
+    if (run_id != 0) {
+      QualityRecorder::Instance().EndRun(run_id, report->converged);
+    }
+  }
+};
 
 /// Lineage-aware twin of ApplyAssignments: applies the assignments and, for
 /// each cell actually changed, appends a ledger entry carrying the old/new
@@ -29,7 +44,8 @@ size_t ApplyAssignmentsWithLineage(
     const std::vector<FixProvenance>& provenance,
     const std::unordered_set<CellRef, CellRefHash>* frozen, size_t iteration,
     std::unordered_set<uint64_t>* resolved,
-    std::map<std::string, LineageSummary>* by_rule) {
+    std::map<std::string, LineageSummary>* by_rule,
+    std::map<std::string, std::map<std::string, uint64_t>>* fix_columns) {
   LineageRecorder& lineage = LineageRecorder::Instance();
   const Schema& schema = table->schema();
   size_t changed = 0;
@@ -57,6 +73,9 @@ size_t ApplyAssignmentsWithLineage(
       resolved->insert(p.violation_id);
     }
     ++(*by_rule)[entry.rule].applied_fixes;
+    if (fix_columns != nullptr) {
+      ++(*fix_columns)[entry.rule][entry.attribute];
+    }
     row->set_value(a.cell.column, a.value);
     ++changed;
     lineage.RecordFix(std::move(entry));
@@ -126,11 +145,38 @@ Result<CleanReport> BigDansing::Clean(Table* table,
                        static_cast<uint64_t>(options_.max_iterations));
   }
 
+  // Data-quality plane: open a run record, profile the dirty input, and
+  // fold every iteration's violation/fix/unresolved attribution into it.
+  // One relaxed load when the recorder is off.
+  QualityRecorder& quality = QualityRecorder::Instance();
+  const bool quality_on = quality.enabled();
+  const uint64_t quality_run =
+      quality_on ? quality.BeginRun(rules.size(), table->num_rows()) : 0;
+  QualityRunGuard quality_guard{quality_run, &report};
+  if (quality_on) {
+    quality.RecordProfile(quality_run, ProfileTable(ctx_, *table));
+  }
+  const Schema& schema = table->schema();
+  auto column_name = [&schema](size_t col) {
+    return col < schema.num_attributes() ? schema.attribute(col)
+                                         : std::string();
+  };
+
   // Cells updated often enough get frozen so oscillating repairs terminate
   // (§2.2: "the algorithm puts a special variable on such units after a
   // fixed number of iterations").
   std::unordered_map<CellRef, size_t, CellRefHash> update_counts;
   std::unordered_set<CellRef, CellRefHash> frozen;
+  // A cell repaired in more than one iteration is oscillating — the
+  // behavior freezing exists to terminate; the quality curve reports how
+  // many cells have crossed that line so far.
+  auto oscillating_cells = [&update_counts]() {
+    uint64_t n = 0;
+    for (const auto& [cell, count] : update_counts) {
+      if (count >= 2) ++n;
+    }
+    return n;
+  };
 
   // Per-rule lineage tally for THIS run (the recorder is process-global, so
   // its summaries may span several Clean calls; the EXPLAIN annotations must
@@ -145,6 +191,8 @@ Result<CleanReport> BigDansing::Clean(Table* table,
   try {
   for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
     IterationReport it;
+    QualityIterationSample sample;
+    sample.iteration = iter + 1;
 
     Stopwatch detect_timer;
     const bool incremental = options_.incremental_redetection && iter > 0;
@@ -205,6 +253,13 @@ Result<CleanReport> BigDansing::Clean(Table* table,
           }
         }
         if (repairable && !vf.fixes.empty()) {
+          if (quality_on) {
+            // A violation attributes to the column of its first candidate
+            // fix — deterministic, so the per-rule sums reconcile exactly
+            // with the lineage ledger and the CleanReport.
+            ++sample.violations[vf.violation.rule_name]
+                               [column_name(vf.fixes.front().left.ref.column)];
+          }
           violations.push_back(std::move(vf));
         }
       }
@@ -214,6 +269,11 @@ Result<CleanReport> BigDansing::Clean(Table* table,
     if (violations.empty()) {
       report.iterations.push_back(it);
       report.converged = true;
+      if (quality_on) {
+        sample.frozen_cells = frozen.size();
+        sample.oscillating_cells = oscillating_cells();
+        quality.RecordIteration(quality_run, sample);
+      }
       break;
     }
 
@@ -229,11 +289,11 @@ Result<CleanReport> BigDansing::Clean(Table* table,
     if (!pass.ok()) return pass.status();
     std::vector<CellAssignment> assignments = std::move(pass->applied);
     std::vector<FixProvenance> provenance = std::move(pass->provenance);
-    if (lineage_on) {
+    if (lineage_on || quality_on) {
       std::unordered_set<uint64_t> resolved;
       it.applied_fixes = ApplyAssignmentsWithLineage(
           table, assignments, provenance, &frozen, iter + 1, &resolved,
-          &lineage_by_rule);
+          &lineage_by_rule, quality_on ? &sample.fixes : nullptr);
       // Every pooled violation with no applied fix this iteration survives
       // into the next detect pass (or the end of the run) unresolved.
       LineageRecorder& lineage = LineageRecorder::Instance();
@@ -242,6 +302,11 @@ Result<CleanReport> BigDansing::Clean(Table* table,
           lineage.RecordUnresolved(violations[vid].violation.rule_name, vid,
                                    iter + 1);
           ++lineage_by_rule[violations[vid].violation.rule_name].unresolved;
+          if (quality_on) {
+            ++sample.unresolved
+                  [violations[vid].violation.rule_name]
+                  [column_name(violations[vid].fixes.front().left.ref.column)];
+          }
         }
       }
     } else {
@@ -259,6 +324,11 @@ Result<CleanReport> BigDansing::Clean(Table* table,
     if (it.applied_fixes == 0) {
       // Nothing applicable: remaining violations have no possible fixes.
       report.converged = true;
+      if (quality_on) {
+        sample.frozen_cells = frozen.size();
+        sample.oscillating_cells = oscillating_cells();
+        quality.RecordIteration(quality_run, sample);
+      }
       break;
     }
 
@@ -268,6 +338,14 @@ Result<CleanReport> BigDansing::Clean(Table* table,
       if (++update_counts[a.cell] >= options_.freeze_after_updates) {
         frozen.insert(a.cell);
       }
+    }
+
+    if (quality_on) {
+      // Sampled after the freeze bookkeeping so the curve point reflects
+      // the state the NEXT iteration starts from.
+      sample.frozen_cells = frozen.size();
+      sample.oscillating_cells = oscillating_cells();
+      quality.RecordIteration(quality_run, sample);
     }
   }
   } catch (const StageError& e) {

@@ -1,0 +1,90 @@
+#ifndef BIGDANSING_DATA_PROFILE_H_
+#define BIGDANSING_DATA_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+#include "data/value.h"
+#include "dataflow/context.h"
+
+namespace bigdansing {
+
+/// One frequent value of a column with its occurrence count.
+struct TopValue {
+  Value value;
+  uint64_t count = 0;
+};
+
+/// Distribution statistics of one table column. `distinct`, `min` and `max`
+/// cover non-null values only; `min`/`max` are null Values when the column
+/// has no non-null cell. `top` is ordered by count descending, ties broken
+/// by Value order ascending, so the rendering is deterministic.
+struct ColumnProfile {
+  std::string name;
+  size_t index = 0;
+  uint64_t rows = 0;
+  uint64_t nulls = 0;
+  uint64_t distinct = 0;
+  Value min;
+  Value max;
+  std::vector<TopValue> top;
+
+  double null_rate() const {
+    return rows == 0 ? 0.0
+                     : static_cast<double>(nulls) / static_cast<double>(rows);
+  }
+
+  /// One strict-JSON object.
+  std::string ToJson() const;
+};
+
+/// A full table quality snapshot: per-column profiles plus the row count.
+struct TableProfile {
+  uint64_t rows = 0;
+  std::vector<ColumnProfile> columns;
+
+  /// Profile of the column named `name`, or null when absent.
+  const ColumnProfile* Find(const std::string& name) const;
+
+  /// One strict-JSON object ({"rows":N,"columns":[...]}).
+  std::string ToJson() const;
+};
+
+struct ProfileOptions {
+  /// How many frequent values to keep per column.
+  size_t top_k = 5;
+  /// Dictionary-encode the columns first (PR 8 ValuePools) so distinct /
+  /// min / max fall out of the sorted pools for free and the frequency
+  /// histogram runs over dense u32 codes. With `false` the profiler scans
+  /// raw Values instead — the path for columns that are never encoded.
+  /// Both paths produce identical profiles.
+  bool use_encoding = true;
+  /// Encoding pays one encode stage per column before the histogram pass;
+  /// below this many rows the single-stage scan path is cheaper than that
+  /// fixed stage cost (and the output is identical anyway), so encoding
+  /// only kicks in at this size. 0 forces encoding whenever
+  /// `use_encoding` is set.
+  size_t encode_min_rows = 8192;
+  /// Below this many rows even one stage dispatch costs more than the
+  /// profiling work itself, so the profiler runs a plain driver-side loop
+  /// with no stages at all (same output, like the morsel-size cutoff).
+  /// 0 always dispatches stages.
+  size_t stage_min_rows = 4096;
+};
+
+/// Profiles every column of `table`, morselized via the StageExecutor.
+/// The encoded path runs the kernel encode stages plus one
+/// "profile:histogram" stage over the code vectors; the scan path runs one
+/// "profile:scan" stage over raw Values; tables under
+/// `ProfileOptions::stage_min_rows` are profiled inline on the calling
+/// thread with no stages at all. All paths produce identical profiles.
+/// Dispatched stages publish through stage reports, trace spans, EXPLAIN
+/// and the sampling profiler like any other engine stage.
+TableProfile ProfileTable(ExecutionContext* ctx, const Table& table,
+                          const ProfileOptions& options = ProfileOptions());
+
+}  // namespace bigdansing
+
+#endif  // BIGDANSING_DATA_PROFILE_H_

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -14,6 +15,16 @@
 namespace bigdansing {
 
 class Metrics;
+
+/// Wall-clock milliseconds since the Unix epoch — the timebase stage
+/// reports stamp their open/close moments with so /stages entries line up
+/// with Chrome-trace spans and external logs.
+inline uint64_t UnixMillisNow() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
 
 /// Live-metrics directory hooks (defined in obs/stage_directory.cc): every
 /// Metrics instance announces itself for the observability endpoints'
@@ -78,6 +89,11 @@ struct StageReport {
   uint64_t allocs = 0;
   int64_t rss_delta_bytes = 0;
   uint64_t steals = 0;
+  /// Wall-clock stamps of stage open and close (Unix epoch milliseconds)
+  /// for correlating /stages entries with Chrome-trace spans. `end_ms` is
+  /// 0 while the stage is still in flight.
+  uint64_t start_ms = 0;
+  uint64_t end_ms = 0;
   /// False while the stage is still executing (the live /stages endpoint
   /// reports such partial, in-flight reports); FinishStage sets it.
   bool finished = false;
@@ -159,6 +175,7 @@ class Metrics {
     StageReport report;
     report.name = name;
     report.tasks = num_tasks;
+    report.start_ms = UnixMillisNow();
     stage_reports_.push_back(std::move(report));
     return (generation_ << kHandleGenShift) | (stage_reports_.size() - 1);
   }
@@ -236,6 +253,7 @@ class Metrics {
     StageReport* report = LookupLocked(handle);
     if (report == nullptr) return;
     report->wall_seconds = wall_seconds;
+    report->end_ms = UnixMillisNow();
     report->finished = true;
     std::sort(report->task_seconds.begin(), report->task_seconds.end());
   }
@@ -318,6 +336,8 @@ class Metrics {
       out += ",\"shuffled_records\":" + std::to_string(r.shuffled_records);
       out += ",\"busy_seconds\":" + JsonDouble(r.busy_seconds);
       out += ",\"wall_seconds\":" + JsonDouble(r.wall_seconds);
+      out += ",\"start_ms\":" + std::to_string(r.start_ms);
+      out += ",\"end_ms\":" + std::to_string(r.end_ms);
       out += ",\"retries\":" + std::to_string(r.retries);
       out += ",\"failed_attempts\":" + std::to_string(r.failed_attempts);
       out += ",\"speculative_launched\":" +

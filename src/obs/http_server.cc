@@ -18,6 +18,7 @@
 #include "common/metrics_registry.h"
 #include "common/trace.h"
 #include "obs/profiler.h"
+#include "obs/quality.h"
 #include "obs/stage_directory.h"
 
 namespace bigdansing {
@@ -91,6 +92,14 @@ ObsResponse ObsServer::Dispatch(const std::string& raw_path) {
     body.Add("spans", static_cast<uint64_t>(recorder.SpanCount()));
     body.Add("explain", recorder.ExplainTree());
     resp.body = body.Build();
+    return resp;
+  }
+  if (path == "/quality") {
+    resp.body = QualityRecorder::Instance().SnapshotJson();
+    return resp;
+  }
+  if (path == "/profile") {
+    resp.body = QualityRecorder::Instance().LatestProfileJson();
     return resp;
   }
   if (path == "/profilez") {
@@ -266,8 +275,11 @@ bool ObsServer::StartFromEnv() {
   }
   if (!Instance().Start(static_cast<uint16_t>(port))) return false;
   // A live endpoint without spans or samples answers /explain and
-  // /profilez with empty shells; light both planes up alongside it.
+  // /profilez with empty shells; light both planes up alongside it. Same
+  // for the data-quality plane: /quality and /profile only have content
+  // when the QualityRecorder observes the Clean() runs.
   TraceRecorder::Instance().set_enabled(true);
+  QualityRecorder::Instance().set_enabled(true);
   if (!Profiler::Instance().running()) {
     Profiler::Instance().Start(Profiler::DefaultHz());
   }

@@ -29,6 +29,8 @@ struct ObsResponse {
 ///   /stages    live per-context StageReports incl. in-flight stages (JSON)
 ///   /explain   runtime EXPLAIN tree rendered from open spans (JSON)
 ///   /profilez  sampling-profiler folded stacks (flamegraph input, text)
+///   /quality   QualityRecorder run history + convergence + drift (JSON)
+///   /profile   latest Clean() input-table column profile    (JSON)
 class ObsServer {
  public:
   static ObsServer& Instance();

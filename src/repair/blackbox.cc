@@ -6,6 +6,7 @@
 
 #include "common/lineage.h"
 #include "common/stopwatch.h"
+#include "obs/quality.h"
 #include "common/trace.h"
 #include "dataflow/stage_executor.h"
 #include <unordered_map>
@@ -134,7 +135,7 @@ RepairPassResult BlackBoxRepair(
     result.applied = algorithm.RepairComponent(all);
     result.num_components = 1;
     ctx->metrics().RecordTaskTime(0, timer.ElapsedSeconds());
-    if (LineageRecorder::Instance().enabled()) {
+    if (ProvenanceTrackingEnabled()) {
       std::vector<size_t> edge_of(all.size());
       for (size_t e = 0; e < all.size(); ++e) edge_of[e] = e;
       AttributeAssignments(all, edge_of, result.applied, /*component=*/0,
@@ -213,7 +214,7 @@ RepairPassResult BlackBoxRepair(
 
   std::vector<size_t> slot_of(groups.size());
   for (size_t t = 0; t < order.size(); ++t) slot_of[order[t]] = t;
-  const bool lineage_on = LineageRecorder::Instance().enabled();
+  const bool lineage_on = ProvenanceTrackingEnabled();
   for (size_t g = 0; g < groups.size(); ++g) {
     ComponentOutcome& out = (*outcomes)[slot_of[g]];
     result.num_split_components += out.split ? 1 : 0;

@@ -10,6 +10,7 @@
 #include "common/hash.h"
 #include "common/lineage.h"
 #include "common/trace.h"
+#include "obs/quality.h"
 #include "dataflow/dataset.h"
 #include "repair/connected_components.h"
 
@@ -106,7 +107,7 @@ std::vector<CellAssignment> DistributedEquivalenceClassRepair(
     ExecutionContext* ctx, const std::vector<ViolationWithFixes>& violations,
     std::vector<FixProvenance>* provenance) {
   const bool track_provenance =
-      provenance != nullptr && LineageRecorder::Instance().enabled();
+      provenance != nullptr && ProvenanceTrackingEnabled();
   // Collect the equality-fix graph: nodes are cells, edges link the two
   // sides of `cell = cell` fixes. Cell identity is its dense id.
   std::unordered_map<CellRef, uint64_t, CellRefHash> ids;

@@ -1,7 +1,7 @@
 #include "repair/strategy.h"
 
 #include "common/fault.h"
-#include "common/lineage.h"
+#include "obs/quality.h"
 #include "repair/equivalence_class.h"
 #include "repair/hypergraph_repair.h"
 
@@ -10,7 +10,9 @@ namespace bigdansing {
 Result<RepairPassResult> RepairStrategy::Repair(
     ExecutionContext* ctx, const std::vector<ViolationWithFixes>& violations,
     const BlackBoxOptions& options) const {
-  const bool lineage_on = LineageRecorder::Instance().enabled();
+  // Provenance feeds both the lineage ledger and the quality recorder, so
+  // either consumer being live turns attribution on.
+  const bool lineage_on = ProvenanceTrackingEnabled();
   try {
     return DoRepair(ctx, violations, options, lineage_on);
   } catch (const StageError& e) {

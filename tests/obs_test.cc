@@ -22,12 +22,14 @@
 
 #include "common/metrics_registry.h"
 #include "common/trace.h"
+#include "core/bigdansing.h"
 #include "core/rule_engine.h"
 #include "datagen/datagen.h"
 #include "dataflow/context.h"
 #include "dataflow/stage_executor.h"
 #include "obs/http_server.h"
 #include "obs/profiler.h"
+#include "obs/quality.h"
 #include "obs/resource_accounting.h"
 #include "obs/stage_directory.h"
 #include "prom_lint_test_util.h"
@@ -252,6 +254,168 @@ TEST(ObsServerTest, ServesRealHttpRoundTrip) {
   server.Stop();
 }
 #endif
+
+/// Enables the quality recorder for one test and restores the disabled,
+/// empty state so tests stay order-independent.
+struct QualityOn {
+  QualityOn() {
+    QualityRecorder::Instance().Clear();
+    QualityRecorder::Instance().set_enabled(true);
+  }
+  ~QualityOn() {
+    QualityRecorder::Instance().set_enabled(false);
+    QualityRecorder::Instance().Clear();
+  }
+};
+
+TEST(ObsDispatchTest, QualityEndpointIsStrictJson) {
+  QualityOn on;
+  auto data = GenerateTaxA(1000, 0.1, /*seed=*/17);
+  ExecutionContext ctx(4);
+  BigDansing system(&ctx);
+  Table working = data.dirty;
+  auto report =
+      system.Clean(&working, {*ParseRule("phi1: FD: zipcode -> city")});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  const ObsResponse resp = ObsServer::Dispatch("/quality");
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.content_type, "application/json");
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParsesStrictly(resp.body, &doc, &error)) << error;
+  EXPECT_TRUE(doc.Find("enabled")->boolean);
+  EXPECT_EQ(doc.Find("runs_begun")->number, 1.0);
+  ASSERT_EQ(doc.Find("runs")->array.size(), 1u);
+  const JsonValue& run = doc.Find("runs")->array[0];
+  EXPECT_FALSE(run.Find("in_progress")->boolean);
+  EXPECT_GT(run.Find("violations")->number, 0.0);
+  EXPECT_GT(run.Find("fixes")->number, 0.0);
+  ASSERT_GE(run.Find("rules_breakdown")->array.size(), 1u);
+  EXPECT_EQ(run.Find("rules_breakdown")->array[0].Find("rule")->str, "phi1");
+  // One run completed: no drift yet.
+  EXPECT_EQ(doc.Find("drift")->kind, JsonValue::kNull);
+
+  // The snapshot embeds each run's ToJson() verbatim — the same contract
+  // /stages keeps with StageReportsJson().
+  QualityRunRecord rec;
+  ASSERT_TRUE(QualityRecorder::Instance().LatestRun(&rec));
+  EXPECT_NE(resp.body.find(rec.ToJson()), std::string::npos);
+}
+
+TEST(ObsDispatchTest, ProfileEndpointServesLatestColumnProfile) {
+  QualityOn on;
+  // Before any run: the has_profile:false shell, still strict JSON.
+  JsonValue empty_doc;
+  std::string error;
+  ASSERT_TRUE(ParsesStrictly(ObsServer::Dispatch("/profile").body,
+                             &empty_doc, &error))
+      << error;
+  EXPECT_FALSE(empty_doc.Find("has_profile")->boolean);
+  EXPECT_EQ(empty_doc.Find("profile")->kind, JsonValue::kNull);
+
+  auto data = GenerateTaxA(1000, 0.1, /*seed=*/19);
+  ExecutionContext ctx(4);
+  BigDansing system(&ctx);
+  Table working = data.dirty;
+  auto report =
+      system.Clean(&working, {*ParseRule("phi1: FD: zipcode -> city")});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  const ObsResponse resp = ObsServer::Dispatch("/profile");
+  EXPECT_EQ(resp.status, 200);
+  JsonValue doc;
+  ASSERT_TRUE(ParsesStrictly(resp.body, &doc, &error)) << error;
+  EXPECT_TRUE(doc.Find("has_profile")->boolean);
+  const JsonValue* profile = doc.Find("profile");
+  ASSERT_NE(profile, nullptr);
+  EXPECT_EQ(profile->Find("rows")->number,
+            static_cast<double>(data.dirty.num_rows()));
+  const JsonValue* columns = profile->Find("columns");
+  ASSERT_NE(columns, nullptr);
+  EXPECT_EQ(columns->array.size(), data.dirty.schema().num_attributes());
+  bool saw_city = false;
+  for (const JsonValue& col : columns->array) {
+    if (col.Find("name")->str != "city") continue;
+    saw_city = true;
+    EXPECT_GT(col.Find("distinct")->number, 0.0);
+    EXPECT_GE(col.Find("top")->array.size(), 1u);
+  }
+  EXPECT_TRUE(saw_city);
+}
+
+TEST(ObsDispatchTest, ConcurrentQualityScrapesDuringClean) {
+  // A scraper thread hammers /quality and /profile while Clean() runs
+  // repeatedly on another thread — the mid-run pattern the obs-smoke CI
+  // step exercises, and the interleaving the TSan job watches. Every body
+  // must parse strictly, cumulative counters must be monotone across
+  // scrapes, and the final snapshot must embed the JSONL export's last
+  // record byte-identically.
+  QualityOn on;
+  constexpr int kRuns = 4;
+
+  std::atomic<bool> done{false};
+  std::vector<std::string> quality_bodies;
+  std::vector<std::string> profile_bodies;
+  std::thread scraper([&] {
+    while (!done.load()) {
+      quality_bodies.push_back(ObsServer::Dispatch("/quality").body);
+      profile_bodies.push_back(ObsServer::Dispatch("/profile").body);
+      std::this_thread::yield();
+    }
+  });
+
+  auto rule = *ParseRule("phi1: FD: zipcode -> city");
+  for (int i = 0; i < kRuns; ++i) {
+    auto data = GenerateTaxA(3000, 0.1, /*seed=*/static_cast<uint64_t>(i));
+    ExecutionContext ctx(4);
+    BigDansing system(&ctx);
+    Table working = data.dirty;
+    auto report = system.Clean(&working, {rule});
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+  }
+  // One last scrape is guaranteed to observe the final state.
+  done.store(true);
+  scraper.join();
+  quality_bodies.push_back(ObsServer::Dispatch("/quality").body);
+  profile_bodies.push_back(ObsServer::Dispatch("/profile").body);
+
+  double last_runs_begun = 0.0;
+  double last_fix_total = 0.0;
+  for (const std::string& body : quality_bodies) {
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(ParsesStrictly(body, &doc, &error)) << error << ": " << body;
+    const double runs_begun = doc.Find("runs_begun")->number;
+    EXPECT_GE(runs_begun, last_runs_begun) << "runs_begun went backwards";
+    last_runs_begun = runs_begun;
+    double fix_total = 0.0;
+    for (const JsonValue& run : doc.Find("runs")->array) {
+      fix_total += run.Find("fixes")->number;
+    }
+    EXPECT_GE(fix_total, last_fix_total) << "cumulative fixes went backwards";
+    last_fix_total = fix_total;
+  }
+  EXPECT_EQ(last_runs_begun, static_cast<double>(kRuns));
+  for (const std::string& body : profile_bodies) {
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(ParsesStrictly(body, &doc, &error)) << error << ": " << body;
+  }
+
+  // Final snapshot vs JSONL export: the last exported record appears in
+  // the last scrape byte-for-byte.
+  const std::string jsonl = QualityRecorder::Instance().ToJsonl();
+  const size_t last_newline = jsonl.rfind('\n');
+  ASSERT_NE(last_newline, std::string::npos);
+  const size_t prev_newline = jsonl.rfind('\n', last_newline - 1);
+  const std::string last_record =
+      prev_newline == std::string::npos
+          ? jsonl.substr(0, last_newline)
+          : jsonl.substr(prev_newline + 1, last_newline - prev_newline - 1);
+  ASSERT_FALSE(last_record.empty());
+  EXPECT_NE(quality_bodies.back().find(last_record), std::string::npos);
+}
 
 TEST(ProfilerTest, InternDeduplicatesDescriptors) {
   Profiler& profiler = Profiler::Instance();

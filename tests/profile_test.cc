@@ -1,0 +1,182 @@
+// Column profiler tests: known-table statistics (null rate, distinct,
+// min/max, top-k with deterministic tie-breaks), byte-identical output
+// between the dictionary-encoded path and the raw-value scan path, strict
+// JSON rendering, and the profile stages publishing through the metrics
+// plane like any other engine stage.
+#include "data/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+#include "dataflow/context.h"
+#include "strict_json_test_util.h"
+
+namespace bigdansing {
+namespace {
+
+Table MakeMixedTable() {
+  Table t(Schema({"city", "salary"}));
+  t.AppendRow({Value("paris"), Value(int64_t{100})});
+  t.AppendRow({Value("paris"), Value(int64_t{200})});
+  t.AppendRow({Value("oslo"), Value::Null()});
+  t.AppendRow({Value(), Value(int64_t{100})});
+  t.AppendRow({Value("lima"), Value(int64_t{50})});
+  t.AppendRow({Value("paris"), Value(int64_t{200})});
+  return t;
+}
+
+TEST(ColumnProfiler, ProfilesKnownTable) {
+  ExecutionContext ctx(4);
+  const Table t = MakeMixedTable();
+  TableProfile profile = ProfileTable(&ctx, t);
+
+  ASSERT_EQ(profile.rows, 6u);
+  ASSERT_EQ(profile.columns.size(), 2u);
+
+  const ColumnProfile* city = profile.Find("city");
+  ASSERT_NE(city, nullptr);
+  EXPECT_EQ(city->index, 0u);
+  EXPECT_EQ(city->rows, 6u);
+  EXPECT_EQ(city->nulls, 1u);
+  EXPECT_DOUBLE_EQ(city->null_rate(), 1.0 / 6.0);
+  EXPECT_EQ(city->distinct, 3u);
+  EXPECT_EQ(city->min, Value("lima"));
+  EXPECT_EQ(city->max, Value("paris"));
+  // Top-k: count-descending, ties broken by ascending Value order.
+  ASSERT_GE(city->top.size(), 3u);
+  EXPECT_EQ(city->top[0].value, Value("paris"));
+  EXPECT_EQ(city->top[0].count, 3u);
+  EXPECT_EQ(city->top[1].value, Value("lima"));
+  EXPECT_EQ(city->top[1].count, 1u);
+  EXPECT_EQ(city->top[2].value, Value("oslo"));
+  EXPECT_EQ(city->top[2].count, 1u);
+
+  const ColumnProfile* salary = profile.Find("salary");
+  ASSERT_NE(salary, nullptr);
+  EXPECT_EQ(salary->nulls, 1u);
+  EXPECT_EQ(salary->distinct, 3u);
+  EXPECT_EQ(salary->min, Value(int64_t{50}));
+  EXPECT_EQ(salary->max, Value(int64_t{200}));
+  ASSERT_GE(salary->top.size(), 3u);
+  // 100 and 200 both occur twice: the smaller value leads the tie.
+  EXPECT_EQ(salary->top[0].value, Value(int64_t{100}));
+  EXPECT_EQ(salary->top[0].count, 2u);
+  EXPECT_EQ(salary->top[1].value, Value(int64_t{200}));
+  EXPECT_EQ(salary->top[1].count, 2u);
+
+  EXPECT_EQ(profile.Find("missing"), nullptr);
+}
+
+TEST(ColumnProfiler, TopKTruncates) {
+  ExecutionContext ctx(2);
+  Table t(Schema({"v"}));
+  for (int i = 0; i < 10; ++i) {
+    for (int reps = 0; reps <= i; ++reps) {
+      t.AppendRow({Value(int64_t{i})});
+    }
+  }
+  ProfileOptions options;
+  options.top_k = 3;
+  TableProfile profile = ProfileTable(&ctx, t, options);
+  ASSERT_EQ(profile.columns.size(), 1u);
+  ASSERT_EQ(profile.columns[0].top.size(), 3u);
+  EXPECT_EQ(profile.columns[0].top[0].value, Value(int64_t{9}));
+  EXPECT_EQ(profile.columns[0].top[0].count, 10u);
+  EXPECT_EQ(profile.columns[0].top[2].value, Value(int64_t{7}));
+  EXPECT_EQ(profile.columns[0].distinct, 10u);
+}
+
+TEST(ColumnProfiler, AllThreePathsRenderIdentically) {
+  ExecutionContext ctx(4);
+  const Table t = MakeMixedTable();
+  ProfileOptions encoded;
+  encoded.use_encoding = true;
+  encoded.encode_min_rows = 0;
+  encoded.stage_min_rows = 0;
+  ProfileOptions scan;
+  scan.use_encoding = false;
+  scan.stage_min_rows = 0;
+  ProfileOptions inline_path;  // tiny table -> driver-side loop
+  // Byte-identical JSON, not just equal stats: the fallback paths must be
+  // indistinguishable to every downstream consumer (drift diff, JSONL).
+  const std::string expected = ProfileTable(&ctx, t, encoded).ToJson();
+  EXPECT_EQ(expected, ProfileTable(&ctx, t, scan).ToJson());
+  EXPECT_EQ(expected, ProfileTable(&ctx, t, inline_path).ToJson());
+}
+
+TEST(ColumnProfiler, EmptyTableAndNullContext) {
+  ExecutionContext ctx(2);
+  Table empty(Schema({"a", "b"}));
+  TableProfile profile = ProfileTable(&ctx, empty);
+  EXPECT_EQ(profile.rows, 0u);
+  ASSERT_EQ(profile.columns.size(), 2u);
+  EXPECT_EQ(profile.columns[0].nulls, 0u);
+  EXPECT_EQ(profile.columns[0].distinct, 0u);
+  EXPECT_DOUBLE_EQ(profile.columns[0].null_rate(), 0.0);
+  EXPECT_TRUE(profile.columns[0].min.is_null());
+
+  // Null context degrades to the name-only shell instead of crashing.
+  TableProfile no_ctx = ProfileTable(nullptr, MakeMixedTable());
+  ASSERT_EQ(no_ctx.columns.size(), 2u);
+  EXPECT_EQ(no_ctx.columns[0].name, "city");
+  EXPECT_EQ(no_ctx.columns[0].distinct, 0u);
+}
+
+TEST(ColumnProfiler, ToJsonIsStrictAndTyped) {
+  ExecutionContext ctx(4);
+  Table t(Schema({"na\"me"}));
+  t.AppendRow({Value("a\nb")});
+  t.AppendRow({Value()});
+  TableProfile profile = ProfileTable(&ctx, t);
+
+  JsonValue doc;
+  ASSERT_TRUE(ParsesStrictly(profile.ToJson(), &doc));
+  EXPECT_EQ(doc.Find("rows")->number, 2.0);
+  const JsonValue* columns = doc.Find("columns");
+  ASSERT_NE(columns, nullptr);
+  ASSERT_EQ(columns->array.size(), 1u);
+  const JsonValue& col = columns->array[0];
+  EXPECT_EQ(col.Find("name")->str, "na\"me");
+  EXPECT_EQ(col.Find("nulls")->number, 1.0);
+  EXPECT_EQ(col.Find("distinct")->number, 1.0);
+  EXPECT_EQ(col.Find("min")->str, "a\nb");
+  ASSERT_EQ(col.Find("top")->array.size(), 1u);
+  EXPECT_EQ(col.Find("top")->array[0].Find("value")->str, "a\nb");
+  EXPECT_EQ(col.Find("top")->array[0].Find("count")->number, 1.0);
+}
+
+TEST(ColumnProfiler, PublishesProfileStages) {
+  ExecutionContext ctx(4);
+  const Table t = MakeMixedTable();
+  ProfileOptions encoded;
+  encoded.encode_min_rows = 0;  // tiny table would auto-pick inline/scan
+  encoded.stage_min_rows = 0;
+  ProfileTable(&ctx, t, encoded);
+  bool saw_histogram = false;
+  for (const StageReport& r : ctx.metrics().StageReports()) {
+    if (r.name == "profile:histogram") {
+      saw_histogram = true;
+      EXPECT_TRUE(r.finished);
+      EXPECT_EQ(r.records_in, t.num_rows());
+      EXPECT_GT(r.start_ms, 0u);
+      EXPECT_GE(r.end_ms, r.start_ms);
+    }
+  }
+  EXPECT_TRUE(saw_histogram);
+
+  ProfileOptions scan;
+  scan.use_encoding = false;
+  scan.stage_min_rows = 0;
+  ProfileTable(&ctx, t, scan);
+  bool saw_scan = false;
+  for (const StageReport& r : ctx.metrics().StageReports()) {
+    saw_scan = saw_scan || r.name == "profile:scan";
+  }
+  EXPECT_TRUE(saw_scan);
+}
+
+}  // namespace
+}  // namespace bigdansing
