@@ -44,10 +44,13 @@ void Run() {
 
   ExecutionContext ctx(16);
   RuleEngine engine(&ctx);
+  DetectRequest all_request;
+  all_request.table = &data.dirty;
+  all_request.rules = rules;
   // Warm up both paths once (allocator / page-cache effects), then measure.
-  engine.DetectAll(data.dirty, rules);
+  engine.Detect(all_request);
   for (const auto& r : rules) engine.Detect(data.dirty, r);
-  double shared = TimeSeconds([&] { engine.DetectAll(data.dirty, rules); });
+  double shared = TimeSeconds([&] { engine.Detect(all_request); });
   double separate = TimeSeconds([&] {
     for (const auto& r : rules) engine.Detect(data.dirty, r);
   });

@@ -46,9 +46,11 @@ void RunOperation() {
     while (changed.size() < want) {
       changed.insert(static_cast<RowId>(rng.NextBounded(rows)));
     }
-    double incremental = TimeSeconds([&] {
-      engine.DetectIncremental(data.dirty, *ParseRule(kRule), changed);
-    });
+    DetectRequest inc_request;
+    inc_request.table = &data.dirty;
+    inc_request.rules = {*ParseRule(kRule)};
+    inc_request.changed_rows = &changed;
+    double incremental = TimeSeconds([&] { engine.Detect(inc_request); });
     bench::BenchRecord record(
         "ablation_incremental",
         "changed=" + std::to_string(changed.size()));

@@ -42,10 +42,13 @@ void Run() {
     ExecutionContext push_ctx(16);
     RuleEngine push_engine(&push_ctx);
     size_t push_violations = 0;
+    DetectRequest push_request;
+    push_request.storage = &storage;
+    push_request.dataset = "taxa";
+    push_request.rules = {*ParseRule(rule_text)};
     double pushed = TimeSeconds([&] {
-      auto r = push_engine.DetectWithStorage(storage, "taxa",
-                                             *ParseRule(rule_text));
-      push_violations = r.ok() ? r->violations.size() : 0;
+      auto r = push_engine.Detect(push_request);
+      push_violations = r.ok() ? r->front().violations.size() : 0;
     });
 
     bench::BenchRecord record("ablation_storage",

@@ -11,11 +11,18 @@ BenchRecord) into a directory named by BD_BENCH_JSON_DIR. This script
     committed baseline (bench/baselines/baseline.json); a result more than
     --threshold (default 25%) slower than baseline is a regression.
 
+Besides the baseline comparison, records may carry self-describing
+invariant gates: a record whose config has min_speedup > 0 must have
+metrics.speedup >= that bound (bench_stream_ingest uses this to pin the
+incremental-index advantage at >= 5x full re-detect). Gate failures are
+correctness failures, not perf regressions — --advisory does not downgrade
+them.
+
 Exit status: 0 when everything validates and no regression (or --advisory
-was given); 1 on malformed records or when a baseline entry was not
-produced by this run (a bench crashed or stopped emitting its record —
---advisory does not downgrade this, it only covers regressions); 2 on
-regressions without --advisory.
+was given); 1 on malformed records, failed invariant gates, or when a
+baseline entry was not produced by this run (a bench crashed or stopped
+emitting its record — --advisory does not downgrade these, it only covers
+regressions); 2 on regressions without --advisory.
 
 --verbose prints the full per-bench delta table on success too (it always
 prints on regression), so healthy CI logs still show every bench's
@@ -118,6 +125,28 @@ def main():
     if errors:
         return 1
     print(f"validated {len(records)} record(s) from {args.dir}")
+
+    gate_failures = []
+    for rec in records:
+        min_speedup = rec["config"].get("min_speedup", 0)
+        if not min_speedup:
+            continue
+        speedup = rec["metrics"].get("speedup")
+        if speedup is None:
+            gate_failures.append(
+                f"{key_of(rec)}: config.min_speedup={min_speedup} but the "
+                f"record has no metrics.speedup")
+        elif speedup < min_speedup:
+            gate_failures.append(
+                f"{key_of(rec)}: speedup {speedup:.2f}x below the bench's "
+                f"own min_speedup gate of {min_speedup:.2f}x")
+        else:
+            print(f"      GATE  {key_of(rec)}: speedup {speedup:.2f}x >= "
+                  f"{min_speedup:.2f}x")
+    if gate_failures:
+        for failure in gate_failures:
+            print(f"GATE FAILED: {failure}", file=sys.stderr)
+        return 1
 
     current = {}
     for rec in records:

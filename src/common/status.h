@@ -20,6 +20,9 @@ enum class StatusCode {
   kInternal,
   kIoError,
   kParseError,
+  /// A bounded resource (e.g. a stream session's in-flight batch window) is
+  /// full; retry after draining. Used by StreamSession backpressure.
+  kResourceExhausted,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -58,6 +61,9 @@ class Status {
   }
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -12,6 +12,7 @@
 #include "common/metrics_registry.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
+#include "core/stream_session.h"
 #include "data/profile.h"
 #include "obs/quality.h"
 #include "repair/strategy.h"
@@ -120,6 +121,24 @@ size_t ApplyAssignments(
 BigDansing::BigDansing(ExecutionContext* ctx, CleanOptions options)
     : ctx_(ctx), options_(std::move(options)) {}
 
+Result<std::unique_ptr<StreamSession>> BigDansing::OpenStream(
+    Table* table, const std::vector<RulePtr>& rules,
+    StreamOptions options) const {
+  // Not make_unique: the constructor is private to the BigDansing friend.
+  std::unique_ptr<StreamSession> session(
+      new StreamSession(ctx_, table, rules, std::move(options)));
+  Status status = session->Init();
+  if (!status.ok()) return status;
+  return session;
+}
+
+Result<std::unique_ptr<StreamSession>> BigDansing::OpenStream(
+    Table* table, const std::vector<RulePtr>& rules) const {
+  StreamOptions options;
+  options.clean = options_;
+  return OpenStream(table, rules, std::move(options));
+}
+
 Result<CleanReport> BigDansing::Clean(Table* table,
                                       const std::vector<RulePtr>& rules) const {
   CleanReport report;
@@ -207,18 +226,25 @@ Result<CleanReport> BigDansing::Clean(Table* table,
     }
     Result<std::vector<DetectionResult>> detections =
         std::vector<DetectionResult>{};
+    DetectRequest full_request;
+    full_request.table = table;
+    full_request.rules = rules;
     if (incremental) {
       std::vector<DetectionResult> partial;
       partial.reserve(rules.size());
       bool failed = false;
       for (const auto& rule : rules) {
-        auto d = engine.DetectIncremental(*table, rule, last_changed_rows);
+        DetectRequest request;
+        request.table = table;
+        request.rules = {rule};
+        request.changed_rows = &last_changed_rows;
+        auto d = engine.Detect(request);
         if (!d.ok()) {
           detections = d.status();
           failed = true;
           break;
         }
-        partial.push_back(std::move(*d));
+        partial.push_back(std::move(d->front()));
       }
       if (!failed) {
         size_t found = 0;
@@ -226,13 +252,13 @@ Result<CleanReport> BigDansing::Clean(Table* table,
         if (found == 0) {
           // Incremental pass is clean: verify with one full detection so
           // the converged result is identical to the non-incremental mode.
-          detections = engine.DetectAll(*table, rules);
+          detections = engine.Detect(full_request);
         } else {
           detections = std::move(partial);
         }
       }
     } else {
-      detections = engine.DetectAll(*table, rules);
+      detections = engine.Detect(full_request);
     }
     if (!detections.ok()) return detections.status();
     it.detect_seconds = detect_timer.ElapsedSeconds();

@@ -18,6 +18,9 @@
 
 namespace bigdansing {
 
+class StreamSession;
+struct StreamOptions;
+
 /// Options for a full cleanse run.
 struct CleanOptions {
   PlannerOptions planner;
@@ -74,10 +77,26 @@ class BigDansing {
   Result<CleanReport> Clean(Table* table,
                             const std::vector<RulePtr>& rules) const;
 
+  /// Opens a long-running streaming cleanse session over `table` (which
+  /// must outlive the session): rows arrive via StreamSession::Append in
+  /// bounded micro-batches and each Poll() repairs only the blocks the
+  /// batch touched, against a persistent incremental violation index.
+  /// Existing rows are indexed and marked dirty, so OpenStream + Flush
+  /// reaches the same fix-point contract as Clean(). The two-argument
+  /// overload inherits this facade's CleanOptions.
+  Result<std::unique_ptr<StreamSession>> OpenStream(
+      Table* table, const std::vector<RulePtr>& rules,
+      StreamOptions options) const;
+  Result<std::unique_ptr<StreamSession>> OpenStream(
+      Table* table, const std::vector<RulePtr>& rules) const;
+
   /// Detection only — exposed for experiments that time phases separately.
   Result<std::vector<DetectionResult>> Detect(
       const Table& table, const std::vector<RulePtr>& rules) const {
-    return RuleEngine(ctx_, options_.planner).DetectAll(table, rules);
+    DetectRequest request;
+    request.table = &table;
+    request.rules = rules;
+    return RuleEngine(ctx_, options_.planner).Detect(request);
   }
 
  private:

@@ -102,6 +102,7 @@ class RuleEngine {
   /// (the plan-consolidation optimization of §4.2). Results align with
   /// `rules` by index.
   /// Deprecated convenience wrapper over Detect(DetectRequest).
+  [[deprecated("build a DetectRequest with table+rules and call Detect()")]]
   Result<std::vector<DetectionResult>> DetectAll(
       const Table& table, const std::vector<RulePtr>& rules) const;
 
@@ -110,6 +111,7 @@ class RuleEngine {
   /// equality predicates t1.X = t2.Y. Used for rules like the paper's DC (1)
   /// joining customers and suppliers.
   /// Deprecated convenience wrapper over Detect(DetectRequest).
+  [[deprecated("build a DetectRequest with table+right and call Detect()")]]
   Result<DetectionResult> DetectAcross(const Table& left, const Table& right,
                                        const std::shared_ptr<DcRule>& rule) const;
 
@@ -122,6 +124,8 @@ class RuleEngine {
   /// only the blocks containing changed rows are iterated; for unblocked
   /// rules the changed rows are paired against the whole dataset.
   /// Deprecated convenience wrapper over Detect(DetectRequest).
+  [[deprecated(
+      "build a DetectRequest with table+changed_rows and call Detect()")]]
   Result<DetectionResult> DetectIncremental(
       const Table& table, const RulePtr& rule,
       const std::unordered_set<RowId>& changed_rows) const;
@@ -133,6 +137,7 @@ class RuleEngine {
   /// blocking shuffle is skipped entirely (metrics record zero shuffled
   /// records for the pass). Falls back to the ordinary path otherwise.
   /// Deprecated convenience wrapper over Detect(DetectRequest).
+  [[deprecated("build a DetectRequest with storage+dataset and call Detect()")]]
   Result<DetectionResult> DetectWithStorage(const StorageManager& storage,
                                             const std::string& name,
                                             const RulePtr& rule) const;

@@ -1,0 +1,1032 @@
+#include "core/stream_session.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <optional>
+
+#include "common/hash.h"
+#include "common/lineage.h"
+#include "common/logging.h"
+#include "common/metrics_registry.h"
+#include "common/stopwatch.h"
+#include "core/columnar_detect.h"
+#include "core/rule_engine.h"
+#include "obs/quality.h"
+#include "repair/strategy.h"
+
+namespace bigdansing {
+
+namespace {
+
+size_t EnvSizeOr(const char* name, size_t fallback) {
+  if (const char* env = std::getenv(name)) {
+    char* end = nullptr;
+    long value = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && value > 0) {
+      return static_cast<size_t>(value);
+    }
+  }
+  return fallback;
+}
+
+/// Default session names ("stream-N") when StreamOptions carries none.
+std::atomic<uint64_t>& NameCounter() {
+  static std::atomic<uint64_t> counter{0};
+  return counter;
+}
+
+/// Closes the quality run of one window on every exit path (mirrors the
+/// QualityRunGuard of Clean()).
+struct WindowQualityGuard {
+  uint64_t run_id = 0;
+  const bool* converged = nullptr;
+  ~WindowQualityGuard() {
+    if (run_id != 0) {
+      QualityRecorder::Instance().EndRun(run_id, *converged);
+    }
+  }
+};
+
+}  // namespace
+
+size_t StreamOptions::DefaultBatchRows() {
+  return EnvSizeOr("BD_STREAM_BATCH_ROWS", 4096);
+}
+
+size_t StreamOptions::DefaultMaxInflight() {
+  return EnvSizeOr("BD_STREAM_MAX_INFLIGHT", 4);
+}
+
+StreamSession::StreamSession(ExecutionContext* parent, Table* table,
+                             std::vector<RulePtr> rules, StreamOptions options)
+    : parent_ctx_(parent),
+      table_(table),
+      rules_(std::move(rules)),
+      opts_(std::move(options)) {}
+
+StreamSession::~StreamSession() { (void)Close(); }
+
+Status StreamSession::Init() {
+  if (table_ == nullptr) {
+    return Status::InvalidArgument("OpenStream: table must not be null");
+  }
+  if (rules_.empty()) {
+    return Status::InvalidArgument("OpenStream: no rules given");
+  }
+  if (opts_.batch_rows == 0) opts_.batch_rows = StreamOptions::DefaultBatchRows();
+  if (opts_.max_inflight_batches == 0) {
+    opts_.max_inflight_batches = StreamOptions::DefaultMaxInflight();
+  }
+  if (opts_.max_window_iterations == 0) {
+    opts_.max_window_iterations = opts_.clean.max_iterations;
+  }
+  name_ = opts_.session_name.empty()
+              ? "stream-" + std::to_string(NameCounter().fetch_add(1) + 1)
+              : opts_.session_name;
+
+  // The session's own context: same logical cluster as the parent, but its
+  // Metrics carry the session label so /stages attributes this session's
+  // stages (and SimulatedWallSeconds isolates its cost for the benches).
+  session_ctx_ = std::make_unique<ExecutionContext>(parent_ctx_->num_workers(),
+                                                    parent_ctx_->backend());
+  session_ctx_->set_morsel_rows(parent_ctx_->morsel_rows());
+  session_ctx_->set_kernels_enabled(parent_ctx_->kernels_enabled());
+  session_ctx_->set_fault_policy(parent_ctx_->fault_policy());
+  session_ctx_->metrics().set_label(name_);
+
+  // Physical plans once per session; the per-window engine calls rebuild
+  // their own, but the session needs the blocking layout and detect schema
+  // to maintain its index.
+  indexes_.reserve(rules_.size());
+  for (const auto& rule : rules_) {
+    auto plan = BuildPhysicalPlan(rule, table_->schema(), opts_.clean.planner);
+    if (!plan.ok()) return plan.status();
+    RuleIndex ri;
+    ri.plan = std::move(*plan);
+    const bool has_key =
+        ri.plan.block_key_fn || !ri.plan.blocking_columns.empty();
+    // Arity-1 rules never pair within blocks, and kSingle plans ignore
+    // blocking — both take the engine's changed-rows path instead.
+    ri.blocked = has_key && rule->arity() == 2 &&
+                 ri.plan.strategy != IterateStrategy::kSingle;
+    if (ri.blocked && !ri.plan.block_key_fn) {
+      for (size_t c : ri.plan.blocking_columns) {
+        ri.key_cols.push_back(ri.plan.scope_columns.empty()
+                                  ? c
+                                  : ri.plan.scope_columns[c]);
+      }
+    }
+    if (ri.blocked && !ri.plan.block_key_fn &&
+        session_ctx_->kernels_enabled()) {
+      ri.tmpl = KernelRegistry::Instance().Compile(*rule, ri.plan.detect_schema);
+      if (ri.tmpl) {
+        for (size_t c : ri.tmpl->columns()) {
+          ri.slot_cols.push_back(ri.plan.scope_columns.empty()
+                                     ? c
+                                     : ri.plan.scope_columns[c]);
+        }
+      }
+    }
+    indexes_.push_back(std::move(ri));
+  }
+
+  // Indexed base columns: every blocking key column plus every kernel slot.
+  for (const auto& ri : indexes_) {
+    for (size_t c : ri.key_cols) {
+      if (col_slot_.emplace(c, indexed_cols_.size()).second) {
+        indexed_cols_.push_back(c);
+      }
+    }
+    for (size_t c : ri.slot_cols) {
+      if (col_slot_.emplace(c, indexed_cols_.size()).second) {
+        indexed_cols_.push_back(c);
+      }
+    }
+  }
+
+  // Pool-sharing groups (union-find over slots): kernels comparing codes
+  // across two columns need those columns in one pool.
+  std::vector<size_t> parent(indexed_cols_.size());
+  for (size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  auto find = [&parent](size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  for (const auto& ri : indexes_) {
+    if (!ri.tmpl) continue;
+    for (const auto& group : ri.tmpl->shared_groups()) {
+      for (size_t i = 1; i < group.size(); ++i) {
+        const size_t a = ri.plan.scope_columns.empty()
+                             ? group[0]
+                             : ri.plan.scope_columns[group[0]];
+        const size_t b = ri.plan.scope_columns.empty()
+                             ? group[i]
+                             : ri.plan.scope_columns[group[i]];
+        parent[find(col_slot_.at(a))] = find(col_slot_.at(b));
+      }
+    }
+  }
+  col_group_.resize(indexed_cols_.size());
+  std::unordered_map<size_t, size_t> root_to_group;
+  for (size_t s = 0; s < indexed_cols_.size(); ++s) {
+    const size_t root = find(s);
+    auto [it, fresh] = root_to_group.emplace(root, pools_.size());
+    if (fresh) pools_.push_back(std::make_shared<const ValuePool>(
+        std::vector<Value>()));
+    col_group_[s] = it->second;
+  }
+
+  // Index the existing rows and mark their blocks dirty, so the first
+  // processed window cleans the backlog (OpenStream + Flush ≈ Clean).
+  std::vector<const Row*> existing;
+  existing.reserve(table_->num_rows());
+  for (size_t pos = 0; pos < table_->num_rows(); ++pos) {
+    const Row& row = table_->row(pos);
+    if (!row_pos_.emplace(row.id(), pos).second) {
+      return Status::InvalidArgument(
+          "OpenStream: duplicate row id " + std::to_string(row.id()));
+    }
+    next_row_id_ = std::max(next_row_id_, row.id() + 1);
+    existing.push_back(&row);
+  }
+  GrowPools(existing);
+  for (const Row* row : existing) {
+    EncodeRow(*row);
+    IndexInsert(*row);
+    pending_changed_.insert(row->id());
+  }
+
+  directory_id_ = StreamDirectory::Instance().Register(name_);
+  stats_.id = directory_id_;
+  stats_.name = name_;
+  stats_.rules = rules_.size();
+  PushStats();
+  return Status::OK();
+}
+
+void StreamSession::GrowPools(const std::vector<const Row*>& rows) {
+  if (pools_.empty() || rows.empty()) return;
+  std::vector<std::vector<Value>> fresh(pools_.size());
+  for (const Row* row : rows) {
+    for (size_t s = 0; s < indexed_cols_.size(); ++s) {
+      const Value& v = row->value(indexed_cols_[s]);
+      if (v.is_null()) continue;
+      if (pools_[col_group_[s]]->CodeOf(v) == ValuePool::kAbsentCode) {
+        fresh[col_group_[s]].push_back(v);
+      }
+    }
+  }
+  for (size_t g = 0; g < pools_.size(); ++g) {
+    if (fresh[g].empty()) continue;
+    std::vector<uint32_t> old_to_new;
+    auto grown = GrowPool(pools_[g], fresh[g], &old_to_new);
+    if (grown == pools_[g]) continue;
+    pools_[g] = std::move(grown);
+    ++pool_epoch_;
+    ++stats_.pool_growths;
+    // Monotone remap of every stored code of this group's columns.
+    for (auto& [id, codes] : row_codes_) {
+      for (size_t s = 0; s < indexed_cols_.size(); ++s) {
+        if (col_group_[s] != g) continue;
+        const uint32_t c = codes[s];
+        if (c < old_to_new.size()) codes[s] = old_to_new[c];
+      }
+    }
+  }
+}
+
+void StreamSession::EncodeRow(const Row& row) {
+  if (indexed_cols_.empty()) return;
+  auto& codes = row_codes_[row.id()];
+  codes.resize(indexed_cols_.size());
+  for (size_t s = 0; s < indexed_cols_.size(); ++s) {
+    codes[s] = pools_[col_group_[s]]->CodeOf(row.value(indexed_cols_[s]));
+  }
+}
+
+void StreamSession::DropCodes(RowId id) { row_codes_.erase(id); }
+
+bool StreamSession::KeyOf(const RuleIndex& ri, const Row& row,
+                          uint64_t* key) const {
+  if (ri.plan.block_key_fn) {
+    // UDF keys see the scoped row, exactly as the engine's blocking stage.
+    Value v = ri.plan.scope_columns.empty()
+                  ? ri.plan.block_key_fn(ri.plan.detect_schema, row)
+                  : ri.plan.block_key_fn(
+                        ri.plan.detect_schema,
+                        columnar::ScopeProject(row, ri.plan.scope_columns));
+    if (v.is_null()) return false;
+    *key = v.Hash();
+    return true;
+  }
+  // Pool-hash path: hash(code) is the precomputed Value::Hash, so the key
+  // is the engine's ComputeBlockKey rebuilt from dictionary codes.
+  const auto codes_it = row_codes_.find(row.id());
+  uint64_t h = 0x42D;
+  for (size_t c : ri.key_cols) {
+    uint64_t vh = 0;
+    bool have = false;
+    if (codes_it != row_codes_.end()) {
+      const size_t slot = col_slot_.at(c);
+      const uint32_t code = codes_it->second[slot];
+      if (code == ValuePool::kNullCode) return false;
+      const ValuePool& pool = *pools_[col_group_[slot]];
+      if (code < pool.size()) {
+        vh = pool.hash(code);
+        have = true;
+      }
+    }
+    if (!have) {
+      const Value& v = row.value(c);
+      if (v.is_null()) return false;
+      vh = v.Hash();
+    }
+    h = StableHashUint64(h ^ vh);
+  }
+  *key = h;
+  return true;
+}
+
+void StreamSession::IndexInsert(const Row& row) {
+  for (auto& ri : indexes_) {
+    if (!ri.blocked) continue;
+    uint64_t key = 0;
+    if (!KeyOf(ri, row, &key)) continue;
+    ri.blocks[key].insert(row.id());
+    ri.row_key[row.id()] = key;
+    ri.dirty.insert(key);
+  }
+}
+
+void StreamSession::IndexRemove(RowId id) {
+  for (auto& ri : indexes_) {
+    if (!ri.blocked) continue;
+    auto it = ri.row_key.find(id);
+    if (it == ri.row_key.end()) continue;
+    auto block = ri.blocks.find(it->second);
+    if (block != ri.blocks.end()) {
+      block->second.erase(id);
+      if (block->second.empty()) ri.blocks.erase(block);
+    }
+    ri.dirty.insert(it->second);
+    ri.row_key.erase(it);
+  }
+}
+
+void StreamSession::Rekey(const Row& row) {
+  for (auto& ri : indexes_) {
+    if (!ri.blocked) continue;
+    uint64_t new_key = 0;
+    const bool has_new = KeyOf(ri, row, &new_key);
+    auto it = ri.row_key.find(row.id());
+    const bool has_old = it != ri.row_key.end();
+    if (has_old && has_new && it->second == new_key) continue;
+    if (has_old) {
+      auto block = ri.blocks.find(it->second);
+      if (block != ri.blocks.end()) {
+        block->second.erase(row.id());
+        if (block->second.empty()) ri.blocks.erase(block);
+      }
+      ri.dirty.insert(it->second);
+      ri.row_key.erase(it);
+    }
+    if (has_new) {
+      ri.blocks[new_key].insert(row.id());
+      ri.row_key[row.id()] = new_key;
+      ri.dirty.insert(new_key);
+    }
+  }
+}
+
+Status StreamSession::Append(std::vector<Row> rows) {
+  if (closed_) return Status::InvalidArgument("stream session is closed");
+  const size_t width = table_->schema().num_attributes();
+  std::unordered_set<RowId> batch_ids;
+  for (auto& row : rows) {
+    if (row.size() != width) {
+      return Status::InvalidArgument(
+          "Append: row width " + std::to_string(row.size()) +
+          " does not match schema width " + std::to_string(width));
+    }
+    if (row.id() < 0) row.set_id(next_row_id_++);
+    if (row_pos_.count(row.id()) > 0 || pending_ids_.count(row.id()) > 0 ||
+        !batch_ids.insert(row.id()).second) {
+      return Status::InvalidArgument("Append: duplicate row id " +
+                                     std::to_string(row.id()));
+    }
+    next_row_id_ = std::max(next_row_id_, row.id() + 1);
+  }
+
+  const size_t new_batches =
+      (rows.size() + opts_.batch_rows - 1) / opts_.batch_rows;
+  if (!opts_.block_on_backpressure &&
+      pending_.size() + new_batches > opts_.max_inflight_batches) {
+    ++stats_.backpressure_rejections;
+    MetricsRegistry::Instance()
+        .GetCounter("stream.backpressure_rejections")
+        .Add(1);
+    PushStats();
+    return Status::ResourceExhausted(
+        "stream session " + name_ + ": in-flight window full (" +
+        std::to_string(pending_.size()) + " batches queued, bound " +
+        std::to_string(opts_.max_inflight_batches) + "); Poll() and retry");
+  }
+
+  for (size_t begin = 0; begin < rows.size(); begin += opts_.batch_rows) {
+    const size_t end = std::min(begin + opts_.batch_rows, rows.size());
+    std::vector<Row> batch(std::make_move_iterator(rows.begin() + begin),
+                           std::make_move_iterator(rows.begin() + end));
+    for (const auto& row : batch) pending_ids_.insert(row.id());
+    stats_.appended_rows += batch.size();
+    pending_.push_back(std::move(batch));
+    ++stats_.batches_enqueued;
+  }
+
+  // Blocking backpressure: the appender's thread drains windows until the
+  // queue fits the bound again.
+  while (pending_.size() > opts_.max_inflight_batches) {
+    ++stats_.backpressure_waits;
+    MetricsRegistry::Instance().GetCounter("stream.backpressure_waits").Add(1);
+    auto drained = ProcessWindow();
+    if (!drained.ok()) return drained.status();
+  }
+  PushStats();
+  return Status::OK();
+}
+
+Status StreamSession::AppendValues(std::vector<std::vector<Value>> rows) {
+  std::vector<Row> out;
+  out.reserve(rows.size());
+  for (auto& values : rows) out.emplace_back(-1, std::move(values));
+  return Append(std::move(out));
+}
+
+Status StreamSession::Retract(const std::vector<RowId>& row_ids) {
+  if (closed_) return Status::InvalidArgument("stream session is closed");
+  std::vector<size_t> positions;
+  for (RowId id : row_ids) {
+    if (pending_ids_.count(id) > 0) {
+      // Still queued: the row never reaches the table.
+      for (auto& batch : pending_) {
+        for (auto it = batch.begin(); it != batch.end(); ++it) {
+          if (it->id() == id) {
+            batch.erase(it);
+            break;
+          }
+        }
+      }
+      pending_ids_.erase(id);
+      ++stats_.retracted_rows;
+      continue;
+    }
+    auto pos = row_pos_.find(id);
+    if (pos == row_pos_.end()) continue;  // unknown/already retracted
+    IndexRemove(id);
+    DropCodes(id);
+    pending_changed_.erase(id);
+    positions.push_back(pos->second);
+    ++stats_.retracted_rows;
+  }
+  if (!positions.empty()) {
+    // Erase back-to-front so earlier positions stay valid, then rebuild the
+    // position map once.
+    std::sort(positions.begin(), positions.end(), std::greater<size_t>());
+    auto& rows = table_->mutable_rows();
+    for (size_t pos : positions) rows.erase(rows.begin() + pos);
+    row_pos_.clear();
+    for (size_t pos = 0; pos < rows.size(); ++pos) {
+      row_pos_[rows[pos].id()] = pos;
+    }
+  }
+  PushStats();
+  return Status::OK();
+}
+
+bool StreamSession::HasWork() const {
+  if (!pending_.empty() || !pending_changed_.empty()) return true;
+  for (const auto& ri : indexes_) {
+    if (!ri.dirty.empty()) return true;
+  }
+  return false;
+}
+
+void StreamSession::EnsureKernelBound(RuleIndex* ri) {
+  if (!ri->tmpl) return;
+  if (ri->kernel && ri->kernel_pool_epoch == pool_epoch_) return;
+  std::vector<const ValuePool*> pools;
+  pools.reserve(ri->slot_cols.size());
+  for (size_t c : ri->slot_cols) {
+    pools.push_back(pools_[col_group_[col_slot_.at(c)]].get());
+  }
+  const bool rebind = ri->kernel != nullptr;
+  ri->kernel = ri->tmpl->Bind(pools);
+  ri->kernel_pool_epoch = pool_epoch_;
+  if (rebind) {
+    ++stats_.kernel_rebinds;
+    MetricsRegistry::Instance().GetCounter("stream.kernel_rebinds").Add(1);
+  }
+}
+
+bool StreamSession::BlockMayViolate(RuleIndex* ri,
+                                    const std::vector<size_t>& positions) {
+  if (!ri->kernel) return true;
+  const size_t n = positions.size();
+  const size_t slots = ri->slot_cols.size();
+  std::vector<std::vector<uint32_t>> slot_codes(
+      slots, std::vector<uint32_t>(n, ValuePool::kNullCode));
+  for (size_t i = 0; i < n; ++i) {
+    const Row& row = table_->row(positions[i]);
+    auto it = row_codes_.find(row.id());
+    if (it == row_codes_.end()) return true;  // unencoded: assume dirty
+    for (size_t s = 0; s < slots; ++s) {
+      slot_codes[s][i] = it->second[col_slot_.at(ri->slot_cols[s])];
+    }
+  }
+  std::vector<const uint32_t*> ptrs;
+  ptrs.reserve(slots);
+  for (size_t s = 0; s < slots; ++s) ptrs.push_back(slot_codes[s].data());
+  const bool symmetric = ri->plan.rule->IsSymmetric();
+  CodeTuple a{ptrs.data(), 0};
+  CodeTuple b{ptrs.data(), 0};
+  for (size_t i = 0; i < n; ++i) {
+    a.row = i;
+    for (size_t j = i + 1; j < n; ++j) {
+      b.row = j;
+      if (ri->kernel->Matches(a, b)) return true;
+      if (!symmetric && ri->kernel->Matches(b, a)) return true;
+    }
+  }
+  return false;
+}
+
+Table StreamSession::BuildCandidateTable(RuleIndex* ri, size_t* candidates) {
+  EnsureKernelBound(ri);
+  std::vector<size_t> positions;
+  std::vector<size_t> block_positions;
+  for (uint64_t key : ri->dirty) {
+    auto block = ri->blocks.find(key);
+    if (block == ri->blocks.end() || block->second.size() < 2) continue;
+    block_positions.clear();
+    block_positions.reserve(block->second.size());
+    for (RowId id : block->second) {
+      auto pos = row_pos_.find(id);
+      if (pos != row_pos_.end()) block_positions.push_back(pos->second);
+    }
+    if (block_positions.size() < 2) continue;
+    // Table order inside the block, so detection enumerates candidate pairs
+    // exactly as a full pass over the base table would.
+    std::sort(block_positions.begin(), block_positions.end());
+    if (!BlockMayViolate(ri, block_positions)) continue;
+    positions.insert(positions.end(), block_positions.begin(),
+                     block_positions.end());
+  }
+  std::sort(positions.begin(), positions.end());
+  positions.erase(std::unique(positions.begin(), positions.end()),
+                  positions.end());
+  *candidates = positions.size();
+  Table sub(table_->schema());
+  for (size_t pos : positions) sub.AppendRowWithId(table_->row(pos));
+  return sub;
+}
+
+size_t StreamSession::ApplyWindowAssignments(
+    const std::vector<CellAssignment>& assignments,
+    const std::vector<FixProvenance>& provenance, size_t iteration,
+    const std::vector<ViolationWithFixes>& violations,
+    QualityIterationSample* sample) {
+  LineageRecorder& lineage = LineageRecorder::Instance();
+  const bool lineage_on = lineage.enabled();
+  const Schema& schema = table_->schema();
+  auto column_name = [&schema](size_t col) {
+    return col < schema.num_attributes() ? schema.attribute(col)
+                                         : std::string();
+  };
+
+  std::unordered_set<uint64_t> resolved;
+  std::unordered_set<RowId> touched;
+  size_t changed = 0;
+  for (size_t i = 0; i < assignments.size(); ++i) {
+    const auto& a = assignments[i];
+    if (frozen_.count(a.cell) > 0) continue;
+    auto pos = row_pos_.find(a.cell.row_id);
+    if (pos == row_pos_.end()) continue;  // retracted under the repair
+    Row& row = table_->mutable_row(pos->second);
+    if (a.cell.column >= row.size()) continue;
+    if (row.value(a.cell.column) == a.value) continue;
+    if (lineage_on) {
+      LineageEntry entry;
+      entry.row_id = a.cell.row_id;
+      entry.column = a.cell.column;
+      entry.attribute = column_name(a.cell.column);
+      entry.old_value = row.value(a.cell.column);
+      entry.new_value = a.value;
+      entry.iteration = iteration;
+      if (i < provenance.size()) {
+        entry.rule = provenance[i].rule;
+        entry.violation_id = provenance[i].violation_id;
+        entry.strategy = provenance[i].strategy;
+        entry.component = provenance[i].component;
+      }
+      lineage.RecordFix(std::move(entry));
+    }
+    if (i < provenance.size()) resolved.insert(provenance[i].violation_id);
+    if (sample != nullptr) {
+      const std::string rule =
+          i < provenance.size() ? provenance[i].rule : std::string();
+      ++sample->fixes[rule][column_name(a.cell.column)];
+    }
+    row.set_value(a.cell.column, a.value);
+    ++changed;
+    if (col_slot_.count(a.cell.column) > 0) touched.insert(a.cell.row_id);
+  }
+
+  // Repaired values may be new to the pools (rule constants); grow once for
+  // the whole pass, then move the touched rows between blocks.
+  if (!touched.empty()) {
+    std::vector<const Row*> rows;
+    rows.reserve(touched.size());
+    for (RowId id : touched) rows.push_back(&table_->row(row_pos_.at(id)));
+    GrowPools(rows);
+    for (const Row* row : rows) {
+      EncodeRow(*row);
+      Rekey(*row);
+    }
+  }
+
+  // Unresolved survivors, attributed as Clean() attributes them.
+  const bool quality_on = sample != nullptr;
+  if (lineage_on || quality_on) {
+    for (uint64_t vid = 0; vid < violations.size(); ++vid) {
+      if (resolved.count(vid) > 0) continue;
+      if (lineage_on) {
+        lineage.RecordUnresolved(violations[vid].violation.rule_name, vid,
+                                 iteration);
+      }
+      if (quality_on) {
+        ++sample->unresolved[violations[vid].violation.rule_name][column_name(
+            violations[vid].fixes.front().left.ref.column)];
+      }
+      ++stats_.unresolved_violations;
+    }
+  }
+  return changed;
+}
+
+Result<StreamWindowReport> StreamSession::ProcessWindow() {
+  StreamWindowReport rep;
+  rep.window_id = ++window_seq_;
+  Stopwatch window_timer;
+
+  std::optional<ScopedFaultPolicy> scoped_policy;
+  if (opts_.clean.fault_policy.has_value()) {
+    scoped_policy.emplace(ctx(), *opts_.clean.fault_policy);
+  }
+
+  // Land the oldest micro-batch: append, encode against the session pools,
+  // join the violation index (marking the joined blocks dirty).
+  if (!pending_.empty()) {
+    std::vector<Row> batch = std::move(pending_.front());
+    pending_.pop_front();
+    ++stats_.batches_processed;
+    rep.appended_rows = batch.size();
+    const size_t first_pos = table_->num_rows();
+    for (auto& row : batch) {
+      pending_ids_.erase(row.id());
+      row_pos_[row.id()] = table_->num_rows();
+      table_->AppendRowWithId(std::move(row));
+    }
+    std::vector<const Row*> fresh;
+    fresh.reserve(table_->num_rows() - first_pos);
+    for (size_t pos = first_pos; pos < table_->num_rows(); ++pos) {
+      fresh.push_back(&table_->row(pos));
+    }
+    GrowPools(fresh);
+    for (const Row* row : fresh) {
+      EncodeRow(*row);
+      IndexInsert(*row);
+      pending_changed_.insert(row->id());
+    }
+  }
+
+  std::unordered_set<RowId> changed = std::move(pending_changed_);
+  pending_changed_.clear();
+
+  RuleEngine engine(ctx(), opts_.clean.planner);
+  const RepairStrategy& repair_strategy =
+      RepairStrategyFor(opts_.clean.repair_mode);
+  QualityRecorder& quality = QualityRecorder::Instance();
+  const bool quality_on = quality.enabled();
+  const uint64_t quality_run =
+      quality_on ? quality.BeginRun(rules_.size(), table_->num_rows(), name_)
+                 : 0;
+  WindowQualityGuard quality_guard{quality_run, &rep.converged};
+  auto oscillating_cells = [this]() {
+    uint64_t n = 0;
+    for (const auto& [cell, count] : update_counts_) {
+      if (count >= 2) ++n;
+    }
+    return n;
+  };
+  const Schema& schema = table_->schema();
+  auto column_name = [&schema](size_t col) {
+    return col < schema.num_attributes() ? schema.attribute(col)
+                                         : std::string();
+  };
+
+  try {
+    for (size_t iter = 0; iter < opts_.max_window_iterations; ++iter) {
+      rep.iterations = iter + 1;
+      QualityIterationSample sample;
+      sample.iteration = iter + 1;
+
+      // Detect over only what this window touched: dirty blocks through the
+      // index for blocked rules, the engine's incremental changed-rows path
+      // for the rest.
+      Stopwatch detect_timer;
+      std::vector<ViolationWithFixes> pooled;
+      for (size_t r = 0; r < rules_.size(); ++r) {
+        RuleIndex& ri = indexes_[r];
+        std::vector<ViolationWithFixes> found;
+        if (ri.blocked) {
+          if (ri.dirty.empty()) continue;
+          rep.dirty_blocks += ri.dirty.size();
+          size_t candidates = 0;
+          Table sub = BuildCandidateTable(&ri, &candidates);
+          ri.dirty.clear();
+          rep.candidate_rows += candidates;
+          if (sub.num_rows() < 2) continue;
+          DetectRequest req;
+          req.table = &sub;
+          req.rules = {rules_[r]};
+          auto res = engine.Detect(req);
+          if (!res.ok()) return res.status();
+          found = std::move((*res)[0].violations);
+        } else {
+          if (changed.empty()) continue;
+          DetectRequest req;
+          req.table = table_;
+          req.rules = {rules_[r]};
+          req.changed_rows = &changed;
+          auto res = engine.Detect(req);
+          if (!res.ok()) return res.status();
+          found = std::move((*res)[0].violations);
+        }
+        // Pool across rules, dropping violations whose fixes only touch
+        // frozen cells (same termination contract as Clean()).
+        for (auto& vf : found) {
+          bool repairable = false;
+          for (const auto& f : vf.fixes) {
+            if (frozen_.count(f.left.ref) == 0) {
+              repairable = true;
+              break;
+            }
+          }
+          if (repairable && !vf.fixes.empty()) {
+            if (quality_on) {
+              ++sample.violations[vf.violation.rule_name]
+                                 [column_name(vf.fixes.front().left.ref.column)];
+            }
+            pooled.push_back(std::move(vf));
+          }
+        }
+      }
+      rep.detect_seconds += detect_timer.ElapsedSeconds();
+      rep.violations += pooled.size();
+      stats_.violations_found += pooled.size();
+
+      if (pooled.empty()) {
+        rep.converged = true;
+        if (quality_on) {
+          sample.frozen_cells = frozen_.size();
+          sample.oscillating_cells = oscillating_cells();
+          quality.RecordIteration(quality_run, sample);
+        }
+        break;
+      }
+
+      Stopwatch repair_timer;
+      auto pass = repair_strategy.Repair(ctx(), pooled, opts_.clean.repair);
+      if (!pass.ok()) return pass.status();
+      const size_t applied = ApplyWindowAssignments(
+          pass->applied, pass->provenance, iter + 1, pooled,
+          quality_on ? &sample : nullptr);
+      rep.repair_seconds += repair_timer.ElapsedSeconds();
+      rep.applied_fixes += applied;
+      stats_.fixes_applied += applied;
+
+      if (applied == 0) {
+        // Nothing applicable: the surviving violations have no possible
+        // fixes, so re-detecting their blocks would spin forever.
+        rep.converged = true;
+        if (quality_on) {
+          sample.frozen_cells = frozen_.size();
+          sample.oscillating_cells = oscillating_cells();
+          quality.RecordIteration(quality_run, sample);
+        }
+        break;
+      }
+
+      // Next iteration re-verifies only what this repair touched: Clean()'s
+      // freeze bookkeeping over every proposed assignment, the touched
+      // rows' blocks re-marked dirty (Rekey already dirtied moved rows).
+      changed.clear();
+      for (const auto& a : pass->applied) {
+        changed.insert(a.cell.row_id);
+        if (++update_counts_[a.cell] >= opts_.clean.freeze_after_updates) {
+          frozen_.insert(a.cell);
+        }
+      }
+      for (RowId id : changed) {
+        for (auto& ri : indexes_) {
+          if (!ri.blocked) continue;
+          auto key = ri.row_key.find(id);
+          if (key != ri.row_key.end()) ri.dirty.insert(key->second);
+        }
+      }
+
+      if (quality_on) {
+        sample.frozen_cells = frozen_.size();
+        sample.oscillating_cells = oscillating_cells();
+        quality.RecordIteration(quality_run, sample);
+      }
+    }
+  } catch (const StageError& e) {
+    return e.status();
+  }
+
+  if (!rep.converged) {
+    // Iteration cap: carry the residual dirt into the next window so the
+    // fix-point resumes instead of silently dropping it.
+    for (RowId id : changed) pending_changed_.insert(id);
+    for (RowId id : changed) {
+      for (auto& ri : indexes_) {
+        if (!ri.blocked) continue;
+        auto key = ri.row_key.find(id);
+        if (key != ri.row_key.end()) ri.dirty.insert(key->second);
+      }
+    }
+  } else {
+    ++stats_.windows_converged;
+  }
+
+  const double window_seconds = window_timer.ElapsedSeconds();
+  stats_.last_window_seconds = window_seconds;
+  stats_.max_window_seconds = std::max(stats_.max_window_seconds,
+                                       window_seconds);
+  stats_.total_detect_seconds += rep.detect_seconds;
+  stats_.total_repair_seconds += rep.repair_seconds;
+  MetricsRegistry::Instance().GetCounter("stream.windows_processed").Add(1);
+  PushStats();
+  return rep;
+}
+
+Result<StreamWindowReport> StreamSession::Poll() {
+  if (closed_) return Status::InvalidArgument("stream session is closed");
+  if (!HasWork()) {
+    StreamWindowReport rep;
+    rep.converged = true;
+    return rep;
+  }
+  return ProcessWindow();
+}
+
+Status StreamSession::RunVerifyWindows(StreamFlushReport* out) {
+  RuleEngine engine(ctx(), opts_.clean.planner);
+  const RepairStrategy& repair_strategy =
+      RepairStrategyFor(opts_.clean.repair_mode);
+  QualityRecorder& quality = QualityRecorder::Instance();
+  std::optional<ScopedFaultPolicy> scoped_policy;
+  if (opts_.clean.fault_policy.has_value()) {
+    scoped_policy.emplace(ctx(), *opts_.clean.fault_policy);
+  }
+  const Schema& schema = table_->schema();
+  auto column_name = [&schema](size_t col) {
+    return col < schema.num_attributes() ? schema.attribute(col)
+                                         : std::string();
+  };
+
+  for (size_t iter = 0; iter < opts_.clean.max_iterations; ++iter) {
+    StreamWindowReport rep;
+    rep.window_id = ++window_seq_;
+    rep.iterations = 1;
+    Stopwatch window_timer;
+    const bool quality_on = quality.enabled();
+    const uint64_t quality_run =
+        quality_on ? quality.BeginRun(rules_.size(), table_->num_rows(), name_)
+                   : 0;
+    WindowQualityGuard quality_guard{quality_run, &rep.converged};
+    QualityIterationSample sample;
+    sample.iteration = 1;
+
+    // Full-table verification detect: the same pass Clean() ends with, so
+    // a drained session certifies convergence against every rule at once.
+    Stopwatch detect_timer;
+    DetectRequest req;
+    req.table = table_;
+    req.rules = rules_;
+    auto detections = engine.Detect(req);
+    if (!detections.ok()) return detections.status();
+    std::vector<ViolationWithFixes> pooled;
+    for (auto& d : *detections) {
+      for (auto& vf : d.violations) {
+        bool repairable = false;
+        for (const auto& f : vf.fixes) {
+          if (frozen_.count(f.left.ref) == 0) {
+            repairable = true;
+            break;
+          }
+        }
+        if (repairable && !vf.fixes.empty()) {
+          if (quality_on) {
+            ++sample.violations[vf.violation.rule_name]
+                               [column_name(vf.fixes.front().left.ref.column)];
+          }
+          pooled.push_back(std::move(vf));
+        }
+      }
+    }
+    rep.detect_seconds = detect_timer.ElapsedSeconds();
+    rep.violations = pooled.size();
+    rep.candidate_rows = table_->num_rows();
+    stats_.violations_found += pooled.size();
+
+    if (pooled.empty()) {
+      rep.converged = true;
+      out->converged = true;
+      // The whole table verified clean: no dirt can be pending.
+      for (auto& ri : indexes_) ri.dirty.clear();
+      pending_changed_.clear();
+      ++stats_.windows_converged;
+      if (quality_on) {
+        quality.RecordIteration(quality_run, sample);
+      }
+      stats_.total_detect_seconds += rep.detect_seconds;
+      stats_.last_window_seconds = window_timer.ElapsedSeconds();
+      out->windows.push_back(rep);
+      PushStats();
+      break;
+    }
+
+    Stopwatch repair_timer;
+    auto pass = repair_strategy.Repair(ctx(), pooled, opts_.clean.repair);
+    if (!pass.ok()) return pass.status();
+    const size_t applied = ApplyWindowAssignments(
+        pass->applied, pass->provenance, 1, pooled,
+        quality_on ? &sample : nullptr);
+    rep.repair_seconds = repair_timer.ElapsedSeconds();
+    rep.applied_fixes = applied;
+    stats_.fixes_applied += applied;
+    out->total_violations += pooled.size();
+    out->total_applied_fixes += applied;
+
+    for (const auto& a : pass->applied) {
+      if (++update_counts_[a.cell] >= opts_.clean.freeze_after_updates) {
+        frozen_.insert(a.cell);
+      }
+    }
+    if (quality_on) {
+      sample.frozen_cells = frozen_.size();
+      quality.RecordIteration(quality_run, sample);
+    }
+    stats_.total_detect_seconds += rep.detect_seconds;
+    stats_.total_repair_seconds += rep.repair_seconds;
+    stats_.last_window_seconds = window_timer.ElapsedSeconds();
+    out->windows.push_back(rep);
+    PushStats();
+
+    if (applied == 0) {
+      // No possible fixes: Clean() reports this state converged.
+      out->converged = true;
+      for (auto& ri : indexes_) ri.dirty.clear();
+      pending_changed_.clear();
+      ++stats_.windows_converged;
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Result<StreamFlushReport> StreamSession::Flush() {
+  if (closed_) return Status::InvalidArgument("stream session is closed");
+  StreamFlushReport out;
+  // Freeze bookkeeping bounds this drain exactly as it bounds Clean():
+  // every non-converged window applies at least one real change, and
+  // oscillating cells freeze after freeze_after_updates rounds.
+  while (HasWork()) {
+    auto rep = ProcessWindow();
+    if (!rep.ok()) return rep.status();
+    out.total_violations += rep->violations;
+    out.total_applied_fixes += rep->applied_fixes;
+    out.converged = rep->converged;
+    out.windows.push_back(std::move(*rep));
+  }
+  if (opts_.verify_on_flush) {
+    out.converged = false;
+    Status st = RunVerifyWindows(&out);
+    if (!st.ok()) return st;
+  }
+  PushStats();
+  return out;
+}
+
+StreamSessionStats StreamSession::stats() const {
+  StreamSessionStats s = stats_;
+  s.rows = table_ != nullptr ? table_->num_rows() : 0;
+  s.pending_batches = pending_.size();
+  s.open = !closed_;
+  size_t blocks = 0;
+  size_t rows = 0;
+  for (const auto& ri : indexes_) {
+    blocks += ri.blocks.size();
+    rows += ri.row_key.size();
+  }
+  s.index_blocks = blocks;
+  s.index_rows = rows;
+  size_t pool_values = 0;
+  for (const auto& pool : pools_) pool_values += pool->size();
+  s.pool_values = pool_values;
+  return s;
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+StreamSession::IndexFingerprints() const {
+  // Stable over (sorted block key -> sorted member ids): identical content
+  // must fingerprint identically whatever the append/retract history was.
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(indexes_.size());
+  for (const auto& ri : indexes_) {
+    std::vector<uint64_t> keys;
+    keys.reserve(ri.blocks.size());
+    for (const auto& [key, members] : ri.blocks) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    uint64_t h = 0x5EED;
+    for (uint64_t key : keys) {
+      h = StableHashUint64(h ^ key);
+      const auto& members = ri.blocks.at(key);
+      std::vector<RowId> ids(members.begin(), members.end());
+      std::sort(ids.begin(), ids.end());
+      for (RowId id : ids) {
+        h = StableHashUint64(h ^ static_cast<uint64_t>(id));
+      }
+    }
+    out.emplace_back(ri.plan.rule->name(), h);
+  }
+  return out;
+}
+
+void StreamSession::PushStats(bool closing) {
+  StreamSessionStats s = stats();
+  if (closing) s.open = false;
+  StreamDirectory::Instance().Update(s);
+}
+
+Status StreamSession::Close() {
+  if (closed_) return Status::OK();
+  closed_ = true;
+  PushStats(/*closing=*/true);
+  StreamDirectory::Instance().Close(directory_id_);
+  return Status::OK();
+}
+
+}  // namespace bigdansing

@@ -1,0 +1,297 @@
+#ifndef BIGDANSING_CORE_STREAM_SESSION_H_
+#define BIGDANSING_CORE_STREAM_SESSION_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/bigdansing.h"
+#include "core/physical_plan.h"
+#include "data/dictionary.h"
+#include "data/table.h"
+#include "dataflow/context.h"
+#include "obs/stream_stats.h"
+#include "rules/detect_kernel.h"
+#include "rules/rule.h"
+
+namespace bigdansing {
+
+struct QualityIterationSample;
+
+/// Options for a streaming cleanse session (BigDansing::OpenStream).
+struct StreamOptions {
+  /// Planner/repair/freeze knobs shared with the one-shot path. The
+  /// session's windowed fix-point uses clean.max_iterations as its
+  /// per-window iteration cap unless max_window_iterations overrides it,
+  /// and clean.fault_policy scopes every window's stages.
+  CleanOptions clean;
+
+  /// Rows per micro-batch; Append() splits larger row vectors. 0 inherits
+  /// DefaultBatchRows() (BD_STREAM_BATCH_ROWS, default 4096).
+  size_t batch_rows = 0;
+
+  /// Bound on queued (not yet processed) micro-batches. 0 inherits
+  /// DefaultMaxInflight() (BD_STREAM_MAX_INFLIGHT, default 4).
+  size_t max_inflight_batches = 0;
+
+  /// Backpressure contract when Append() would exceed the in-flight bound:
+  /// true  -> Append() drains queued batches inline (the caller's thread
+  ///          runs Poll()) until the queue fits — it blocks, never fails;
+  /// false -> Append() rejects the whole call with ResourceExhausted
+  ///          before enqueueing anything; the caller Poll()s and retries.
+  bool block_on_backpressure = true;
+
+  /// Per-window fix-point iteration cap; 0 inherits clean.max_iterations.
+  size_t max_window_iterations = 0;
+
+  /// When true (default), Flush() ends with full-table verification
+  /// windows, so a drained session converges to the same fix-point
+  /// contract as one-shot Clean(). Disable for latency-only measurements.
+  bool verify_on_flush = true;
+
+  /// Observability namespace (the /streams record name, the /stages
+  /// context label, the /quality run session). Empty -> "stream-<id>".
+  std::string session_name;
+
+  /// BD_STREAM_BATCH_ROWS when set and positive, else 4096.
+  static size_t DefaultBatchRows();
+  /// BD_STREAM_MAX_INFLIGHT when set and positive, else 4.
+  static size_t DefaultMaxInflight();
+};
+
+/// Outcome of one processed window (one Poll(), or one verification pass
+/// during Flush()).
+struct StreamWindowReport {
+  uint64_t window_id = 0;
+  size_t appended_rows = 0;
+  size_t retracted_rows = 0;
+  /// Dirty blocks this window touched (across rules) and the candidate
+  /// rows the incremental index fed into detection.
+  size_t dirty_blocks = 0;
+  size_t candidate_rows = 0;
+  size_t violations = 0;
+  size_t applied_fixes = 0;
+  size_t iterations = 0;
+  bool converged = false;
+  double detect_seconds = 0.0;
+  double repair_seconds = 0.0;
+};
+
+/// Outcome of Flush(): every window drained plus the verification passes.
+struct StreamFlushReport {
+  std::vector<StreamWindowReport> windows;
+  /// True when the final full-table verification found no repairable
+  /// violations (always false when verify_on_flush is off and dirt
+  /// remained untouched — which Flush() never leaves behind).
+  bool converged = false;
+  size_t total_violations = 0;
+  size_t total_applied_fixes = 0;
+};
+
+/// A long-running streaming cleanse session over one table: rows arrive via
+/// Append() in bounded micro-batches, leave via Retract(), and each Poll()
+/// processes one window — encode the batch against the session's persistent
+/// ValuePools, update the per-rule incremental violation index
+/// (blocking-key -> candidate row set), detect only inside the blocks the
+/// window touched, and run repair as a windowed fix-point seeded by the
+/// engine's incremental detection path. Created by BigDansing::OpenStream.
+///
+/// Thread-compatible like RuleEngine: one caller thread at a time; the
+/// session parallelizes internally and publishes snapshots to the /streams
+/// endpoint, so observability scrapes are safe from any thread.
+class StreamSession {
+ public:
+  ~StreamSession();
+
+  StreamSession(const StreamSession&) = delete;
+  StreamSession& operator=(const StreamSession&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Table& table() const { return *table_; }
+  size_t pending_batches() const { return pending_.size(); }
+
+  /// Enqueues rows as micro-batches. Rows with id -1 get fresh sequential
+  /// ids; rows carrying ids must not collide with live or queued rows.
+  /// Applies the backpressure contract (see StreamOptions).
+  Status Append(std::vector<Row> rows);
+
+  /// Convenience Append of plain value tuples (ids assigned).
+  Status AppendValues(std::vector<std::vector<Value>> rows);
+
+  /// Removes rows by id: queued rows never enter the table; live rows leave
+  /// the table and the violation index immediately, and their former blocks
+  /// are re-verified by the next processed window. Unknown ids are ignored
+  /// (retracting twice is not an error).
+  Status Retract(const std::vector<RowId>& row_ids);
+
+  /// Processes one pending window (the oldest queued batch plus any
+  /// retraction dirt). A no-op returning an empty report (iterations == 0)
+  /// when nothing is pending.
+  Result<StreamWindowReport> Poll();
+
+  /// Drains every pending window, then (verify_on_flush) runs full-table
+  /// verification windows until convergence or the window iteration cap.
+  Result<StreamFlushReport> Flush();
+
+  /// Current observable counters (also pushed to the StreamDirectory).
+  StreamSessionStats stats() const;
+
+  /// Metrics of the session-owned ExecutionContext: every window's stages
+  /// accumulate here (benches read SimulatedWallSeconds from it).
+  const Metrics& metrics() const { return session_ctx_->metrics(); }
+
+  /// Per-rule fingerprint of the incremental violation index: a stable
+  /// hash over (block key -> sorted member row ids), independent of
+  /// insertion order and of pool growth history — append-then-retract
+  /// round-trips must reproduce a fresh build's fingerprint bit-exactly.
+  std::vector<std::pair<std::string, uint64_t>> IndexFingerprints() const;
+
+  /// Pushes the final snapshot and unregisters from /streams. Idempotent;
+  /// the destructor calls it. Further mutations fail InvalidArgument.
+  Status Close();
+
+ private:
+  friend class BigDansing;
+
+  /// Per-rule incremental violation index state.
+  struct RuleIndex {
+    PhysicalRulePlan plan;
+    /// True when the rule blocks (columns or UDF key); false -> the rule
+    /// has no index and windows fall back to the engine's incremental
+    /// (changed-rows) detection path.
+    bool blocked = false;
+    /// Base-table columns forming the key (empty for UDF keys).
+    std::vector<size_t> key_cols;
+    /// blocking-key -> member rows; the candidate sets detection reads.
+    std::unordered_map<uint64_t, std::unordered_set<RowId>> blocks;
+    /// Reverse map for retraction and repair-driven block moves.
+    std::unordered_map<RowId, uint64_t> row_key;
+    /// Kernel prescreen (null when the rule is not kernelizable): bound
+    /// against the session pools, rebound whenever a pool it reads grows.
+    std::shared_ptr<const KernelTemplate> tmpl;
+    std::unique_ptr<DetectKernel> kernel;
+    uint64_t kernel_pool_epoch = 0;
+    /// Base column per kernel slot.
+    std::vector<size_t> slot_cols;
+    /// Pending dirty keys for the next window.
+    std::unordered_set<uint64_t> dirty;
+  };
+
+  StreamSession(ExecutionContext* parent, Table* table,
+                std::vector<RulePtr> rules, StreamOptions options);
+
+  /// Builds plans, pools, kernels and the index over the existing table
+  /// rows (all marked dirty, so the first window cleans the backlog).
+  Status Init();
+
+  ExecutionContext* ctx() { return session_ctx_.get(); }
+
+  /// Grows the session pools to cover every indexed value of `rows`,
+  /// remapping all stored codes (monotone, O(live rows) per grown group)
+  /// and bumping pool_epoch_ so stale kernels rebind lazily.
+  void GrowPools(const std::vector<const Row*>& rows);
+  /// Dictionary-encodes the indexed columns of `row` against the session
+  /// pools (GrowPools must already cover the row's values).
+  void EncodeRow(const Row& row);
+  /// Removes the row's stored codes.
+  void DropCodes(RowId id);
+  /// Key of `row` under rule index `ri`; false when the row has a null key
+  /// component (the row joins no block).
+  bool KeyOf(const RuleIndex& ri, const Row& row, uint64_t* key) const;
+
+  /// Inserts/removes one live row into/out of every rule index, marking
+  /// the touched keys dirty.
+  void IndexInsert(const Row& row);
+  void IndexRemove(RowId id);
+  /// Re-keys one live row after a repair changed its cells; old and new
+  /// blocks both become dirty for the current window.
+  void Rekey(const Row& row);
+
+  /// True when a window has anything to do.
+  bool HasWork() const;
+
+  /// Rebinds rule `ri`'s kernel when a pool it reads grew since last bind.
+  void EnsureKernelBound(RuleIndex* ri);
+  /// Kernel prescreen of one block (rows given as table positions): false
+  /// only when the compiled kernel proves no ordered pair in the block can
+  /// violate — exact, so skipping the block drops nothing.
+  bool BlockMayViolate(RuleIndex* ri, const std::vector<size_t>& positions);
+
+  /// Processes one window: moves the oldest batch (if any) into the table
+  /// and runs the windowed detect/repair fix-point over the dirty blocks.
+  Result<StreamWindowReport> ProcessWindow();
+
+  /// Runs full-table windows until convergence (Flush verification).
+  Status RunVerifyWindows(StreamFlushReport* out);
+
+  /// Candidate sub-table of rule `ri`'s dirty blocks (kernel-prescreened),
+  /// in table row order. Returns the candidate row count via `candidates`.
+  Table BuildCandidateTable(RuleIndex* ri, size_t* candidates);
+
+  /// Applies repair assignments through the session (position map, code
+  /// re-encode, block re-keying, lineage/quality attribution). Returns
+  /// cells actually changed. Freeze bookkeeping and dirty re-marking stay
+  /// with the caller, mirroring Clean()'s ordering.
+  size_t ApplyWindowAssignments(
+      const std::vector<CellAssignment>& assignments,
+      const std::vector<FixProvenance>& provenance, size_t iteration,
+      const std::vector<ViolationWithFixes>& violations,
+      QualityIterationSample* sample);
+
+  void PushStats(bool closing = false);
+
+  ExecutionContext* parent_ctx_;
+  Table* table_;
+  std::vector<RulePtr> rules_;
+  StreamOptions opts_;
+  std::string name_;
+  uint64_t directory_id_ = 0;
+  bool closed_ = false;
+
+  /// Session-owned execution context: its Metrics carry the session label,
+  /// so /stages namespaces this session's stages away from other work.
+  std::unique_ptr<ExecutionContext> session_ctx_;
+
+  /// Row id -> position in table_->rows(); maintained across retraction
+  /// (Table::FindRowById degrades to a linear scan once ids stop matching
+  /// positions, so the session never uses it).
+  std::unordered_map<RowId, size_t> row_pos_;
+  RowId next_row_id_ = 0;
+
+  /// Queued micro-batches (rows not yet in the table) and their ids.
+  std::deque<std::vector<Row>> pending_;
+  std::unordered_set<RowId> pending_ids_;
+
+  /// Indexed base columns (blocking + kernel slots), their shared-pool
+  /// groups, and per-live-row codes aligned with indexed_cols_.
+  std::vector<size_t> indexed_cols_;
+  std::unordered_map<size_t, size_t> col_slot_;   // base col -> slot
+  std::vector<size_t> col_group_;                 // slot -> pool group
+  std::vector<std::shared_ptr<const ValuePool>> pools_;  // per group
+  std::unordered_map<RowId, std::vector<uint32_t>> row_codes_;
+  /// Bumped on every pool growth; kernels rebind lazily when stale.
+  uint64_t pool_epoch_ = 0;
+
+  std::vector<RuleIndex> indexes_;
+  /// Rows appended/repaired since the last processed window (seeds the
+  /// incremental fallback path for unindexed rules).
+  std::unordered_set<RowId> pending_changed_;
+
+  /// Freeze bookkeeping shared across all windows of the session (same
+  /// oscillation-termination contract as Clean()).
+  std::unordered_map<CellRef, size_t, CellRefHash> update_counts_;
+  std::unordered_set<CellRef, CellRefHash> frozen_;
+
+  uint64_t window_seq_ = 0;
+  StreamSessionStats stats_;
+};
+
+}  // namespace bigdansing
+
+#endif  // BIGDANSING_CORE_STREAM_SESSION_H_

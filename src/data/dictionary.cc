@@ -209,4 +209,45 @@ EncodedColumnSet EncodeColumns(
   return out;
 }
 
+std::shared_ptr<const ValuePool> GrowPool(
+    std::shared_ptr<const ValuePool> base, const std::vector<Value>& fresh,
+    std::vector<uint32_t>* old_to_new) {
+  // Distinct genuinely-new values, sorted.
+  FlatValueSet seen;
+  seen.Reserve(fresh.size());
+  for (const Value& v : fresh) {
+    if (v.is_null()) continue;
+    if (base->CodeOf(v) == ValuePool::kAbsentCode) seen.Insert(v);
+  }
+  std::vector<Value> added = seen.Take();
+  if (added.empty()) {
+    if (old_to_new != nullptr) {
+      old_to_new->resize(base->size());
+      for (uint32_t c = 0; c < base->size(); ++c) (*old_to_new)[c] = c;
+    }
+    return base;
+  }
+  std::sort(added.begin(), added.end(), ValueLess);
+
+  // Merge the two sorted runs; record where each old code lands.
+  std::vector<Value> merged;
+  merged.reserve(base->size() + added.size());
+  if (old_to_new != nullptr) {
+    old_to_new->assign(base->size(), 0);
+  }
+  size_t a = 0;
+  for (uint32_t c = 0; c < base->size(); ++c) {
+    const Value& old = base->value(c);
+    while (a < added.size() && ValueLess(added[a], old)) {
+      merged.push_back(added[a++]);
+    }
+    if (old_to_new != nullptr) {
+      (*old_to_new)[c] = static_cast<uint32_t>(merged.size());
+    }
+    merged.push_back(old);
+  }
+  while (a < added.size()) merged.push_back(added[a++]);
+  return std::make_shared<ValuePool>(std::move(merged));
+}
+
 }  // namespace bigdansing

@@ -86,6 +86,20 @@ struct EncodedColumnSet {
 EncodedColumnSet EncodeColumns(const Dataset<Row>& data,
                                const std::vector<std::vector<size_t>>& groups);
 
+/// Pool-growth policy for long-lived encodings (stream sessions): pools are
+/// append-only in *value set* but not in *code assignment* — growing merges
+/// the fresh values into the sorted order, producing a new pool whose codes
+/// are a monotone remap of the old ones. `old_to_new[c]` is the new code of
+/// old code `c` (old-code order is preserved, codes only shift upward), so a
+/// holder of per-row code vectors re-encodes in O(rows) without touching a
+/// Value, and bound kernels simply re-Bind against the new pool (constant
+/// positions shift with the same map). `fresh` may contain nulls and
+/// duplicates (both ignored); values already pooled are ignored. Returns the
+/// old pool unchanged (and an identity map) when nothing new was added.
+std::shared_ptr<const ValuePool> GrowPool(
+    std::shared_ptr<const ValuePool> base, const std::vector<Value>& fresh,
+    std::vector<uint32_t>* old_to_new);
+
 }  // namespace bigdansing
 
 #endif  // BIGDANSING_DATA_DICTIONARY_H_

@@ -154,6 +154,19 @@ class Metrics {
   void AddPairsEnumerated(uint64_t n) { pairs_enumerated_ += n; }
   void AddRecordsRead(uint64_t n) { records_read_ += n; }
 
+  /// Observability label for this context's owner, rendered by the /stages
+  /// endpoint so multi-context processes (e.g. one ExecutionContext per
+  /// stream session) are tellable apart. Empty for anonymous contexts.
+  /// Guarded by the stage mutex: the snapshot thread reads it concurrently.
+  void set_label(std::string label) {
+    std::lock_guard<std::mutex> lock(stage_mutex_);
+    label_ = std::move(label);
+  }
+  std::string label() const {
+    std::lock_guard<std::mutex> lock(stage_mutex_);
+    return label_;
+  }
+
   uint64_t shuffled_records() const { return shuffled_records_; }
   uint64_t stages() const { return stages_; }
   uint64_t tasks() const { return tasks_; }
@@ -405,6 +418,8 @@ class Metrics {
   std::atomic<uint64_t> morsels_{0};
   mutable std::mutex stage_mutex_;
   std::vector<StageReport> stage_reports_;
+  /// Owner label for /stages; guarded by stage_mutex_.
+  std::string label_;
   /// Advanced by Reset(); guarded by stage_mutex_.
   size_t generation_ = 0;
   mutable std::mutex task_time_mutex_;

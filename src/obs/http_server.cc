@@ -20,6 +20,7 @@
 #include "obs/profiler.h"
 #include "obs/quality.h"
 #include "obs/stage_directory.h"
+#include "obs/stream_stats.h"
 
 namespace bigdansing {
 
@@ -96,6 +97,10 @@ ObsResponse ObsServer::Dispatch(const std::string& raw_path) {
   }
   if (path == "/quality") {
     resp.body = QualityRecorder::Instance().SnapshotJson();
+    return resp;
+  }
+  if (path == "/streams") {
+    resp.body = StreamDirectory::Instance().StreamsJson();
     return resp;
   }
   if (path == "/profile") {

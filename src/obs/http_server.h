@@ -30,6 +30,7 @@ struct ObsResponse {
 ///   /explain   runtime EXPLAIN tree rendered from open spans (JSON)
 ///   /profilez  sampling-profiler folded stacks (flamegraph input, text)
 ///   /quality   QualityRecorder run history + convergence + drift (JSON)
+///   /streams   live + recently closed StreamSession counters (JSON)
 ///   /profile   latest Clean() input-table column profile    (JSON)
 class ObsServer {
  public:

@@ -90,6 +90,7 @@ QualityCounts QualityRunRecord::RuleTotals(const std::string& rule) const {
 
 std::string QualityRunRecord::ToJson() const {
   std::string out = "{\"run_id\":" + std::to_string(run_id);
+  out += ",\"session\":\"" + JsonEscape(session) + "\"";
   out += ",\"rules\":" + std::to_string(rules);
   out += ",\"rows\":" + std::to_string(rows);
   out += std::string(",\"in_progress\":") + (in_progress ? "true" : "false");
@@ -251,12 +252,14 @@ QualityRunRecord* QualityRecorder::FindLocked(uint64_t run_id) {
   return nullptr;
 }
 
-uint64_t QualityRecorder::BeginRun(uint64_t rules, uint64_t rows) {
+uint64_t QualityRecorder::BeginRun(uint64_t rules, uint64_t rows,
+                                   std::string session) {
   if (!enabled()) return 0;
   MetricsRegistry::Instance().GetCounter("quality.runs").Add(1);
   std::lock_guard<std::mutex> lock(mu_);
   QualityRunRecord rec;
   rec.run_id = next_run_id_++;
+  rec.session = std::move(session);
   rec.rules = rules;
   rec.rows = rows;
   ++runs_begun_;

@@ -52,6 +52,10 @@ struct QualityIterationSample {
 /// profile.
 struct QualityRunRecord {
   uint64_t run_id = 0;
+  /// Stream-session namespace this run belongs to; empty for one-shot
+  /// Clean() runs. Lets /quality consumers split batch history from each
+  /// session's per-window history.
+  std::string session;
   uint64_t rules = 0;
   uint64_t rows = 0;
   bool in_progress = true;
@@ -98,8 +102,10 @@ class QualityRecorder {
   /// Drops all run history.
   void Clear();
 
-  /// Opens a run record; returns its id (0 while disabled).
-  uint64_t BeginRun(uint64_t rules, uint64_t rows);
+  /// Opens a run record; returns its id (0 while disabled). `session`
+  /// namespaces the run ("" = one-shot Clean(); stream sessions pass their
+  /// session name so per-window runs are attributable).
+  uint64_t BeginRun(uint64_t rules, uint64_t rows, std::string session = "");
 
   /// Attaches the input table's profile to run `run_id`.
   void RecordProfile(uint64_t run_id, TableProfile profile);

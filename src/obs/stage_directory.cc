@@ -47,6 +47,7 @@ std::string StageDirectory::StagesJson() const {
     first = false;
     JsonObjectBuilder one;
     one.Add("id", id);
+    one.Add("label", m->label());
     one.Add("stages", m->stages());
     one.Add("tasks", m->tasks());
     one.Add("morsels", m->morsels());

@@ -1,0 +1,112 @@
+#include "obs/stream_stats.h"
+
+#include "common/json_writer.h"
+#include "common/metrics_registry.h"
+
+namespace bigdansing {
+
+StreamDirectory& StreamDirectory::Instance() {
+  static StreamDirectory* instance = new StreamDirectory();  // Leaked: safe.
+  return *instance;
+}
+
+uint64_t StreamDirectory::Register(const std::string& name) {
+  MetricsRegistry::Instance().GetCounter("stream.sessions_opened").Add(1);
+  std::lock_guard<std::mutex> lock(mu_);
+  StreamSessionStats stats;
+  stats.id = next_id_++;
+  stats.name = name;
+  ++registered_;
+  if (sessions_.size() >= kMaxRetainedSessions) {
+    // Evict the oldest *closed* session; never a live one.
+    for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+      if (!it->open) {
+        sessions_.erase(it);
+        break;
+      }
+    }
+  }
+  sessions_.push_back(stats);
+  return sessions_.back().id;
+}
+
+void StreamDirectory::Update(const StreamSessionStats& stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& s : sessions_) {
+    if (s.id == stats.id) {
+      s = stats;
+      return;
+    }
+  }
+}
+
+void StreamDirectory::Close(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& s : sessions_) {
+    if (s.id == id) {
+      s.open = false;
+      return;
+    }
+  }
+}
+
+void StreamDirectory::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sessions_.clear();
+}
+
+size_t StreamDirectory::LiveCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t live = 0;
+  for (const auto& s : sessions_) {
+    if (s.open) ++live;
+  }
+  return live;
+}
+
+std::string StreamDirectory::StreamsJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string records = "[";
+  bool first = true;
+  size_t live = 0;
+  for (const auto& s : sessions_) {
+    if (s.open) ++live;
+    if (!first) records += ",";
+    first = false;
+    JsonObjectBuilder one;
+    one.Add("id", s.id);
+    one.Add("name", s.name);
+    one.Add("open", s.open);
+    one.Add("rules", s.rules);
+    one.Add("rows", s.rows);
+    one.Add("appended_rows", s.appended_rows);
+    one.Add("retracted_rows", s.retracted_rows);
+    one.Add("batches_enqueued", s.batches_enqueued);
+    one.Add("batches_processed", s.batches_processed);
+    one.Add("pending_batches", s.pending_batches);
+    one.Add("windows_converged", s.windows_converged);
+    one.Add("violations_found", s.violations_found);
+    one.Add("fixes_applied", s.fixes_applied);
+    one.Add("unresolved_violations", s.unresolved_violations);
+    one.Add("index_blocks", s.index_blocks);
+    one.Add("index_rows", s.index_rows);
+    one.Add("pool_values", s.pool_values);
+    one.Add("pool_growths", s.pool_growths);
+    one.Add("kernel_rebinds", s.kernel_rebinds);
+    one.Add("backpressure_waits", s.backpressure_waits);
+    one.Add("backpressure_rejections", s.backpressure_rejections);
+    one.Add("last_window_seconds", s.last_window_seconds);
+    one.Add("max_window_seconds", s.max_window_seconds);
+    one.Add("total_detect_seconds", s.total_detect_seconds);
+    one.Add("total_repair_seconds", s.total_repair_seconds);
+    records += one.Build();
+  }
+  records += "]";
+  JsonObjectBuilder out;
+  out.Add("sessions", static_cast<uint64_t>(sessions_.size()));
+  out.Add("live_sessions", static_cast<uint64_t>(live));
+  out.AddRaw("records", records);
+  return out.Build();
+}
+
+}  // namespace bigdansing

@@ -1,0 +1,93 @@
+#ifndef BIGDANSING_OBS_STREAM_STATS_H_
+#define BIGDANSING_OBS_STREAM_STATS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bigdansing {
+
+/// One stream session's observable counters, pushed by the session after
+/// every state change (open, append, retract, processed window, close).
+/// A plain snapshot struct so obs never depends on core.
+struct StreamSessionStats {
+  uint64_t id = 0;
+  std::string name;
+  bool open = true;
+  uint64_t rules = 0;
+  /// Current table size plus ingest totals.
+  uint64_t rows = 0;
+  uint64_t appended_rows = 0;
+  uint64_t retracted_rows = 0;
+  /// Micro-batch window accounting.
+  uint64_t batches_enqueued = 0;
+  uint64_t batches_processed = 0;
+  uint64_t pending_batches = 0;
+  uint64_t windows_converged = 0;
+  /// Cleansing outcomes across all processed windows.
+  uint64_t violations_found = 0;
+  uint64_t fixes_applied = 0;
+  uint64_t unresolved_violations = 0;
+  /// Incremental violation index size (across rules).
+  uint64_t index_blocks = 0;
+  uint64_t index_rows = 0;
+  /// Dictionary-encoding state behind the index.
+  uint64_t pool_values = 0;
+  uint64_t pool_growths = 0;
+  uint64_t kernel_rebinds = 0;
+  /// Backpressure events: Appends that drained inline (blocking mode) or
+  /// were rejected with ResourceExhausted (non-blocking mode).
+  uint64_t backpressure_waits = 0;
+  uint64_t backpressure_rejections = 0;
+  /// Per-window latency (seconds): last processed window and the maximum.
+  double last_window_seconds = 0.0;
+  double max_window_seconds = 0.0;
+  double total_detect_seconds = 0.0;
+  double total_repair_seconds = 0.0;
+};
+
+/// Process-wide directory of stream sessions — the /streams endpoint's data
+/// source, mirroring StageDirectory's role for ExecutionContexts. Sessions
+/// register on open, push snapshots as they work, and are retained (marked
+/// closed) after close so a scrape right after a demo loop still sees the
+/// final counters. Thread-safe.
+class StreamDirectory {
+ public:
+  static StreamDirectory& Instance();
+
+  /// Registers a session; returns its process-unique id.
+  uint64_t Register(const std::string& name);
+
+  /// Replaces the stored snapshot for `stats.id`. Unknown ids are ignored.
+  void Update(const StreamSessionStats& stats);
+
+  /// Marks session `id` closed, keeping its last snapshot.
+  void Close(uint64_t id);
+
+  /// Drops all sessions (tests).
+  void Clear();
+
+  size_t LiveCount() const;
+
+  /// Strict-JSON snapshot:
+  ///   {"sessions":N,"live_sessions":M,"records":[{...}, ...]}
+  /// Records are in registration order; closed sessions keep their final
+  /// snapshot with "open":false.
+  std::string StreamsJson() const;
+
+ private:
+  StreamDirectory() = default;
+
+  /// Oldest closed sessions are dropped beyond this many retained records.
+  static constexpr size_t kMaxRetainedSessions = 64;
+
+  mutable std::mutex mu_;
+  std::vector<StreamSessionStats> sessions_;
+  uint64_t next_id_ = 1;
+  uint64_t registered_ = 0;
+};
+
+}  // namespace bigdansing
+
+#endif  // BIGDANSING_OBS_STREAM_STATS_H_

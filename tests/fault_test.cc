@@ -316,7 +316,12 @@ TEST(UnifiedDetect, MatchesLegacyWrappers) {
   request.rules = rules;
   auto unified = engine.Detect(request);
   ASSERT_TRUE(unified.ok());
+  // This test exists to prove the deprecated wrappers still match the
+  // unified API bit for bit, so it calls them on purpose.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   auto legacy = engine.DetectAll(data.dirty, rules);
+#pragma GCC diagnostic pop
   ASSERT_TRUE(legacy.ok());
   ASSERT_EQ(unified->size(), legacy->size());
   for (size_t r = 0; r < unified->size(); ++r) {
@@ -337,7 +342,10 @@ TEST(UnifiedDetect, MatchesLegacyWrappers) {
   inc.changed_rows = &changed;
   auto inc_unified = engine.Detect(inc);
   ASSERT_TRUE(inc_unified.ok());
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   auto inc_legacy = engine.DetectIncremental(data.dirty, rules[0], changed);
+#pragma GCC diagnostic pop
   ASSERT_TRUE(inc_legacy.ok());
   EXPECT_EQ((*inc_unified)[0].violations.size(),
             inc_legacy->violations.size());

@@ -12,6 +12,19 @@
 namespace bigdansing {
 namespace {
 
+/// Incremental re-detection through the unified request API.
+Result<DetectionResult> DetectIncremental(
+    const RuleEngine& engine, const Table& table, const RulePtr& rule,
+    const std::unordered_set<RowId>& changed) {
+  DetectRequest request;
+  request.table = &table;
+  request.rules = {rule};
+  request.changed_rows = &changed;
+  auto results = engine.Detect(request);
+  if (!results.ok()) return results.status();
+  return std::move(results->front());
+}
+
 std::set<std::pair<RowId, RowId>> PairSet(const DetectionResult& result) {
   std::set<std::pair<RowId, RowId>> pairs;
   for (const auto& vf : result.violations) {
@@ -36,7 +49,7 @@ TEST(Incremental, BlockedRuleFindsExactlyTouchedViolations) {
   for (const auto& vf : full->violations) {
     for (RowId id : vf.violation.RowIds()) changed.insert(id);
   }
-  auto incremental = engine.DetectIncremental(data.dirty, rule, changed);
+  auto incremental = DetectIncremental(engine, data.dirty, rule, changed);
   ASSERT_TRUE(incremental.ok()) << incremental.status().ToString();
   EXPECT_EQ(PairSet(*incremental), PairSet(*full));
   // It visited fewer blocks than the full pass probed.
@@ -55,7 +68,7 @@ TEST(Incremental, SubsetOfChangesFindsSubsetOfViolations) {
   // Only one violating row marked as changed: the incremental result must
   // be a non-empty subset of the full result containing that row.
   RowId target = full->violations[0].violation.RowIds()[0];
-  auto incremental = engine.DetectIncremental(data.dirty, rule, {target});
+  auto incremental = DetectIncremental(engine, data.dirty, rule, {target});
   ASSERT_TRUE(incremental.ok());
   auto inc_pairs = PairSet(*incremental);
   auto full_pairs = PairSet(*full);
@@ -70,7 +83,7 @@ TEST(Incremental, EmptyChangeSetFindsNothing) {
   auto rule = *ParseRule("phi1: FD: zipcode -> city");
   ExecutionContext ctx(2);
   RuleEngine engine(&ctx);
-  auto incremental = engine.DetectIncremental(data.dirty, rule, {});
+  auto incremental = DetectIncremental(engine, data.dirty, rule, {});
   ASSERT_TRUE(incremental.ok());
   EXPECT_TRUE(incremental->violations.empty());
   EXPECT_EQ(incremental->detect_calls, 0u);
@@ -87,7 +100,7 @@ TEST(Incremental, UnblockedDcMatchesFullOnChangedRows) {
   for (const auto& vf : full->violations) {
     for (RowId id : vf.violation.RowIds()) changed.insert(id);
   }
-  auto incremental = engine.DetectIncremental(data.dirty, rule, changed);
+  auto incremental = DetectIncremental(engine, data.dirty, rule, changed);
   ASSERT_TRUE(incremental.ok()) << incremental.status().ToString();
   EXPECT_EQ(PairSet(*incremental), PairSet(*full));
 }
@@ -101,7 +114,7 @@ TEST(Incremental, NoDuplicateProbesWhenBothSidesChanged) {
   auto rule = *ParseRule("phi2: DC: t1.salary > t2.salary & t1.rate < t2.rate");
   ExecutionContext ctx(2);
   RuleEngine engine(&ctx);
-  auto incremental = engine.DetectIncremental(t, rule, {0, 1});
+  auto incremental = DetectIncremental(engine, t, rule, {0, 1});
   ASSERT_TRUE(incremental.ok());
   EXPECT_EQ(incremental->violations.size(), 1u);
 }

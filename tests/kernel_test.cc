@@ -106,7 +106,10 @@ std::vector<DetectionResult> RunDetect(const Table& table,
   ExecutionContext ctx(workers);
   ctx.set_kernels_enabled(kernels);
   RuleEngine engine(&ctx, options);
-  auto results = engine.DetectAll(table, rules);
+  DetectRequest request;
+  request.table = &table;
+  request.rules = rules;
+  auto results = engine.Detect(request);
   EXPECT_TRUE(results.ok()) << results.status().ToString();
   return std::move(*results);
 }

@@ -161,8 +161,10 @@ TEST(Robustness, RuleReferencingMissingAttributeFailsCleanly) {
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
   // Multi-rule: one bad rule fails the batch before any work.
-  auto batch = engine.DetectAll(
-      *table, {*ParseRule("g: FD: a -> b"), *ParseRule("f: FD: nope -> b")});
+  DetectRequest request;
+  request.table = &*table;
+  request.rules = {*ParseRule("g: FD: a -> b"), *ParseRule("f: FD: nope -> b")};
+  auto batch = engine.Detect(request);
   EXPECT_FALSE(batch.ok());
 }
 

@@ -210,12 +210,17 @@ TEST(RuleEngine, CrossTableCoBlock) {
   ASSERT_NE(dc, nullptr);
   ExecutionContext ctx(2);
   RuleEngine engine(&ctx);
-  auto result = engine.DetectAcross(*left, *right, dc);
-  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  DetectRequest request;
+  request.table = &*left;
+  request.right = &*right;
+  request.rules = {dc};
+  auto results = engine.Detect(request);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  const DetectionResult& result = results->front();
   // Only (acme, acme) has equal name+phone but different city.
-  ASSERT_EQ(result->violations.size(), 1u);
+  ASSERT_EQ(result.violations.size(), 1u);
   // CoBlock limits probes to co-blocks: acme-acme and blue-blue.
-  EXPECT_EQ(result->detect_calls, 2u);
+  EXPECT_EQ(result.detect_calls, 2u);
 }
 
 TEST(RuleEngine, StrategiesAgreeOnViolationSet) {

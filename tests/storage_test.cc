@@ -13,6 +13,20 @@
 namespace bigdansing {
 namespace {
 
+/// Storage-backed detection through the unified request API.
+Result<DetectionResult> DetectWithStorage(const RuleEngine& engine,
+                                          const StorageManager& storage,
+                                          const std::string& name,
+                                          const RulePtr& rule) {
+  DetectRequest request;
+  request.storage = &storage;
+  request.dataset = name;
+  request.rules = {rule};
+  auto results = engine.Detect(request);
+  if (!results.ok()) return results.status();
+  return std::move(results->front());
+}
+
 Table SmallTable() {
   Table t(Schema({"zipcode", "city", "state"}));
   t.AppendRow({Value(static_cast<int64_t>(90210)), Value("LA"), Value("CA")});
@@ -126,8 +140,8 @@ TEST(BlockPushdown, SkipsShuffleAndMatchesOrdinaryDetection) {
   ASSERT_TRUE(storage.Store("taxa", data.dirty, "zipcode", 8).ok());
   ExecutionContext storage_ctx(4);
   RuleEngine storage_engine(&storage_ctx);
-  auto pushed = storage_engine.DetectWithStorage(storage, "taxa",
-                                                 *ParseRule(rule_text));
+  auto pushed = DetectWithStorage(storage_engine, storage, "taxa",
+                                  *ParseRule(rule_text));
   ASSERT_TRUE(pushed.ok()) << pushed.status().ToString();
 
   // Same violation count, zero shuffled records.
@@ -143,8 +157,8 @@ TEST(BlockPushdown, FallsBackWithoutMatchingReplica) {
   ASSERT_TRUE(storage.Store("taxa", data.dirty, "state", 4).ok());
   ExecutionContext ctx(2);
   RuleEngine engine(&ctx);
-  auto result =
-      engine.DetectWithStorage(storage, "taxa", *ParseRule("phi1: FD: zipcode -> city"));
+  auto result = DetectWithStorage(engine, storage, "taxa",
+                                  *ParseRule("phi1: FD: zipcode -> city"));
   ASSERT_TRUE(result.ok());
   // Fallback shuffled (ordinary path).
   EXPECT_GT(ctx.metrics().shuffled_records(), 0u);
